@@ -1,0 +1,181 @@
+package asymstream
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"asymstream/internal/filters"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+
+	var got [][]byte
+	p, err := sys.Pipeline(ReadOnly,
+		LinesSource("C comment\nhello\nworld\n"),
+		[]Filter{
+			{Name: "strip", Body: filters.StripComments("C")},
+			{Name: "up", Body: filters.UpperCase()},
+		},
+		CollectSink(&got),
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0]) != "HELLO\n" || string(got[1]) != "WORLD\n" {
+		t.Fatalf("got %q", got)
+	}
+	if p.Ejects() != 4 {
+		t.Fatalf("ejects = %d", p.Ejects())
+	}
+}
+
+func TestFacadeAllDisciplines(t *testing.T) {
+	for _, d := range []Discipline{ReadOnly, WriteOnly, Buffered} {
+		t.Run(d.String(), func(t *testing.T) {
+			sys := NewSystem(SystemConfig{})
+			defer sys.Close()
+			var n int64
+			p, err := sys.Pipeline(d, ItemsSource(make([][]byte, 64)), nil, DiscardSink(&n), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if n != 64 {
+				t.Fatalf("%v: sink saw %d items", d, n)
+			}
+		})
+	}
+}
+
+func TestFacadeMetricsVisible(t *testing.T) {
+	sys := NewSystem(SystemConfig{DeterministicUIDs: 7})
+	defer sys.Close()
+	before := sys.Metrics()
+	var n int64
+	p, err := sys.Pipeline(ReadOnly, LinesSource("a\nb\n"), nil, DiscardSink(&n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.Metrics()
+	if after.Get("transfer_invocations") <= before.Get("transfer_invocations") {
+		t.Error("transfer invocations not metered through the facade")
+	}
+	if after.Get("deliver_invocations") != 0 {
+		t.Error("a read-only pipeline performed Write invocations")
+	}
+}
+
+func TestFacadeUnixBaselineSharesMeter(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+	usys := sys.UnixSystem()
+	var got [][]byte
+	pl := usys.Build(LinesSource("x\ny\n"), nil, CollectSink(&got), 8)
+	if err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("unix baseline moved %d items", len(got))
+	}
+	if sys.Metrics().Get("syscalls") == 0 {
+		t.Error("syscalls not visible on the shared meter")
+	}
+}
+
+func TestMultiNodePlacementThroughFacade(t *testing.T) {
+	sys := NewSystem(SystemConfig{Nodes: 4, EncodePayloads: true})
+	defer sys.Close()
+	var n int64
+	p, err := sys.Pipeline(ReadOnly,
+		LinesSource(strings.Repeat("data\n", 50)),
+		[]Filter{
+			{Name: "f0", Body: filters.Identity()},
+			{Name: "f1", Body: filters.Identity()},
+		},
+		DiscardSink(&n),
+		Options{Placement: func(role Role, index int) NodeID {
+			switch role {
+			case RoleSource:
+				return 0
+			case RoleFilter:
+				return NodeID(index + 1)
+			default:
+				return 3
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("cross-node pipeline moved %d items", n)
+	}
+	if sys.Metrics().Get("cross_node_invocations") == 0 {
+		t.Error("no cross-node invocations recorded")
+	}
+	if sys.Metrics().Get("wire_bytes") == 0 {
+		t.Error("no wire bytes recorded with EncodePayloads")
+	}
+}
+
+func TestLinesSourceFraming(t *testing.T) {
+	var got [][]byte
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+	p, err := sys.Pipeline(ReadOnly, LinesSource("a\nb"), nil, CollectSink(&got), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0]) != "a\n" || string(got[1]) != "b" {
+		t.Fatalf("framing = %q", got)
+	}
+}
+
+func TestItemsSourceCopies(t *testing.T) {
+	items := [][]byte{[]byte("orig")}
+	src := ItemsSource(items)
+	copy(items[0], "XXXX")
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+	var got [][]byte
+	p, err := sys.Pipeline(ReadOnly, src, nil, CollectSink(&got), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != "orig" {
+		t.Fatalf("ItemsSource aliased caller data: %q", got[0])
+	}
+}
+
+func ExampleSystem() {
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+	var got [][]byte
+	p, _ := sys.Pipeline(ReadOnly,
+		LinesSource("C comment\ncode\n"),
+		[]Filter{{Name: "strip", Body: filters.StripComments("C")}},
+		CollectSink(&got),
+		Options{})
+	_ = p.Run()
+	fmt.Printf("%s", got[0])
+	// Output: code
+}

@@ -1,0 +1,63 @@
+// Command edenfs is an interactive shell over the Eden file system:
+// files and directories are Ejects, writes happen by pulling (§4),
+// Checkpoint commits to stable storage (§2), and the simulated
+// machine can crash and reboot without losing committed state.
+//
+//	$ edenfs
+//	edenfs> mkfile poem
+//	edenfs> write poem "so much depends\nupon\n"
+//	40 bytes committed (checkpoint v1)
+//	edenfs> sync
+//	edenfs> crash
+//	edenfs> cat poem
+//	so much depends
+//	upon
+//
+// One-shot mode: edenfs -c 'mkfile f; write f "hi\n"; cat f'
+// (semicolons separate commands).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asymstream/internal/fsshell"
+)
+
+func main() {
+	oneShot := flag.String("c", "", "run semicolon-separated commands and exit")
+	flag.Parse()
+
+	sess, err := fsshell.NewSession(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edenfs:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
+
+	if *oneShot != "" {
+		for _, line := range strings.Split(*oneShot, ";") {
+			if err := sess.Execute(strings.TrimSpace(line)); err != nil {
+				fmt.Fprintln(os.Stderr, "edenfs:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Println("edenfs — Eden file system shell ('help' for help, ctrl-D to exit)")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("edenfs> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		if err := sess.Execute(sc.Text()); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command edensh is an interactive shell over a simulated Eden
+// system: it assembles transput pipelines from a Unix-like command
+// syntax and runs them under any of the three disciplines.
+//
+//	$ edensh
+//	eden> put /etc/motd "C a comment\nhello world\nC another\n"
+//	eden> file /etc/motd | strip C | upcase | print
+//	HELLO WORLD
+//	[read-only discipline, 3 ejects, 312µs]
+//	eden> count 10 | head 3 | print discipline=writeonly
+//
+// One-shot mode: edensh -c 'count 5 | upcase | print'.
+// Script mode:   edensh -f pipeline.eden (one command per line).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asymstream/internal/shell"
+)
+
+func main() {
+	oneShot := flag.String("c", "", "run one line and exit")
+	script := flag.String("f", "", "run a script file (one command per line) and exit")
+	flag.Parse()
+
+	sess, err := shell.NewSession(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edensh:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
+
+	if *oneShot != "" {
+		if err := sess.Execute(*oneShot); err != nil {
+			fmt.Fprintln(os.Stderr, "edensh:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edensh:", err)
+			os.Exit(1)
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			if err := sess.Execute(line); err != nil {
+				fmt.Fprintf(os.Stderr, "edensh: %s:%d: %v\n", *script, lineNo+1, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Println("edensh — asymmetric stream transput shell ('help' for help, ctrl-D to exit)")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("eden> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		if err := sess.Execute(sc.Text()); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command transput-bench regenerates the reproduction's experiment
+// tables (DESIGN.md §4, EXPERIMENTS.md): the Figure 1–4 topologies,
+// the invocation/Eject counting claims, the laziness and security
+// properties, and the ablations.
+//
+// Usage:
+//
+//	transput-bench                 # run every experiment at full size
+//	transput-bench -quick          # smaller workloads (CI speed)
+//	transput-bench -exp e2,e3      # selected experiments
+//	transput-bench -list           # list experiment ids
+//	transput-bench -check          # verify the paper's counting claims; exit 1 on violation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asymstream/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run reduced workloads")
+		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		items = flag.Int("items", 0, "override stream length per run")
+		check = flag.Bool("check", false, "verify the paper's counting claims and exit")
+	)
+	flag.Parse()
+
+	if *check {
+		p := experiments.DefaultParams(*quick)
+		if *items > 0 {
+			p.Items = *items
+		}
+		violations := experiments.Verify(p)
+		if len(violations) == 0 {
+			fmt.Println("all counting claims hold (n+1 vs 2n+2 invocations, n+2 vs 2n+3 Ejects, duality, Figure 1)")
+			return
+		}
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "VIOLATION:", v)
+		}
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, s := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Short)
+		}
+		return
+	}
+
+	p := experiments.DefaultParams(*quick)
+	if *items > 0 {
+		p.Items = *items
+	}
+	var ids []string
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if err := experiments.Run(ids, p, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "transput-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module asymstream
+
+go 1.22

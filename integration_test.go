@@ -1,0 +1,336 @@
+package asymstream
+
+// Cross-package integration tests: the paper's own end-to-end
+// scenarios, assembled from the real components (file system, devices,
+// filters, transput) over one kernel.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"asymstream/internal/device"
+	"asymstream/internal/filters"
+	"asymstream/internal/fsys"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// syncBuf is a goroutine-safe byte buffer for device output.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestPaginatedListingScenario is §4 verbatim: "If a paginated listing
+// were required, the printer server would be requested to read from
+// the paginator, and the paginator to read from the file."
+func TestPaginatedListingScenario(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+	k := sys.Kernel()
+	fsys.RegisterTypes(k)
+
+	// The file.
+	var content strings.Builder
+	for i := 1; i <= 7; i++ {
+		fmt.Fprintf(&content, "record %d\n", i)
+	}
+	_, fileUID, err := fsys.NewFileWithContent(k, 0, []byte(content.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fsys.Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The paginator, reading from the file.
+	pagUID := k.NewUID()
+	pagIn := transput.NewInPort(k, pagUID, ref.UID, ref.Channel, transput.InPortConfig{})
+	paginator := transput.NewROStage(k, transput.ROStageConfig{Name: "paginator"},
+		filters.Paginate(3, "records"), pagIn)
+	if err := k.CreateWithUID(pagUID, paginator, 0); err != nil {
+		t.Fatal(err)
+	}
+	paginator.Start()
+
+	// The printer server, requested to read from the paginator.
+	var paper syncBuf
+	_, printerUID, err := device.NewPrinter(k, 0, &paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := k.Invoke(uid.Nil, printerUID, device.OpPrint, &device.ReadFromRequest{
+		Source:  pagUID,
+		Channel: paginator.Writer(0).ID(),
+		Label:   "records listing",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := raw.(*device.ReadFromReply)
+	// 7 records at 3/page -> 3 page headers + 7 lines.
+	if rep.Items != 10 {
+		t.Fatalf("printer pulled %d items", rep.Items)
+	}
+	out := paper.String()
+	if !strings.Contains(out, "=== records listing ===") {
+		t.Fatalf("banner missing: %q", out)
+	}
+	if strings.Count(out, "page ") != 3 {
+		t.Fatalf("page headers: %q", out)
+	}
+	if !strings.Contains(out, "record 7\n") {
+		t.Fatalf("content missing: %q", out)
+	}
+}
+
+// TestDirectoryListingThroughPipeline: §2/§4 — a directory behaves as
+// a source, so its listing can feed an ordinary filter pipeline ending
+// at a terminal.
+func TestDirectoryListingThroughPipeline(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+	k := sys.Kernel()
+	fsys.RegisterTypes(k)
+
+	_, dirUID, err := fsys.NewDirectory(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"apple", "banana", "avocado"} {
+		if err := fsys.AddEntry(k, uid.Nil, dirUID, name, uid.New(), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	listRef, err := fsys.List(k, uid.Nil, dirUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// grep ^a over the listing stream.
+	grepUID := k.NewUID()
+	grepIn := transput.NewInPort(k, grepUID, listRef.UID, listRef.Channel, transput.InPortConfig{})
+	grep := transput.NewROStage(k, transput.ROStageConfig{Name: "grep"},
+		filters.Grep("^a", false), grepIn)
+	if err := k.CreateWithUID(grepUID, grep, 0); err != nil {
+		t.Fatal(err)
+	}
+	grep.Start()
+
+	var screen syncBuf
+	_, termUID, err := device.NewTerminal(k, 0, &screen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := k.Invoke(uid.Nil, termUID, device.OpReadFrom, &device.ReadFromRequest{
+		Source:  grepUID,
+		Channel: grep.Writer(0).ID(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := raw.(*device.ReadFromReply); rep.Items != 2 {
+		t.Fatalf("terminal got %d lines", rep.Items)
+	}
+	out := screen.String()
+	if !strings.Contains(out, "apple\t") || !strings.Contains(out, "avocado\t") || strings.Contains(out, "banana") {
+		t.Fatalf("screen = %q", out)
+	}
+}
+
+// TestSpellCheckScenario wires the two-input spelling checker with its
+// dictionary coming from a file Eject — §5's multiple inputs realised
+// as "n UIDs, each referring to an Eject which responds to read
+// requests".
+func TestSpellCheckScenario(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+	k := sys.Kernel()
+	fsys.RegisterTypes(k)
+
+	_, dictUID, err := fsys.NewFileWithContent(k, 0, []byte("the\nquick\nfox\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dictRef, err := fsys.Open(k, uid.Nil, dictUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	textUID, textChan, err := device.StaticSource(k, 0,
+		transput.SplitLines([]byte("the qiuck fox\n")), transput.ROStageConfig{Name: "text"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spellUID := k.NewUID()
+	textIn := transput.NewInPort(k, spellUID, textUID, textChan, transput.InPortConfig{})
+	dictIn := transput.NewInPort(k, spellUID, dictRef.UID, dictRef.Channel, transput.InPortConfig{Batch: 8})
+	spell := transput.NewROStage(k, transput.ROStageConfig{Name: "spell"},
+		filters.SpellCheck(), textIn, dictIn)
+	if err := k.CreateWithUID(spellUID, spell, 0); err != nil {
+		t.Fatal(err)
+	}
+	spell.Start()
+
+	in := transput.NewInPort(k, uid.Nil, spellUID, spell.Writer(0).ID(), transput.InPortConfig{})
+	var misspelled []string
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		misspelled = append(misspelled, strings.TrimSpace(string(item)))
+	}
+	if len(misspelled) != 1 || misspelled[0] != "qiuck" {
+		t.Fatalf("misspelled = %v", misspelled)
+	}
+}
+
+// TestLongPipelineStress runs a 32-filter pipeline in every discipline
+// across 4 simulated nodes with payload serialisation on.
+func TestLongPipelineStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const n = 32
+	const items = 400
+	for _, d := range []Discipline{ReadOnly, WriteOnly, Buffered} {
+		t.Run(d.String(), func(t *testing.T) {
+			sys := NewSystem(SystemConfig{Nodes: 4, EncodePayloads: true})
+			defer sys.Close()
+			var fs []Filter
+			for i := 0; i < n; i++ {
+				fs = append(fs, Filter{Name: fmt.Sprintf("f%d", i), Body: filters.Identity()})
+			}
+			var count int64
+			p, err := sys.Pipeline(d, LinesSource(strings.Repeat("payload\n", items)), fs, DiscardSink(&count),
+				Options{Batch: 4, Placement: func(role Role, index int) NodeID {
+					return NodeID(index % 4)
+				}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if count != items {
+				t.Fatalf("moved %d items", count)
+			}
+		})
+	}
+}
+
+// TestCheckpointGroupWithFiles commits a directory and its files
+// atomically, then crashes: either the whole tree recovers or none of
+// it would — the §7 atomic-updates subset over real fsys Ejects.
+func TestCheckpointGroupWithFiles(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+	k := sys.Kernel()
+	fsys.RegisterTypes(k)
+
+	_, dirUID, err := fsys.NewDirectory(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fileUIDs []UID
+	for i := 0; i < 3; i++ {
+		f, fUID, err := fsys.NewFileWithContent(k, 0, []byte(fmt.Sprintf("file %d\n", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = f
+		if err := fsys.AddEntry(k, uid.Nil, dirUID, fmt.Sprintf("f%d", i), fUID, false); err != nil {
+			t.Fatal(err)
+		}
+		fileUIDs = append(fileUIDs, fUID)
+	}
+	group := append([]UID{dirUID}, fileUIDs...)
+	if _, err := k.CheckpointGroup(group); err != nil {
+		t.Fatal(err)
+	}
+	k.CrashNode(0)
+	for i := 0; i < 3; i++ {
+		rep, err := fsys.Lookup(k, uid.Nil, dirUID, fmt.Sprintf("f%d", i))
+		if err != nil || !rep.Found {
+			t.Fatalf("entry f%d lost: %+v %v", i, rep, err)
+		}
+		ref, err := fsys.Open(k, uid.Nil, rep.Target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := fsys.ReadAll(k, uid.Nil, ref)
+		if err != nil || string(data) != fmt.Sprintf("file %d\n", i) {
+			t.Fatalf("file f%d content %q %v", i, data, err)
+		}
+	}
+}
+
+// TestConcurrentPipelinesSharedKernel runs many pipelines of mixed
+// disciplines concurrently on ONE kernel — the realistic Eden
+// situation, where a node hosts many unrelated services at once.
+func TestConcurrentPipelinesSharedKernel(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	defer sys.Close()
+	const pipelines = 12
+	const items = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, pipelines)
+	counts := make([]int64, pipelines)
+	for i := 0; i < pipelines; i++ {
+		d := []Discipline{ReadOnly, WriteOnly, Buffered}[i%3]
+		wg.Add(1)
+		go func(i int, d Discipline) {
+			defer wg.Done()
+			p, err := sys.Pipeline(d,
+				func(out ItemWriter) error {
+					for j := 0; j < items; j++ {
+						if err := out.Put([]byte(fmt.Sprintf("p%d-%d\n", i, j))); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+				[]Filter{{Name: "f", Body: filters.UpperCase()}},
+				DiscardSink(&counts[i]),
+				Options{Batch: 1 + i%4})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := p.Run(); err != nil {
+				errs <- fmt.Errorf("pipeline %d (%v): %w", i, d, err)
+			}
+		}(i, d)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != items {
+			t.Fatalf("pipeline %d moved %d items", i, c)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package csp reproduces §3's comparison with Hoare's CSP and
+// Browning's Tree Machine Notation:
+//
+//	"In these languages transput occurs when one process executes an
+//	output (!) operation and its correspondent executes an input (?)
+//	operation.  This interaction may be regarded in several different
+//	ways.  Both ! and ? may be regarded as active, and the (software
+//	or hardware) interpreter as the passive connection which transfers
+//	data from one to the other.  Alternatively, input may be regarded
+//	as active ('get me data!') and output as passive ('wait until I am
+//	asked for data').  The converse interpretation is also possible
+//	... This last interpretation corresponds to Hoare's decision to
+//	allow input commands in guards but to exclude output commands."
+//
+// The package implements a CSP rendezvous channel (Send is !, Recv is
+// ?) and exposes the three interpretations as named views.  All three
+// wrap the SAME rendezvous — which is precisely the paper's point:
+// the four-primitive taxonomy classifies *descriptions* of a
+// synchronisation, not distinct mechanisms.  Guarded choice (Hoare's
+// input-only guards) is provided by Select.
+package csp
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed channel.
+var ErrClosed = errors.New("csp: channel closed")
+
+// Chan is an unbuffered CSP channel of byte-slice messages: Send and
+// Recv rendezvous, neither returning until the other arrives.
+type Chan struct {
+	mu     sync.Mutex
+	ch     chan []byte
+	closed bool
+	done   chan struct{}
+}
+
+// NewChan creates a rendezvous channel.
+func NewChan() *Chan {
+	return &Chan{ch: make(chan []byte), done: make(chan struct{})}
+}
+
+// Send is CSP's "c ! msg": it blocks until a correspondent executes
+// Recv (or the channel closes).
+func (c *Chan) Send(msg []byte) error {
+	select {
+	case c.ch <- msg:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+// Recv is CSP's "c ? x": it blocks until a correspondent executes
+// Send (or the channel closes).
+func (c *Chan) Recv() ([]byte, error) {
+	select {
+	case msg := <-c.ch:
+		return msg, nil
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close tears the channel down, releasing both sides.
+func (c *Chan) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+}
+
+// Role names one of the four primitive transput operations of the
+// paper's taxonomy.
+type Role string
+
+// The four primitives.
+const (
+	ActiveInput   Role = "active input"
+	ActiveOutput  Role = "active output"
+	PassiveInput  Role = "passive input"
+	PassiveOutput Role = "passive output"
+)
+
+// Interpretation is one of §3's three readings of a CSP rendezvous:
+// it assigns a Role to each side (and, in the both-active reading, to
+// the interpreter between them).
+type Interpretation struct {
+	Name string
+	// SenderRole and ReceiverRole classify the two processes.
+	SenderRole   Role
+	ReceiverRole Role
+	// Interpreter is the passive connection's role pair when the
+	// interpretation needs one ("" otherwise).  In the both-active
+	// reading the interpreter performs passive input toward the
+	// sender and passive output toward the receiver — it is exactly a
+	// Unix pipe of capacity zero.
+	InterpreterRoles []Role
+	// GuardableInput reports whether this interpretation makes input
+	// the active operation that may appear in guards (Hoare's choice
+	// corresponds to the converse: input passive, output active).
+	GuardableInput bool
+}
+
+// Interpretations returns §3's three readings, in the order the paper
+// gives them.
+func Interpretations() []Interpretation {
+	return []Interpretation{
+		{
+			Name:             "both active, interpreter passive",
+			SenderRole:       ActiveOutput,
+			ReceiverRole:     ActiveInput,
+			InterpreterRoles: []Role{PassiveInput, PassiveOutput},
+			GuardableInput:   false,
+		},
+		{
+			Name:           "input active, output passive",
+			SenderRole:     PassiveOutput,
+			ReceiverRole:   ActiveInput,
+			GuardableInput: true, // "get me data!" — the read-only discipline's pair
+		},
+		{
+			Name:           "input passive, output active",
+			SenderRole:     ActiveOutput,
+			ReceiverRole:   PassiveInput,
+			GuardableInput: false, // Hoare's CSP: input waits in guards, output commits
+		},
+	}
+}
+
+// Corresponds reports whether two roles form one of the paper's
+// corresponding pairs (the pairs that can move data without a buffer).
+func Corresponds(a, b Role) bool {
+	switch {
+	case a == ActiveInput && b == PassiveOutput,
+		a == PassiveOutput && b == ActiveInput,
+		a == ActiveOutput && b == PassiveInput,
+		a == PassiveInput && b == ActiveOutput:
+		return true
+	default:
+		return false
+	}
+}
+
+// Select implements Hoare's guarded input choice: it waits until one
+// of the channels has a sender ready, receives from it, and reports
+// which.  Output guards are deliberately not offered — the asymmetry
+// §3 points at.  Select supports up to four alternatives (CSP programs
+// with more fan-in compose Selects).
+func Select(chans ...*Chan) (int, []byte, error) {
+	switch len(chans) {
+	case 0:
+		return -1, nil, errors.New("csp: empty select")
+	case 1:
+		msg, err := chans[0].Recv()
+		return 0, msg, err
+	case 2:
+		select {
+		case m := <-chans[0].ch:
+			return 0, m, nil
+		case m := <-chans[1].ch:
+			return 1, m, nil
+		case <-chans[0].done:
+			return 0, nil, ErrClosed
+		case <-chans[1].done:
+			return 1, nil, ErrClosed
+		}
+	case 3:
+		select {
+		case m := <-chans[0].ch:
+			return 0, m, nil
+		case m := <-chans[1].ch:
+			return 1, m, nil
+		case m := <-chans[2].ch:
+			return 2, m, nil
+		case <-chans[0].done:
+			return 0, nil, ErrClosed
+		case <-chans[1].done:
+			return 1, nil, ErrClosed
+		case <-chans[2].done:
+			return 2, nil, ErrClosed
+		}
+	case 4:
+		select {
+		case m := <-chans[0].ch:
+			return 0, m, nil
+		case m := <-chans[1].ch:
+			return 1, m, nil
+		case m := <-chans[2].ch:
+			return 2, m, nil
+		case m := <-chans[3].ch:
+			return 3, m, nil
+		case <-chans[0].done:
+			return 0, nil, ErrClosed
+		case <-chans[1].done:
+			return 1, nil, ErrClosed
+		case <-chans[2].done:
+			return 2, nil, ErrClosed
+		case <-chans[3].done:
+			return 3, nil, ErrClosed
+		}
+	default:
+		return -1, nil, errors.New("csp: select supports at most 4 alternatives")
+	}
+}

@@ -1,0 +1,238 @@
+package csp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRendezvousTransfersData(t *testing.T) {
+	c := NewChan()
+	var got []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		msg, err := c.Recv()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = msg
+	}()
+	if err := c.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRendezvousIsSynchronous(t *testing.T) {
+	c := NewChan()
+	sent := make(chan struct{})
+	go func() {
+		_ = c.Send([]byte("x"))
+		close(sent)
+	}()
+	// With no receiver, Send must not complete.
+	select {
+	case <-sent:
+		t.Fatal("Send completed without a correspondent")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sent:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send never completed after rendezvous")
+	}
+}
+
+func TestCloseReleasesBothSides(t *testing.T) {
+	c := NewChan()
+	errs := make(chan error, 2)
+	go func() { errs <- c.Send([]byte("x")) }()
+	go func() { _, err := c.Recv(); errs <- err }()
+	time.Sleep(10 * time.Millisecond)
+	// A send and a recv may have paired with each other; to make the
+	// test deterministic use two separate channels instead.
+	c.Close()
+	c.Close() // idempotent
+	// Fresh channel: both operations against a closed channel fail.
+	c2 := NewChan()
+	c2.Close()
+	if err := c2.Send(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on closed: %v", err)
+	}
+	if _, err := c2.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv on closed: %v", err)
+	}
+	<-errs
+	<-errs
+}
+
+// TestInterpretationsMatchTaxonomy checks §3's mapping: in every
+// interpretation the operating pair must correspond (directly, or via
+// the passive interpreter's two faces).
+func TestInterpretationsMatchTaxonomy(t *testing.T) {
+	interps := Interpretations()
+	if len(interps) != 3 {
+		t.Fatalf("the paper gives three interpretations, got %d", len(interps))
+	}
+	for _, in := range interps {
+		t.Run(in.Name, func(t *testing.T) {
+			if len(in.InterpreterRoles) == 0 {
+				// Direct pairing must be a corresponding pair.
+				if !Corresponds(in.SenderRole, in.ReceiverRole) {
+					t.Fatalf("%s and %s do not correspond", in.SenderRole, in.ReceiverRole)
+				}
+				return
+			}
+			// With an interpreter: sender pairs with its input face,
+			// receiver with its output face — a passive buffer, like a
+			// Unix pipe (§3).
+			if !Corresponds(in.SenderRole, in.InterpreterRoles[0]) {
+				t.Fatalf("sender %s vs interpreter %s", in.SenderRole, in.InterpreterRoles[0])
+			}
+			if !Corresponds(in.InterpreterRoles[1], in.ReceiverRole) {
+				t.Fatalf("interpreter %s vs receiver %s", in.InterpreterRoles[1], in.ReceiverRole)
+			}
+		})
+	}
+	// Exactly one interpretation makes input the active ("get me
+	// data!") operation — the read-only discipline's reading; Hoare
+	// chose the converse, which is why CSP guards take inputs only.
+	active := 0
+	for _, in := range interps {
+		if in.GuardableInput {
+			active++
+		}
+	}
+	if active != 1 {
+		t.Fatalf("GuardableInput count = %d", active)
+	}
+}
+
+func TestCorrespondsMatrix(t *testing.T) {
+	// Only the paper's two pairs correspond, in either order.
+	roles := []Role{ActiveInput, ActiveOutput, PassiveInput, PassiveOutput}
+	want := map[[2]Role]bool{
+		{ActiveInput, PassiveOutput}: true,
+		{PassiveOutput, ActiveInput}: true,
+		{ActiveOutput, PassiveInput}: true,
+		{PassiveInput, ActiveOutput}: true,
+	}
+	for _, a := range roles {
+		for _, b := range roles {
+			if got := Corresponds(a, b); got != want[[2]Role{a, b}] {
+				t.Errorf("Corresponds(%s, %s) = %v", a, b, got)
+			}
+		}
+	}
+}
+
+// TestSelectGuardedInput: Hoare's input guards — the choice commits to
+// whichever sender arrives.
+func TestSelectGuardedInput(t *testing.T) {
+	a, b, c := NewChan(), NewChan(), NewChan()
+	go func() { _ = b.Send([]byte("from-b")) }()
+	idx, msg, err := Select(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || !bytes.Equal(msg, []byte("from-b")) {
+		t.Fatalf("select chose %d %q", idx, msg)
+	}
+	// Fairness over many rounds: both ready alternatives get picked
+	// eventually.
+	picked := map[int]int{}
+	for i := 0; i < 50; i++ {
+		go func() { _ = a.Send([]byte("a")) }()
+		go func() { _ = c.Send([]byte("c")) }()
+		i1, _, err := Select(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i2, _, err := Select(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		picked[i1]++
+		picked[i2]++
+	}
+	if picked[0] == 0 || picked[1] == 0 {
+		t.Fatalf("guarded choice starved an alternative: %v", picked)
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	if _, _, err := Select(); err == nil {
+		t.Fatal("empty select accepted")
+	}
+	one := NewChan()
+	go func() { _ = one.Send([]byte("solo")) }()
+	idx, msg, err := Select(one)
+	if err != nil || idx != 0 || string(msg) != "solo" {
+		t.Fatalf("single select: %d %q %v", idx, msg, err)
+	}
+	var five []*Chan
+	for i := 0; i < 5; i++ {
+		five = append(five, NewChan())
+	}
+	if _, _, err := Select(five...); err == nil {
+		t.Fatal("5-way select accepted")
+	}
+	closed := NewChan()
+	closed.Close()
+	if _, _, err := Select(closed, NewChan()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed select: %v", err)
+	}
+}
+
+// TestCSPPipeline builds a small filter pipeline from rendezvous
+// channels alone — both ! and ? active, no buffering anywhere — the
+// arrangement whose Eden equivalent needs a passive buffer per link.
+func TestCSPPipeline(t *testing.T) {
+	in, out := NewChan(), NewChan()
+	// Filter process: upcases.
+	go func() {
+		for {
+			msg, err := in.Recv()
+			if err != nil {
+				out.Close()
+				return
+			}
+			_ = out.Send(bytes.ToUpper(msg))
+		}
+	}()
+	var got []string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			msg, err := out.Recv()
+			if err != nil {
+				return
+			}
+			got = append(got, string(msg))
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if err := in.Send([]byte(fmt.Sprintf("msg%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in.Close()
+	wg.Wait()
+	if len(got) != 5 || got[0] != "MSG0" || got[4] != "MSG4" {
+		t.Fatalf("got %v", got)
+	}
+}

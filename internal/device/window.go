@@ -1,0 +1,173 @@
+package device
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/netsim"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// ReportWindow is the shared destination for monitoring streams in
+// Figures 3 and 4: "The reports from source and F1 are directed to a
+// common destination, perhaps a window on a display."
+//
+// It supports both disciplines, because the two figures differ exactly
+// in how reports reach it:
+//
+//   - Figure 4 (read-only): "It is assumed that the Report Window is
+//     designed to read from multiple sources."  OpWatch gives the
+//     window a (source UID, channel id) pair and it pulls that report
+//     stream with its own InPort — arbitrary fan-in, each stream
+//     individually known and labelled.
+//
+//   - Figure 3 (write-only): report producers push Deliver invocations
+//     at the window's "Report" input channel.  The window cannot tell
+//     the writers apart — deliveries merge — which is precisely the
+//     fan-in anonymity of the push discipline.
+type ReportWindow struct {
+	k    *kernel.Kernel
+	self uid.UID
+
+	in       *transput.WOInPort
+	reader   *transput.ChannelReader
+	consumer sync.Once
+
+	mu      sync.Mutex
+	w       io.Writer
+	lines   [][]byte
+	watches sync.WaitGroup
+}
+
+// ReportWindowConfig parameterises a window.
+type ReportWindowConfig struct {
+	// Writers is the push-mode fan-in degree: the number of End marks
+	// that complete the pushed report stream (minimum 1).
+	Writers int
+	// Capacity bounds the push-mode input buffer.
+	Capacity int
+	// CapabilityMode mints a UID for the push-mode channel.
+	CapabilityMode bool
+}
+
+// NewReportWindow creates and registers a window on the given node.
+// w receives every report line (nil to only record in memory).
+func NewReportWindow(k *kernel.Kernel, node netsim.NodeID, w io.Writer, cfg ReportWindowConfig) (*ReportWindow, uid.UID, error) {
+	rw := &ReportWindow{k: k, w: w}
+	rw.in = transput.NewWOInPort(k, transput.WOInPortConfig{
+		Capacity:       cfg.Capacity,
+		CapabilityMode: cfg.CapabilityMode,
+	})
+	rw.reader = rw.in.Declare("Report", transput.ChannelReport, cfg.Capacity, cfg.Writers)
+	id := k.NewUID()
+	rw.self = id
+	if err := k.CreateWithUID(id, rw, node); err != nil {
+		return nil, uid.Nil, err
+	}
+	return rw, id, nil
+}
+
+// EdenType implements kernel.Eject.
+func (rw *ReportWindow) EdenType() string { return "device.ReportWindow" }
+
+// PushChannel returns the identifier producers use to Deliver reports
+// (capability-mode aware).
+func (rw *ReportWindow) PushChannel() transput.ChannelID { return rw.reader.ID() }
+
+// emit appends one labelled line to the display.
+func (rw *ReportWindow) emit(label string, item []byte) {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	line := item
+	if label != "" {
+		line = append([]byte("["+label+"] "), item...)
+	}
+	rw.lines = append(rw.lines, append([]byte(nil), line...))
+	if rw.w != nil {
+		_, _ = rw.w.Write(line)
+	}
+}
+
+// Lines returns a copy of everything displayed so far.
+func (rw *ReportWindow) Lines() [][]byte {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	out := make([][]byte, len(rw.lines))
+	for i, l := range rw.lines {
+		out[i] = append([]byte(nil), l...)
+	}
+	return out
+}
+
+// startConsumer drains the push-mode channel onto the display (armed
+// on first use so pull-only windows never consume it).
+func (rw *ReportWindow) startConsumer() {
+	rw.consumer.Do(func() {
+		rw.watches.Add(1)
+		go func() {
+			defer rw.watches.Done()
+			for {
+				item, err := rw.reader.Next()
+				if err != nil {
+					return
+				}
+				rw.emit("", item)
+			}
+		}()
+	})
+}
+
+// Serve implements kernel.Eject.
+func (rw *ReportWindow) Serve(inv *kernel.Invocation) {
+	switch inv.Op {
+	case transput.OpDeliver:
+		rw.startConsumer()
+		rw.in.ServeDeliver(inv)
+	case transput.OpChannels:
+		inv.Reply(&transput.ChannelsReply{Channels: rw.in.Adverts()})
+	case transput.OpAbort:
+		rw.in.ServeAbort(inv)
+	case OpWatch:
+		req, ok := inv.Payload.(*ReadFromRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return
+		}
+		label := req.Label
+		rw.watches.Add(1)
+		go func() {
+			defer rw.watches.Done()
+			_, _, _ = pump(rw.k, rw.self, req, func(item []byte) error {
+				rw.emit(label, item)
+				return nil
+			})
+		}()
+		inv.Reply(&WatchReply{})
+	default:
+		inv.Fail(fmt.Errorf("%w: %q on ReportWindow", kernel.ErrNoSuchOperation, inv.Op))
+	}
+}
+
+// WaitQuiescent blocks until all watch pumps and the push consumer
+// have finished (their streams ended).  Tests use it to assert on the
+// final display.
+func (rw *ReportWindow) WaitQuiescent() { rw.watches.Wait() }
+
+// OnDeactivate stops the push consumer.
+func (rw *ReportWindow) OnDeactivate() {
+	rw.reader.Cancel("window deactivated")
+}
+
+// Watch is a convenience wrapper issuing OpWatch from outside the
+// Eden system.
+func Watch(k *kernel.Kernel, window, source uid.UID, channel transput.ChannelID, label string) error {
+	_, err := k.Invoke(uid.Nil, window, OpWatch, &ReadFromRequest{
+		Source:  source,
+		Channel: channel,
+		Label:   label,
+	})
+	return err
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"asymstream/internal/device"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// E8Capability evaluates §5's capability channels: "One way of
+// overcoming this problem is to use UIDs as channel identifiers:
+// because UIDs cannot be forged, the only Ejects which are able to
+// make valid ReadonChannel requests of F are those to which a channel
+// identifier has been given explicitly."
+//
+// The table shows (a) the access-control matrix — the legitimate
+// holder reads; integer addressing and guessed UIDs are refused — and
+// (b) the runtime cost of the capability check, measured as ns per
+// Transfer in integer vs capability mode.
+func E8Capability(items int) (Table, error) {
+	t := Table{
+		ID:      "E8",
+		Title:   "§5 security — UID (capability) channel identifiers",
+		Columns: []string{"scenario", "outcome"},
+		Notes: []string{
+			"'if E is told to read from F's channel 1, nothing prevents it from reading from F's channel 2 as well' — unless channels are capabilities",
+		},
+	}
+	k := newKernel()
+	defer k.Shutdown()
+
+	srcUID, capChan, err := device.StaticSource(k, 0, manyItems(items), transput.ROStageConfig{
+		Name:           "secret-source",
+		CapabilityMode: true,
+	})
+	if err != nil {
+		return t, err
+	}
+
+	// Legitimate holder of the capability.
+	in := transput.NewInPort(k, uid.Nil, srcUID, capChan, transput.InPortConfig{Batch: 16})
+	n := 0
+	for {
+		_, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return t, fmt.Errorf("E8 legit read: %w", err)
+		}
+		n++
+	}
+	t.Rows = append(t.Rows, []string{
+		"holder of channel capability",
+		fmt.Sprintf("read %d items to EOF", n),
+	})
+
+	// Forgery 1: integer channel number (the pre-capability scheme).
+	forged := transput.NewInPort(k, uid.Nil, srcUID, transput.Chan(0), transput.InPortConfig{})
+	_, err = forged.Next()
+	t.Rows = append(t.Rows, []string{"integer channel 0 (no capability)", outcomeOf(err)})
+
+	// Forgery 2: a guessed UID.
+	guessed := transput.NewInPort(k, uid.Nil, srcUID, transput.CapChan(uid.New()), transput.InPortConfig{})
+	_, err = guessed.Next()
+	t.Rows = append(t.Rows, []string{"guessed 128-bit capability", outcomeOf(err)})
+
+	// Cost: ns per Transfer, integer vs capability addressing.
+	intNs, err := perTransferNs(false)
+	if err != nil {
+		return t, err
+	}
+	capNs, err := perTransferNs(true)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{"cost, integer addressing", fmt.Sprintf("%.0f ns/Transfer", intNs)})
+	t.Rows = append(t.Rows, []string{"cost, capability addressing", fmt.Sprintf("%.0f ns/Transfer", capNs)})
+	return t, nil
+}
+
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "PERMITTED (security hole!)"
+	case errors.Is(err, transput.ErrNotPermitted):
+		return "refused: not permitted"
+	case errors.Is(err, transput.ErrNoSuchChannel):
+		return "refused: no such channel"
+	default:
+		return "refused: " + err.Error()
+	}
+}
+
+func manyItems(n int) [][]byte {
+	items := make([][]byte, n)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("secret %d\n", i))
+	}
+	return items
+}
+
+// perTransferNs times a full drain of a static source and returns
+// nanoseconds per Transfer invocation.
+func perTransferNs(capMode bool) (float64, error) {
+	const n = 3000
+	k := newKernel()
+	defer k.Shutdown()
+	srcUID, ch, err := device.StaticSource(k, 0, manyItems(n), transput.ROStageConfig{
+		Name:           "timed-source",
+		CapabilityMode: capMode,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !capMode {
+		ch = transput.Chan(0)
+	}
+	in := transput.NewInPort(k, uid.Nil, srcUID, ch, transput.InPortConfig{Batch: 1})
+	start := time.Now()
+	for {
+		_, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	transfers := in.TransfersIssued()
+	if transfers == 0 {
+		return 0, fmt.Errorf("no transfers issued")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(transfers), nil
+}

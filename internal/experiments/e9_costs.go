@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/netsim"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// E9CostHierarchy validates the cost assumptions behind the paper's
+// efficiency argument (§4):
+//
+//	"Processes provided within the programming language are likely to
+//	be more efficient than the processes of the underlying machine or
+//	system ... interprocess communication within an Eject is likely to
+//	be much more efficient than invocation."
+//
+//	"The cost of an invocation must inevitably be higher than that of
+//	a system call in an ordinary operating system (because invocation
+//	is location-independent), so such saving may be significant."
+//
+// Part 1 measures the primitive ladder: intra-Eject channel op <
+// local invocation < cross-node invocation (serialised) < cross-node
+// with wire latency.  Part 2 shows the payoff: as per-invocation cost
+// rises, halving the invocations (read-only vs buffered) approaches a
+// 2x wall-clock win.
+func E9CostHierarchy() (Table, error) {
+	t := Table{
+		ID:      "E9",
+		Title:   "§4 cost hierarchy — intra-Eject vs invocation, and the payoff of halving invocations",
+		Columns: []string{"mechanism", "cost"},
+	}
+
+	// (a) intra-Eject process communication: one Go channel
+	// send+receive between two goroutines.
+	t.Rows = append(t.Rows, []string{"intra-Eject (goroutine channel op)", fmt.Sprintf("%.0f ns", chanOpNs())})
+
+	// (b) local invocation.
+	localNs, err := invocationNs(netsim.Config{Nodes: 1})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{"local invocation (same node)", fmt.Sprintf("%.0f ns", localNs)})
+
+	// (c) cross-node invocation with gob serialisation.
+	crossNs, err := invocationNs(netsim.Config{Nodes: 2, EncodePayloads: true})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{"cross-node invocation (gob-serialised)", fmt.Sprintf("%.0f ns", crossNs)})
+
+	// (d) cross-node with simulated Ethernet latency.
+	lat := 100 * time.Microsecond
+	latNs, err := invocationNs(netsim.Config{Nodes: 2, EncodePayloads: true, CrossLatency: lat})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("cross-node invocation (+%v each way)", lat),
+		fmt.Sprintf("%.0f ns", latNs),
+	})
+
+	t.Notes = append(t.Notes,
+		"the ladder confirms §4: in-language processes are far cheaper than invocation, so merging the passive buffer into its source is a real saving")
+	return t, nil
+}
+
+// E9Payoff measures read-only vs buffered wall-clock as invocation
+// cost grows.  The cost is charged as *CPU-consumed* protocol
+// processing per cross-node hop (netsim.CrossCPU), the dominant
+// invocation cost on 1983 hardware: unlike pure wire latency, CPU
+// cost cannot be hidden by running stages concurrently, so halving
+// the invocations shows up directly in wall-clock.
+func E9Payoff(n, items int) (Table, error) {
+	t := Table{
+		ID:      "E9b",
+		Title:   fmt.Sprintf("§4 payoff — read-only vs buffered wall-clock, n=%d filters spread across nodes", n),
+		Columns: []string{"per-hop CPU cost", "read-only", "buffered", "speedup", "ro inv", "buf inv"},
+		Notes: []string{
+			"every hop (local or remote) is charged busy-spun CPU — invocation cost is location-independent,",
+			"the paper's own premise — and GOMAXPROCS is pinned to 1 as on a single-CPU 1983 VAX;",
+			"as invocation cost dominates, the wall-clock ratio approaches the 2x invocation ratio",
+		},
+	}
+	// Serialise CPU as on single-processor 1983 nodes.
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	for _, cost := range []time.Duration{0, 20 * time.Microsecond, 100 * time.Microsecond} {
+		row := []string{cost.String()}
+		var invs [2]int64
+		var times [2]time.Duration
+		for i, d := range []transput.Discipline{transput.ReadOnly, transput.Buffered} {
+			k := kernel.New(kernel.Config{Net: netsim.Config{
+				Nodes:         n + 2,
+				InvocationCPU: cost,
+			}})
+			var count int64
+			before := k.Metrics().Snapshot()
+			p, err := transput.BuildPipeline(k, d, counterSource(items), identityFilters(n), discardSink(&count), transput.Options{
+				Placement: crossNodePlacement(n + 2),
+				// Batch 1, prefetch 0: the paper's counting regime.
+			})
+			if err != nil {
+				k.Shutdown()
+				return t, err
+			}
+			start := time.Now()
+			if err := p.Run(); err != nil {
+				k.Shutdown()
+				return t, err
+			}
+			times[i] = time.Since(start)
+			after := k.Metrics().Snapshot()
+			invs[i] = after.Get("invocations") - before.Get("invocations")
+			k.Shutdown()
+		}
+		row = append(row,
+			times[0].Round(time.Millisecond).String(),
+			times[1].Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", float64(times[1])/float64(times[0])),
+			fmt.Sprintf("%d", invs[0]),
+			fmt.Sprintf("%d", invs[1]),
+		)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// chanOpNs times a goroutine-to-goroutine channel round trip element.
+func chanOpNs() float64 {
+	const n = 200000
+	ch := make(chan []byte, 1)
+	done := make(chan struct{})
+	go func() {
+		for range ch {
+		}
+		close(done)
+	}()
+	item := []byte("x")
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		ch <- item
+	}
+	close(ch)
+	<-done
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+// echoEject answers OpChannels with an empty advert — the cheapest
+// possible invocation target.
+type echoEject struct{}
+
+func (echoEject) EdenType() string { return "experiments.Echo" }
+
+func (echoEject) Serve(inv *kernel.Invocation) {
+	if inv.Op == transput.OpChannels {
+		inv.Reply(&transput.ChannelsReply{})
+		return
+	}
+	inv.Fail(kernel.ErrNoSuchOperation)
+}
+
+// invocationNs times a no-op invocation under the given network
+// configuration.  With latency configured, fewer iterations are used
+// so the experiment stays fast.
+func invocationNs(net netsim.Config) (float64, error) {
+	n := 20000
+	if net.CrossLatency > 0 {
+		n = 300
+	}
+	k := kernel.New(kernel.Config{Net: net})
+	defer k.Shutdown()
+	target := netsim.NodeID(0)
+	if net.Nodes > 1 {
+		target = 1
+	}
+	id, err := k.Create(echoEject{}, target)
+	if err != nil {
+		return 0, err
+	}
+	// Warm up (first invocation allocates the dispatcher path).
+	if _, err := k.Invoke(uid.Nil, id, transput.OpChannels, &transput.ChannelsRequest{}); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := k.Invoke(uid.Nil, id, transput.OpChannels, &transput.ChannelsRequest{}); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n), nil
+}

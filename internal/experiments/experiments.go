@@ -1,0 +1,221 @@
+// Package experiments implements the reproduction's evaluation
+// harness: one function per experiment in DESIGN.md §4 (E1–E9 plus
+// the A1–A3 ablations), each returning a Table that cmd/transput-bench
+// prints and that the root-level benchmarks re-measure under
+// testing.B.
+//
+// The paper has no numeric tables — its evaluation is Figures 1–4 and
+// closed-form invocation/Eject counting — so every experiment here
+// reports *measured* counts on the simulator next to the paper's
+// *predicted* formula, plus wall-clock throughput where meaningful.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"asymstream/internal/filters"
+	"asymstream/internal/kernel"
+	"asymstream/internal/metrics"
+	"asymstream/internal/netsim"
+	"asymstream/internal/transput"
+	"asymstream/internal/unixpipe"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// newKernel builds a fresh single-node kernel for one measurement.
+func newKernel() *kernel.Kernel {
+	return kernel.New(kernel.Config{})
+}
+
+// counterSource emits items numbered lines.
+func counterSource(items int) transput.SourceFunc {
+	return func(out transput.ItemWriter) error {
+		for i := 0; i < items; i++ {
+			if err := out.Put([]byte(fmt.Sprintf("line %d\n", i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// discardSink drains its input.
+func discardSink(count *int64) transput.SinkFunc {
+	return func(in transput.ItemReader) error {
+		for {
+			_, err := in.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if count != nil {
+				*count++
+			}
+		}
+	}
+}
+
+// identityFilters returns n pass-through filters.
+func identityFilters(n int) []transput.Filter {
+	fs := make([]transput.Filter, n)
+	for i := range fs {
+		fs[i] = transput.Filter{Name: fmt.Sprintf("f%d", i), Body: filters.Identity()}
+	}
+	return fs
+}
+
+// LinearResult is one measured pipeline run.
+type LinearResult struct {
+	Discipline transput.Discipline
+	Filters    int
+	Items      int64
+	Ejects     int
+	// DataInvocations counts Transfer + Deliver.
+	DataInvocations  int64
+	TotalInvocations int64
+	ProcessSwitches  int64
+	BytesMoved       int64
+	Elapsed          time.Duration
+}
+
+// PerDatum is data invocations per item.
+func (r LinearResult) PerDatum() float64 {
+	if r.Items == 0 {
+		return 0
+	}
+	return float64(r.DataInvocations) / float64(r.Items)
+}
+
+// Throughput is items per second.
+func (r LinearResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Items) / r.Elapsed.Seconds()
+}
+
+// RunLinear builds and runs one linear pipeline on a fresh kernel and
+// returns its measurements.
+func RunLinear(d transput.Discipline, n, items int, opt transput.Options) (LinearResult, error) {
+	k := newKernel()
+	defer k.Shutdown()
+	var count int64
+	before := k.Metrics().Snapshot()
+	p, err := transput.BuildPipeline(k, d, counterSource(items), identityFilters(n), discardSink(&count), opt)
+	if err != nil {
+		return LinearResult{}, err
+	}
+	start := time.Now()
+	if err := p.Run(); err != nil {
+		return LinearResult{}, err
+	}
+	elapsed := time.Since(start)
+	diff := metrics.Diff(before, k.Metrics().Snapshot())
+	return LinearResult{
+		Discipline:       d,
+		Filters:          n,
+		Items:            count,
+		Ejects:           p.Ejects(),
+		DataInvocations:  diff.Get("transfer_invocations") + diff.Get("deliver_invocations"),
+		TotalInvocations: diff.Get("invocations"),
+		ProcessSwitches:  diff.Get("process_switches"),
+		BytesMoved:       diff.Get("bytes_moved"),
+		Elapsed:          elapsed,
+	}, nil
+}
+
+// RunUnix builds and runs one Figure 1 pipeline and returns its
+// measurements (Syscalls in place of invocations).
+func RunUnix(n, items, pipeCapacity int) (LinearResult, int, int, error) {
+	met := &metrics.Set{}
+	sys := unixpipe.NewSystem(met)
+	var count int64
+	before := met.Snapshot()
+	pl := sys.Build(counterSource(items), identityFilters(n), discardSink(&count), pipeCapacity)
+	start := time.Now()
+	if err := pl.Run(); err != nil {
+		return LinearResult{}, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	diff := metrics.Diff(before, met.Snapshot())
+	res := LinearResult{
+		Filters:         n,
+		Items:           count,
+		DataInvocations: diff.Get("syscalls"),
+		Elapsed:         elapsed,
+	}
+	return res, pl.Pipes(), sys.Processes(), nil
+}
+
+// crossNodePlacement spreads a pipeline across nodes round-robin:
+// source on 0, filter i on (i+1) mod nodes, sink on the last node.
+func crossNodePlacement(nodes int) func(transput.Role, int) netsim.NodeID {
+	return func(role transput.Role, index int) netsim.NodeID {
+		switch role {
+		case transput.RoleSource:
+			return 0
+		case transput.RoleFilter:
+			return netsim.NodeID((index + 1) % nodes)
+		case transput.RoleBuffer:
+			return netsim.NodeID((index + 1) % nodes)
+		case transput.RoleSink:
+			return netsim.NodeID(nodes - 1)
+		default:
+			return 0
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"asymstream/internal/transput"
+)
+
+// Default sweep parameters, chosen so the tables are stable at test
+// speed yet show the asymptotics.
+var (
+	// SweepN is the pipeline-length sweep used by E1–E4.
+	SweepN = []int{1, 2, 4, 8, 16}
+	// SweepItems is the per-run stream length for counting
+	// experiments.
+	SweepItems = 2000
+)
+
+// E1UnixPipeline reproduces Figure 1: a conventional Unix pipeline of
+// n filters costs 2n+2 system calls per datum, n+1 kernel pipes and
+// n+2 processes.
+func E1UnixPipeline(ns []int, items int) (Table, error) {
+	t := Table{
+		ID:      "E1",
+		Title:   "Figure 1 — Unix pipeline: syscalls per datum (predicted 2n+2), pipes (n+1), processes (n+2)",
+		Columns: []string{"n", "items", "syscalls/datum", "predicted", "pipes", "processes", "items/s"},
+		Notes: []string{
+			"syscalls counted: read(2)/write(2) on pipes; close(2) excluded from the per-datum rate (o(1) per run)",
+		},
+	}
+	for _, n := range ns {
+		res, pipes, procs, err := RunUnix(n, items, 64)
+		if err != nil {
+			return t, fmt.Errorf("E1 n=%d: %w", n, err)
+		}
+		// Subtract the constant close() calls — each pipe's write and
+		// read ends are closed once per run (2(n+1) closes) — so the
+		// per-datum figure is what the paper's formula predicts.
+		sys := res.DataInvocations - int64(2*(n+1))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", res.Items),
+			fmt.Sprintf("%.3f", float64(sys)/float64(res.Items)),
+			fmt.Sprintf("%d", 2*n+2),
+			fmt.Sprintf("%d", pipes),
+			fmt.Sprintf("%d", procs),
+			fmt.Sprintf("%.0f", res.Throughput()),
+		})
+	}
+	return t, nil
+}
+
+// E2ReadOnly reproduces Figure 2: the read-only Eden pipeline needs
+// n+1 Transfer invocations per datum and n+2 Ejects — and no passive
+// buffers at all.
+func E2ReadOnly(ns []int, items int) (Table, error) {
+	return linearTable("E2",
+		"Figure 2 — read-only Eden pipeline: Transfer invocations per datum (predicted n+1), Ejects (n+2)",
+		transput.ReadOnly, ns, items,
+		func(n int) (float64, int) { return float64(n + 1), n + 2 })
+}
+
+// E3Buffered reproduces the §4 baseline: the conventional discipline
+// inside Eden needs 2n+2 data invocations per datum and 2n+3 Ejects
+// (n+1 of them passive buffers) — "roughly half as many invocations"
+// saved by read-only transput.
+func E3Buffered(ns []int, items int) (Table, error) {
+	t, err := linearTable("E3",
+		"§4 baseline — buffered Eden pipeline: data invocations per datum (predicted 2n+2), Ejects (2n+3)",
+		transput.Buffered, ns, items,
+		func(n int) (float64, int) { return float64(2*n + 2), 2*n + 3 })
+	if err == nil {
+		t.Notes = append(t.Notes,
+			"ratio vs E2 at equal n ≈ 2: the paper's 'roughly half as many invocations'")
+	}
+	return t, err
+}
+
+// E4WriteOnly verifies the §5 duality: the write-only pipeline has
+// exactly the read-only counts, with Deliver in place of Transfer.
+func E4WriteOnly(ns []int, items int) (Table, error) {
+	return linearTable("E4",
+		"§5 dual — write-only Eden pipeline: Deliver invocations per datum (predicted n+1), Ejects (n+2)",
+		transput.WriteOnly, ns, items,
+		func(n int) (float64, int) { return float64(n + 1), n + 2 })
+}
+
+func linearTable(id, title string, d transput.Discipline, ns []int, items int,
+	predict func(n int) (float64, int)) (Table, error) {
+	t := Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"n", "items", "inv/datum", "predicted", "ejects", "pred. ejects", "switches/datum", "items/s"},
+	}
+	for _, n := range ns {
+		res, err := RunLinear(d, n, items, transput.Options{})
+		if err != nil {
+			return t, fmt.Errorf("%s n=%d: %w", id, n, err)
+		}
+		predInv, predEj := predict(n)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", res.Items),
+			fmt.Sprintf("%.3f", res.PerDatum()),
+			fmt.Sprintf("%.0f", predInv),
+			fmt.Sprintf("%d", res.Ejects),
+			fmt.Sprintf("%d", predEj),
+			fmt.Sprintf("%.2f", float64(res.ProcessSwitches)/float64(res.Items)),
+			fmt.Sprintf("%.0f", res.Throughput()),
+		})
+	}
+	return t, nil
+}
+
+// SummaryRatio builds the headline comparison: read-only vs buffered
+// invocations and Ejects at each n — the paper's central claim in one
+// table.
+func SummaryRatio(ns []int, items int) (Table, error) {
+	t := Table{
+		ID:      "E2/E3",
+		Title:   "Headline — asymmetric vs conventional: invocation and Eject ratios",
+		Columns: []string{"n", "ro inv/datum", "buf inv/datum", "ratio", "ro ejects", "buf ejects", "eject ratio"},
+		Notes: []string{
+			"paper: 'roughly half as many invocations are required' and n+2 vs 2n+3 Ejects",
+		},
+	}
+	for _, n := range ns {
+		ro, err := RunLinear(transput.ReadOnly, n, items, transput.Options{})
+		if err != nil {
+			return t, err
+		}
+		bu, err := RunLinear(transput.Buffered, n, items, transput.Options{})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", ro.PerDatum()),
+			fmt.Sprintf("%.2f", bu.PerDatum()),
+			fmt.Sprintf("%.2f", bu.PerDatum()/ro.PerDatum()),
+			fmt.Sprintf("%d", ro.Ejects),
+			fmt.Sprintf("%d", bu.Ejects),
+			fmt.Sprintf("%.2f", float64(bu.Ejects)/float64(ro.Ejects)),
+		})
+	}
+	return t, nil
+}

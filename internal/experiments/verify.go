@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"asymstream/internal/transput"
+)
+
+// Verify re-derives the paper's counting claims from live runs and
+// returns a list of violations (empty = the reproduction holds).  It
+// is the regression gate behind `transput-bench -check`: the same
+// assertions the test suite makes, available from the built binary so
+// a deployment can self-validate.
+func Verify(p Params) []string {
+	var bad []string
+	fail := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	for _, n := range p.Ns {
+		// Figure 2: n+1 invocations per datum, n+2 Ejects.
+		ro, err := RunLinear(transput.ReadOnly, n, p.Items, transput.Options{})
+		if err != nil {
+			fail("read-only n=%d: %v", n, err)
+			continue
+		}
+		if ro.Ejects != n+2 {
+			fail("read-only n=%d: %d Ejects, paper predicts %d", n, ro.Ejects, n+2)
+		}
+		if d := math.Abs(ro.PerDatum() - float64(n+1)); d > 0.2 {
+			fail("read-only n=%d: %.3f inv/datum, paper predicts %d", n, ro.PerDatum(), n+1)
+		}
+
+		// §4 baseline: 2n+2 and 2n+3.
+		bu, err := RunLinear(transput.Buffered, n, p.Items, transput.Options{})
+		if err != nil {
+			fail("buffered n=%d: %v", n, err)
+			continue
+		}
+		if bu.Ejects != 2*n+3 {
+			fail("buffered n=%d: %d Ejects, paper predicts %d", n, bu.Ejects, 2*n+3)
+		}
+		if d := math.Abs(bu.PerDatum() - float64(2*n+2)); d > 0.4 {
+			fail("buffered n=%d: %.3f inv/datum, paper predicts %d", n, bu.PerDatum(), 2*n+2)
+		}
+
+		// "Roughly half as many invocations".
+		if ratio := bu.PerDatum() / ro.PerDatum(); ratio < 1.8 || ratio > 2.2 {
+			fail("n=%d: invocation ratio %.2f, paper predicts ≈2", n, ratio)
+		}
+
+		// §5 duality.
+		wo, err := RunLinear(transput.WriteOnly, n, p.Items, transput.Options{})
+		if err != nil {
+			fail("write-only n=%d: %v", n, err)
+			continue
+		}
+		if d := math.Abs(wo.PerDatum() - ro.PerDatum()); d > 0.3 {
+			fail("n=%d: duality broken (wo %.2f vs ro %.2f inv/datum)", n, wo.PerDatum(), ro.PerDatum())
+		}
+
+		// Figure 1: 2n+2 syscalls per datum, n+1 pipes, n+2 processes.
+		ux, pipes, procs, err := RunUnix(n, p.Items, 64)
+		if err != nil {
+			fail("unix n=%d: %v", n, err)
+			continue
+		}
+		if pipes != n+1 || procs != n+2 {
+			fail("unix n=%d: %d pipes / %d processes, paper predicts %d / %d", n, pipes, procs, n+1, n+2)
+		}
+		per := float64(ux.DataInvocations-int64(2*(n+1))) / float64(ux.Items)
+		if d := math.Abs(per - float64(2*n+2)); d > 0.2 {
+			fail("unix n=%d: %.3f syscalls/datum, paper predicts %d", n, per, 2*n+2)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,80 @@
+package filters_test
+
+import (
+	"fmt"
+
+	"asymstream/internal/filters"
+	"asymstream/internal/transput"
+)
+
+// runFilter applies a body to in-memory inputs for the examples.
+func runFilter(body transput.Body, inputs ...[][]byte) [][]byte {
+	readers := make([]transput.ItemReader, len(inputs))
+	for i, items := range inputs {
+		readers[i] = transput.NewSliceReader(items)
+	}
+	var out transput.CollectWriter
+	if err := body(readers, []transput.ItemWriter{&out}); err != nil {
+		panic(err)
+	}
+	return out.Items
+}
+
+func lines(ss ...string) [][]byte {
+	items := make([][]byte, len(ss))
+	for i, s := range ss {
+		items[i] = []byte(s + "\n")
+	}
+	return items
+}
+
+// ExampleStripComments is the paper's own example filter (§3): strip
+// the comment lines from a Fortran program.
+func ExampleStripComments() {
+	in := lines("C     COMPUTE", "      K = 42", "C     PRINT", "      PRINT *, K")
+	for _, item := range runFilter(filters.StripComments("C"), in) {
+		fmt.Print(string(item))
+	}
+	// Output:
+	//       K = 42
+	//       PRINT *, K
+}
+
+// ExampleStreamEditor shows §5's second multi-input example: a stream
+// editor with a command input as well as a text input.
+func ExampleStreamEditor() {
+	text := lines("hello world", "delete me", "goodbye world")
+	script := lines("s/world/eden/", "d/delete/")
+	for _, item := range runFilter(filters.StreamEditor(), text, script) {
+		fmt.Print(string(item))
+	}
+	// Output:
+	// hello eden
+	// goodbye eden
+}
+
+// ExampleGrep shows the parameterised filter of §3: "a more useful
+// program is one which deletes all lines matching a pattern given as
+// an argument".
+func ExampleGrep() {
+	in := lines("apple", "banana", "apricot")
+	for _, item := range runFilter(filters.Grep("^ap", false), in) {
+		fmt.Print(string(item))
+	}
+	// Output:
+	// apple
+	// apricot
+}
+
+// ExampleCompare shows §5's first multi-input example, the file
+// comparison program.
+func ExampleCompare() {
+	a := lines("same", "left only")
+	b := lines("same", "right only")
+	for _, item := range runFilter(filters.Compare(), a, b) {
+		fmt.Print(string(item))
+	}
+	// Output:
+	// <2: left only
+	// >2: right only
+}

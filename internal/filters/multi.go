@@ -1,0 +1,283 @@
+package filters
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"regexp"
+
+	"asymstream/internal/transput"
+)
+
+// compiledRe aliases regexp.Regexp so command-compiling filters read
+// uniformly.
+type compiledRe = regexp.Regexp
+
+func compileRe(pattern string) (*compiledRe, error) { return regexp.Compile(pattern) }
+
+// This file holds the paper's *impure* filters (§5): "it is very
+// common for filters to be impure: many useful programs require
+// multiple inputs or generate multiple outputs.  Examples of programs
+// with multiple inputs include file comparison programs and stream
+// editors that have a command input as well as a text input.  It is
+// also common for a program to produce a stream of Reports (i.e.
+// monitoring messages) in addition to its main output stream."
+//
+// Convention: ins[0]/outs[0] are the primary streams; secondaries
+// follow.  Under the read-only discipline the secondaries are extra
+// output channels addressed by channel identifier (Figure 4); under
+// the write-only discipline they are extra Pushers (Figure 3).
+
+// Tee copies its input to every output writer — pure fan-out.
+func Tee() transput.Body {
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		return forEach(ins[0], func(item []byte) error {
+			for _, out := range outs {
+				if err := out.Put(item); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// WithReports wraps a single-stream body so that it also emits a
+// monitoring message on outs[1] every `every` primary items — the
+// paper's Report stream.  The wrapped body sees only the primary
+// output.
+func WithReports(name string, every int, body transput.Body) transput.Body {
+	if every <= 0 {
+		every = 100
+	}
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		if len(outs) < 2 {
+			return fmt.Errorf("filters: WithReports(%s) needs a report channel", name)
+		}
+		report := outs[1]
+		counted := &countingWriter{w: outs[0], report: report, name: name, every: every}
+		err := body(ins, []transput.ItemWriter{counted})
+		sum := fmt.Sprintf("%s: %d items, done\n", name, counted.n)
+		if perr := report.Put([]byte(sum)); perr != nil && err == nil {
+			err = perr
+		}
+		return err
+	}
+}
+
+// countingWriter counts items through to an underlying writer,
+// emitting a periodic progress line on the report stream.
+type countingWriter struct {
+	w      transput.ItemWriter
+	report transput.ItemWriter
+	name   string
+	every  int
+	n      int
+}
+
+func (c *countingWriter) Put(item []byte) error {
+	if err := c.w.Put(item); err != nil {
+		return err
+	}
+	c.n++
+	if c.report != nil && c.every > 0 && c.n%c.every == 0 {
+		msg := fmt.Sprintf("%s: %d items\n", c.name, c.n)
+		if err := c.report.Put([]byte(msg)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *countingWriter) Close() error                   { return c.w.Close() }
+func (c *countingWriter) CloseWithError(err error) error { return c.w.CloseWithError(err) }
+
+// Progress is a reporting filter proper: it passes items through on
+// outs[0] and writes a monitoring line to outs[1] every `every` items
+// plus a final total, interleaved with the data as it flows.
+func Progress(name string, every int) transput.Body {
+	if every <= 0 {
+		every = 100
+	}
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		if len(outs) < 2 {
+			return fmt.Errorf("filters: Progress(%s) needs a report channel", name)
+		}
+		n := 0
+		err := forEach(ins[0], func(item []byte) error {
+			if err := outs[0].Put(item); err != nil {
+				return err
+			}
+			n++
+			if n%every == 0 {
+				msg := fmt.Sprintf("%s: %d items\n", name, n)
+				if err := outs[1].Put([]byte(msg)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return outs[1].Put([]byte(fmt.Sprintf("%s: %d items, done\n", name, n)))
+	}
+}
+
+// Compare is the paper's file-comparison program: a two-input filter.
+// It reads ins[0] and ins[1] in lockstep and emits a difference line
+// for every position where they disagree, plus trailing lines present
+// in only one input.  Output format: "<n: left" / ">n: right".
+func Compare() transput.Body {
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		if len(ins) < 2 {
+			return fmt.Errorf("filters: Compare needs two inputs")
+		}
+		a, b := ins[0], ins[1]
+		for n := 1; ; n++ {
+			ia, ea := a.Next()
+			ib, eb := b.Next()
+			switch {
+			case ea == io.EOF && eb == io.EOF:
+				return nil
+			case ea != nil && ea != io.EOF:
+				return ea
+			case eb != nil && eb != io.EOF:
+				return eb
+			case ea == io.EOF:
+				if err := outs[0].Put([]byte(fmt.Sprintf(">%d: %s", n, ib))); err != nil {
+					return err
+				}
+			case eb == io.EOF:
+				if err := outs[0].Put([]byte(fmt.Sprintf("<%d: %s", n, ia))); err != nil {
+					return err
+				}
+			case !bytes.Equal(ia, ib):
+				if err := outs[0].Put([]byte(fmt.Sprintf("<%d: %s", n, ia))); err != nil {
+					return err
+				}
+				if err := outs[0].Put([]byte(fmt.Sprintf(">%d: %s", n, ib))); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// EditCommand is one instruction for the stream editor.
+type EditCommand struct {
+	// Kind is 's' (substitute) or 'd' (delete matching lines).
+	Kind byte
+	// Pattern and Repl hold the command arguments.
+	Pattern string
+	Repl    string
+}
+
+// ParseEditCommand parses "s/pat/repl/" or "d/pat/" command lines.
+func ParseEditCommand(line []byte) (EditCommand, error) {
+	line = bytes.TrimRight(line, "\n")
+	if len(line) < 3 || line[1] != '/' {
+		return EditCommand{}, fmt.Errorf("filters: bad edit command %q", line)
+	}
+	parts := bytes.Split(line[2:], []byte("/"))
+	switch line[0] {
+	case 'd':
+		if len(parts) < 1 || len(parts[0]) == 0 {
+			return EditCommand{}, fmt.Errorf("filters: bad delete command %q", line)
+		}
+		return EditCommand{Kind: 'd', Pattern: string(parts[0])}, nil
+	case 's':
+		if len(parts) < 2 || len(parts[0]) == 0 {
+			return EditCommand{}, fmt.Errorf("filters: bad substitute command %q", line)
+		}
+		return EditCommand{Kind: 's', Pattern: string(parts[0]), Repl: string(parts[1])}, nil
+	default:
+		return EditCommand{}, fmt.Errorf("filters: unknown edit command %q", line)
+	}
+}
+
+// StreamEditor is the paper's second multi-input example: "stream
+// editors that have a command input as well as a text input" (§5).
+// It first drains its command input (ins[1]), compiling one command
+// per line, then applies the whole script to every text line from
+// ins[0].
+func StreamEditor() transput.Body {
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		if len(ins) < 2 {
+			return fmt.Errorf("filters: StreamEditor needs a command input")
+		}
+		type compiled struct {
+			cmd EditCommand
+			re  *compiledRe
+		}
+		var script []compiled
+		err := forEach(ins[1], func(line []byte) error {
+			if len(bytes.TrimSpace(line)) == 0 {
+				return nil
+			}
+			cmd, err := ParseEditCommand(line)
+			if err != nil {
+				return err
+			}
+			re, err := compileRe(cmd.Pattern)
+			if err != nil {
+				return err
+			}
+			script = append(script, compiled{cmd: cmd, re: re})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return forEach(ins[0], func(line []byte) error {
+			for _, c := range script {
+				switch c.cmd.Kind {
+				case 'd':
+					if c.re.Match(line) {
+						return nil // line deleted
+					}
+				case 's':
+					line = c.re.ReplaceAll(line, []byte(c.cmd.Repl))
+				}
+			}
+			return outs[0].Put(line)
+		})
+	}
+}
+
+// Merge interleaves all of its inputs into one output, draining each
+// in turn — arbitrary fan-in, trivially expressed in the read-only
+// discipline where "if F needs n inputs, it maintains n UIDs" (§5).
+func Merge() transput.Body {
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		for _, in := range ins {
+			if err := forEach(in, func(item []byte) error {
+				return outs[0].Put(item)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Split routes lines matching pattern to outs[1] and the rest to
+// outs[0] — a demultiplexer, the simplest genuinely multi-output
+// filter.
+func Split(pattern string) transput.Body {
+	re, err := compileRe(pattern)
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		if err != nil {
+			return err
+		}
+		if len(outs) < 2 {
+			return fmt.Errorf("filters: Split needs two outputs")
+		}
+		return forEach(ins[0], func(item []byte) error {
+			if re.Match(item) {
+				return outs[1].Put(item)
+			}
+			return outs[0].Put(item)
+		})
+	}
+}

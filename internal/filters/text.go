@@ -1,0 +1,214 @@
+package filters
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"asymstream/internal/transput"
+)
+
+// This file holds the remaining filter kinds §3 enumerates: "Text
+// formatters, stream editors, spelling checkers, prettyprinters and
+// paginators are all filters."  The stream editor and paginator live
+// in multi.go / filters.go; here are the spelling checker, the
+// prettyprinter and a simple text formatter.
+
+// SpellCheck is a spelling checker as an impure (two-input) filter:
+// ins[0] is the text, ins[1] is the dictionary (one word per line).
+// The output is the distinct unknown words in first-appearance order,
+// one per line — the shape of spell(1).  Comparisons are
+// case-insensitive; the dictionary is read in full before any text,
+// so under the read-only discipline the dictionary source sees demand
+// only when the checker is itself pulled.
+func SpellCheck() transput.Body {
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		if len(ins) < 2 {
+			return fmt.Errorf("filters: SpellCheck needs text and dictionary inputs")
+		}
+		dict := make(map[string]bool)
+		if err := forEach(ins[1], func(line []byte) error {
+			w := string(bytes.ToLower(bytes.TrimSpace(line)))
+			if w != "" {
+				dict[w] = true
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		reported := make(map[string]bool)
+		return forEach(ins[0], func(line []byte) error {
+			for _, raw := range splitWords(line) {
+				w := string(bytes.ToLower(raw))
+				if dict[w] || reported[w] {
+					continue
+				}
+				reported[w] = true
+				if err := outs[0].Put(append(raw, '\n')); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// splitWords extracts alphabetic words from a line.
+func splitWords(line []byte) [][]byte {
+	var words [][]byte
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			words = append(words, append([]byte(nil), line[start:end]...))
+			start = -1
+		}
+	}
+	for i, c := range line {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '\''
+		if alpha && start < 0 {
+			start = i
+		}
+		if !alpha {
+			flush(i)
+		}
+	}
+	flush(len(line))
+	return words
+}
+
+// PrettyPrint re-indents brace-structured text: each line is trimmed
+// and re-emitted at a depth tracked by counting '{' and '}' (a closing
+// brace at the start of a line dedents that line).  It is the
+// schematic "prettyprinter" of §3 — a pure filter whose output is a
+// reformatting of its input.
+func PrettyPrint(indent string) transput.Body {
+	if indent == "" {
+		indent = "    "
+	}
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		depth := 0
+		return forEach(ins[0], func(line []byte) error {
+			trimmed := bytes.TrimSpace(line)
+			d := depth
+			if len(trimmed) > 0 && trimmed[0] == '}' {
+				d--
+			}
+			if d < 0 {
+				d = 0
+			}
+			var out bytes.Buffer
+			if len(trimmed) > 0 {
+				for i := 0; i < d; i++ {
+					out.WriteString(indent)
+				}
+				out.Write(trimmed)
+			}
+			out.WriteByte('\n')
+			depth += bytes.Count(trimmed, []byte("{")) - bytes.Count(trimmed, []byte("}"))
+			if depth < 0 {
+				depth = 0
+			}
+			return outs[0].Put(out.Bytes())
+		})
+	}
+}
+
+// Fold is a text formatter: it re-flows the input into lines of at
+// most width characters, breaking at spaces where possible (fold(1)
+// with -s).  Paragraph boundaries (blank lines) are preserved.
+func Fold(width int) transput.Body {
+	if width <= 0 {
+		width = 72
+	}
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		var cur []byte
+		emit := func() error {
+			if len(cur) == 0 {
+				return nil
+			}
+			line := append(append([]byte(nil), cur...), '\n')
+			cur = cur[:0]
+			return outs[0].Put(line)
+		}
+		err := forEach(ins[0], func(line []byte) error {
+			trimmed := bytes.TrimRight(line, "\n")
+			if len(bytes.TrimSpace(trimmed)) == 0 {
+				if err := emit(); err != nil {
+					return err
+				}
+				return outs[0].Put([]byte("\n"))
+			}
+			for _, word := range bytes.Fields(trimmed) {
+				switch {
+				case len(cur) == 0:
+					cur = append(cur, word...)
+				case len(cur)+1+len(word) <= width:
+					cur = append(cur, ' ')
+					cur = append(cur, word...)
+				default:
+					if err := emit(); err != nil {
+						return err
+					}
+					cur = append(cur, word...)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return emit()
+	}
+}
+
+// Histogram is an aggregating filter: it consumes the stream and
+// emits "count\titem" lines sorted by descending count (ties by
+// item) — the classic `sort | uniq -c | sort -rn` pipeline collapsed
+// into one filter.
+func Histogram() transput.Body {
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		counts := make(map[string]int)
+		if err := forEach(ins[0], func(item []byte) error {
+			counts[string(bytes.TrimRight(item, "\n"))]++
+			return nil
+		}); err != nil {
+			return err
+		}
+		type kv struct {
+			k string
+			n int
+		}
+		all := make([]kv, 0, len(counts))
+		for k, n := range counts {
+			all = append(all, kv{k, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].k < all[j].k
+		})
+		for _, e := range all {
+			if err := outs[0].Put([]byte(fmt.Sprintf("%7d\t%s\n", e.n, e.k))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Words splits each line into one item per word — a reframing filter
+// that changes the stream's record type from lines to words, legal
+// because the protocol only requires homogeneity (§6).
+func Words() transput.Body {
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		return forEach(ins[0], func(line []byte) error {
+			for _, w := range bytes.Fields(line) {
+				if err := outs[0].Put(append(append([]byte(nil), w...), '\n')); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}

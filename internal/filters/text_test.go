@@ -1,0 +1,124 @@
+package filters
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpellCheck(t *testing.T) {
+	text := lines("The quick brwon fox\n", "jumps over teh lazy dog\n", "teh brwon one\n")
+	dict := lines("the\n", "quick\n", "fox\n", "jumps\n", "over\n", "lazy\n", "dog\n", "one\n")
+	out := apply(t, SpellCheck(), [][][]byte{text, dict}, 1)
+	got := strs(out[0])
+	// Distinct unknown words, first-appearance order, case-insensitive.
+	want := []string{"brwon\n", "teh\n"}
+	if !eqStrings(got, want) {
+		t.Fatalf("spell = %v, want %v", got, want)
+	}
+	// One input is an error.
+	if _, err := applyErr(SpellCheck(), [][][]byte{text}, 1); err == nil {
+		t.Fatal("SpellCheck without dictionary accepted")
+	}
+}
+
+func TestSpellCheckApostrophes(t *testing.T) {
+	text := lines("don't panic\n")
+	dict := lines("don't\n")
+	out := apply(t, SpellCheck(), [][][]byte{text, dict}, 1)
+	if got := strs(out[0]); !eqStrings(got, []string{"panic\n"}) {
+		t.Fatalf("spell = %v", got)
+	}
+}
+
+func TestPrettyPrint(t *testing.T) {
+	in := lines(
+		"func f() {\n",
+		"if x {\n",
+		"y()\n",
+		"}\n",
+		"return\n",
+		"}\n",
+	)
+	out := apply(t, PrettyPrint("  "), [][][]byte{in}, 1)
+	got := strings.Join(strs(out[0]), "")
+	want := "func f() {\n  if x {\n    y()\n  }\n  return\n}\n"
+	if got != want {
+		t.Fatalf("pretty = %q, want %q", got, want)
+	}
+}
+
+func TestPrettyPrintUnbalanced(t *testing.T) {
+	// Excess closers clamp at depth 0 rather than going negative.
+	in := lines("}\n", "}\n", "x\n")
+	out := apply(t, PrettyPrint("  "), [][][]byte{in}, 1)
+	got := strings.Join(strs(out[0]), "")
+	if got != "}\n}\nx\n" {
+		t.Fatalf("unbalanced = %q", got)
+	}
+}
+
+func TestFold(t *testing.T) {
+	in := lines("alpha beta gamma delta epsilon\n")
+	out := apply(t, Fold(11), [][][]byte{in}, 1)
+	got := strs(out[0])
+	want := []string{"alpha beta\n", "gamma delta\n", "epsilon\n"}
+	if !eqStrings(got, want) {
+		t.Fatalf("fold = %v", got)
+	}
+	// Every emitted line respects the width (long single words exempt).
+	for _, l := range got {
+		if len(strings.TrimRight(l, "\n")) > 11 {
+			t.Fatalf("overlong line %q", l)
+		}
+	}
+}
+
+func TestFoldParagraphs(t *testing.T) {
+	in := lines("one two\n", "\n", "three\n")
+	out := apply(t, Fold(20), [][][]byte{in}, 1)
+	got := strings.Join(strs(out[0]), "")
+	if got != "one two\n\nthree\n" {
+		t.Fatalf("fold paragraphs = %q", got)
+	}
+}
+
+func TestFoldJoinsAcrossInputLines(t *testing.T) {
+	in := lines("a b\n", "c d\n")
+	out := apply(t, Fold(20), [][][]byte{in}, 1)
+	if got := strings.Join(strs(out[0]), ""); got != "a b c d\n" {
+		t.Fatalf("fold reflow = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	in := lines("b\n", "a\n", "b\n", "c\n", "b\n", "a\n")
+	out := apply(t, Histogram(), [][][]byte{in}, 1)
+	got := strs(out[0])
+	if len(got) != 3 {
+		t.Fatalf("histogram = %v", got)
+	}
+	if !strings.Contains(got[0], "3\tb") || !strings.Contains(got[1], "2\ta") || !strings.Contains(got[2], "1\tc") {
+		t.Fatalf("histogram order = %v", got)
+	}
+}
+
+func TestWords(t *testing.T) {
+	in := lines("the quick  fox\n", "jumps\n")
+	out := apply(t, Words(), [][][]byte{in}, 1)
+	got := strs(out[0])
+	want := []string{"the\n", "quick\n", "fox\n", "jumps\n"}
+	if !eqStrings(got, want) {
+		t.Fatalf("words = %v", got)
+	}
+}
+
+func TestWordFrequencyPipelineComposition(t *testing.T) {
+	// words | histogram — the composed word-frequency tool.
+	in := lines("to be or not to be\n")
+	mid := apply(t, Words(), [][][]byte{in}, 1)
+	out := apply(t, Histogram(), [][][]byte{mid[0]}, 1)
+	got := strs(out[0])
+	if len(got) != 4 || !strings.Contains(got[0], "2\tbe") {
+		t.Fatalf("word freq = %v", got)
+	}
+}

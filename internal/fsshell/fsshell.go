@@ -1,0 +1,385 @@
+// Package fsshell implements the interactive session behind cmd/edenfs:
+// a command-line view of the Eden file system in which files and
+// directories are Ejects, writes happen by pulling, checkpoints commit
+// to stable storage, and the whole "machine" can crash or reboot
+// without losing committed state.
+//
+// Names are resolved in a root Directory Eject whose UID is the only
+// thing the session holds on to across crashes — exactly the paper's
+// model, where "special file or stream descriptors are not needed"
+// (§8) because a UID plus the kernel is enough.
+package fsshell
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"asymstream/internal/device"
+	"asymstream/internal/fsys"
+	"asymstream/internal/kernel"
+	"asymstream/internal/storage"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// Session is one edenfs session.  The stable store survives Reboot;
+// the kernel does not.
+type Session struct {
+	out   io.Writer
+	store *storage.Store
+	k     *kernel.Kernel
+	root  uid.UID
+}
+
+// NewSession boots a fresh system with an empty, checkpointed root
+// directory.
+func NewSession(out io.Writer) (*Session, error) {
+	s := &Session{out: out, store: storage.NewStore(8)}
+	if err := s.boot(); err != nil {
+		return nil, err
+	}
+	_, rootUID, err := fsys.NewDirectory(s.k, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.root = rootUID
+	// The root must survive reboots, or nothing else can be found.
+	if _, err := s.k.Checkpoint(rootUID); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// boot starts a kernel over the session's stable store.
+func (s *Session) boot() error {
+	s.k = kernel.New(kernel.Config{Store: s.store})
+	fsys.RegisterTypes(s.k)
+	return nil
+}
+
+// Close shuts the kernel down.
+func (s *Session) Close() { s.k.Shutdown() }
+
+// Kernel exposes the current kernel (tests).
+func (s *Session) Kernel() *kernel.Kernel { return s.k }
+
+// resolve looks a name up in the root directory.
+func (s *Session) resolve(name string) (uid.UID, error) {
+	rep, err := fsys.Lookup(s.k, uid.Nil, s.root, name)
+	if err != nil {
+		return uid.Nil, err
+	}
+	if !rep.Found {
+		return uid.Nil, fmt.Errorf("edenfs: no such name %q", name)
+	}
+	return rep.Target, nil
+}
+
+// Execute runs one command line.
+func (s *Session) Execute(line string) error {
+	fields, err := splitFields(line)
+	if err != nil {
+		return err
+	}
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return nil
+	}
+	cmd, args := strings.ToLower(fields[0]), fields[1:]
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("edenfs: %s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "help":
+		fmt.Fprint(s.out, helpText)
+		return nil
+
+	case "mkfile":
+		if err := need(1); err != nil {
+			return err
+		}
+		_, fileUID, err := fsys.NewFile(s.k, 0)
+		if err != nil {
+			return err
+		}
+		return fsys.AddEntry(s.k, uid.Nil, s.root, args[0], fileUID, false)
+
+	case "write", "append":
+		if err := need(2); err != nil {
+			return err
+		}
+		fileUID, err := s.resolve(args[0])
+		if err != nil {
+			return err
+		}
+		srcUID, srcChan, err := device.StaticSource(s.k, 0,
+			transput.SplitLines([]byte(args[1])), transput.ROStageConfig{Name: "edenfs-write"})
+		if err != nil {
+			return err
+		}
+		rep, err := fsys.WriteFrom(s.k, uid.Nil, fileUID,
+			fsys.StreamRef{UID: srcUID, Channel: srcChan}, cmd == "append")
+		// The write source was transient; like §7's UnixFile it
+		// disappears once its stream has been consumed.
+		_ = s.k.Destroy(srcUID)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%d bytes committed (checkpoint v%d)\n", rep.Bytes, rep.Version)
+		return nil
+
+	case "cat":
+		if err := need(1); err != nil {
+			return err
+		}
+		fileUID, err := s.resolve(args[0])
+		if err != nil {
+			return err
+		}
+		ref, err := fsys.Open(s.k, uid.Nil, fileUID, nil)
+		if err != nil {
+			return err
+		}
+		data, err := fsys.ReadAll(s.k, uid.Nil, ref)
+		// "When the user closes the stream, the UnixFile Eject
+		// deactivates itself and ... disappears" (§7).
+		_ = fsys.CloseStream(s.k, uid.Nil, ref)
+		if err != nil {
+			return err
+		}
+		_, err = s.out.Write(data)
+		return err
+
+	case "ls":
+		dir := s.root
+		if len(args) > 0 {
+			if dir, err = s.resolve(args[0]); err != nil {
+				return err
+			}
+		}
+		ref, err := fsys.List(s.k, uid.Nil, dir)
+		if err != nil {
+			return err
+		}
+		data, err := fsys.ReadAll(s.k, uid.Nil, ref)
+		_ = fsys.CloseStream(s.k, uid.Nil, ref)
+		if err != nil {
+			return err
+		}
+		_, err = s.out.Write(data)
+		return err
+
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		_, dirUID, err := fsys.NewDirectory(s.k, 0)
+		if err != nil {
+			return err
+		}
+		if err := fsys.AddEntry(s.k, uid.Nil, s.root, args[0], dirUID, false); err != nil {
+			return err
+		}
+		_, err = s.k.Checkpoint(dirUID)
+		return err
+
+	case "link":
+		// link <existing> <newname>: any UID can be entered into a
+		// directory (§2) — hard links come for free.
+		if err := need(2); err != nil {
+			return err
+		}
+		target, err := s.resolve(args[0])
+		if err != nil {
+			return err
+		}
+		return fsys.AddEntry(s.k, uid.Nil, s.root, args[1], target, false)
+
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		existed, err := fsys.DeleteEntry(s.k, uid.Nil, s.root, args[0])
+		if err != nil {
+			return err
+		}
+		if !existed {
+			return fmt.Errorf("edenfs: no such name %q", args[0])
+		}
+		return nil
+
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		fileUID, err := s.resolve(args[0])
+		if err != nil {
+			return err
+		}
+		rep, err := fsys.Stat(s.k, uid.Nil, fileUID)
+		if err != nil {
+			return err
+		}
+		state, _ := s.k.State(fileUID)
+		fmt.Fprintf(s.out, "%s\t%d bytes\t%d writes\tcheckpoint v%d\t%s\n",
+			fileUID, rep.Size, rep.Writes, rep.Version, state)
+		return nil
+
+	case "readat":
+		if err := need(3); err != nil {
+			return err
+		}
+		fileUID, err := s.resolve(args[0])
+		if err != nil {
+			return err
+		}
+		off, err1 := strconv.ParseInt(args[1], 10, 64)
+		n, err2 := strconv.Atoi(args[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("edenfs: readat <name> <offset> <length>")
+		}
+		rep, err := fsys.MapReadAt(s.k, uid.Nil, fileUID, off, n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%q eof=%v\n", rep.Data, rep.EOF)
+		return nil
+
+	case "writeat":
+		if err := need(3); err != nil {
+			return err
+		}
+		fileUID, err := s.resolve(args[0])
+		if err != nil {
+			return err
+		}
+		off, err1 := strconv.ParseInt(args[1], 10, 64)
+		if err1 != nil {
+			return fmt.Errorf("edenfs: writeat <name> <offset> <text>")
+		}
+		size, err := fsys.MapWriteAt(s.k, uid.Nil, fileUID, off, []byte(args[2]))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "size now %d (volatile until checkpoint)\n", size)
+		return nil
+
+	case "checkpoint":
+		if err := need(1); err != nil {
+			return err
+		}
+		target, err := s.resolve(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := s.k.Checkpoint(target)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "checkpoint v%d\n", v)
+		return nil
+
+	case "sync":
+		// Checkpoint the root directory so new bindings survive.
+		if _, err := s.k.Checkpoint(s.root); err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "root directory checkpointed")
+		return nil
+
+	case "crash":
+		s.k.CrashNode(0)
+		fmt.Fprintln(s.out, "node 0 crashed: volatile state gone, checkpointed Ejects recoverable")
+		return nil
+
+	case "reboot":
+		s.k.Shutdown()
+		if err := s.boot(); err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "rebooted over the same stable store")
+		return nil
+
+	default:
+		return fmt.Errorf("edenfs: unknown command %q (try help)", cmd)
+	}
+}
+
+// splitFields tokenises a command line with double-quoted strings and
+// \n, \t, \", \\ escapes.
+func splitFields(line string) ([]string, error) {
+	var fields []string
+	i, n := 0, len(line)
+	for i < n {
+		switch line[i] {
+		case ' ', '\t':
+			i++
+		case '"':
+			i++
+			var b strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("edenfs: unterminated string")
+				}
+				c := line[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\\' {
+					i++
+					if i >= n {
+						return nil, fmt.Errorf("edenfs: trailing backslash")
+					}
+					switch line[i] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '"':
+						b.WriteByte('"')
+					case '\\':
+						b.WriteByte('\\')
+					default:
+						return nil, fmt.Errorf("edenfs: bad escape \\%c", line[i])
+					}
+					i++
+					continue
+				}
+				b.WriteByte(c)
+				i++
+			}
+			fields = append(fields, b.String())
+		default:
+			start := i
+			for i < n && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+			fields = append(fields, line[start:i])
+		}
+	}
+	return fields, nil
+}
+
+const helpText = `edenfs — the Eden file system (files and directories are Ejects)
+  mkfile <name>              create an empty file Eject, bind it in the root
+  write <name> "text"        file pulls the text and checkpoints (committed)
+  append <name> "text"       as write, appending
+  cat <name>                 stream the file's content
+  writeat <name> off "text"  random-access write (Map protocol; volatile!)
+  readat <name> off len      random-access read (Map protocol)
+  stat <name>                size / writes / checkpoint version / state
+  mkdir <name>               create a directory Eject (checkpointed)
+  ls [name]                  stream a directory listing
+  link <old> <new>           bind an existing Eject under another name
+  rm <name>                  remove a name (the Eject itself survives)
+  checkpoint <name>          commit an Eject's current state
+  sync                       checkpoint the root directory
+  crash                      crash the machine (volatile state lost)
+  reboot                     new kernel over the same stable store
+  help                       this text
+`

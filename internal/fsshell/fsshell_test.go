@@ -1,0 +1,219 @@
+package fsshell
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func session(t *testing.T) (*Session, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	s, err := NewSession(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, &out
+}
+
+func exec(t *testing.T, s *Session, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if err := s.Execute(l); err != nil {
+			t.Fatalf("Execute(%q): %v", l, err)
+		}
+	}
+}
+
+func TestWriteCatRoundTrip(t *testing.T) {
+	s, out := session(t)
+	exec(t, s,
+		`mkfile poem`,
+		`write poem "so much depends\nupon\n"`,
+		`cat poem`,
+	)
+	if !strings.Contains(out.String(), "so much depends\nupon\n") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestAppend(t *testing.T) {
+	s, out := session(t)
+	exec(t, s,
+		`mkfile f`,
+		`write f "one\n"`,
+		`append f "two\n"`,
+		`cat f`,
+	)
+	if !strings.Contains(out.String(), "one\ntwo\n") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestCrashRecoversCommittedState(t *testing.T) {
+	s, out := session(t)
+	exec(t, s,
+		`mkfile keep`,
+		`write keep "committed\n"`, // write checkpoints the file
+		`sync`,                     // checkpoint the root so the name survives
+		`crash`,
+		`cat keep`,
+	)
+	if !strings.Contains(out.String(), "committed\n") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestCrashLosesUncommittedNames(t *testing.T) {
+	s, _ := session(t)
+	exec(t, s,
+		`mkfile lost`,
+		`write lost "data\n"`,
+		// no sync: the root's binding of "lost" is volatile
+		`crash`,
+	)
+	if err := s.Execute(`cat lost`); err == nil {
+		t.Fatal("uncommitted name survived the crash")
+	}
+}
+
+func TestRebootOverSameStore(t *testing.T) {
+	s, out := session(t)
+	exec(t, s,
+		`mkfile f`,
+		`write f "survives reboot\n"`,
+		`sync`,
+		`reboot`,
+		`cat f`,
+	)
+	if !strings.Contains(out.String(), "survives reboot\n") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestMapProtocolCommands(t *testing.T) {
+	s, out := session(t)
+	exec(t, s,
+		`mkfile f`,
+		`write f "0123456789"`,
+		`readat f 3 4`,
+		`writeat f 0 "XY"`,
+		`readat f 0 4`,
+	)
+	o := out.String()
+	if !strings.Contains(o, `"3456"`) {
+		t.Fatalf("readat output = %q", o)
+	}
+	if !strings.Contains(o, `"XY23"`) {
+		t.Fatalf("writeat/readat output = %q", o)
+	}
+}
+
+func TestMapWriteIsVolatileAcrossCrash(t *testing.T) {
+	s, out := session(t)
+	exec(t, s,
+		`mkfile f`,
+		`write f "AAAA"`, // committed
+		`sync`,
+		`writeat f 0 "BB"`, // volatile (Map writes do not checkpoint)
+		`crash`,
+		`cat f`,
+	)
+	if !strings.Contains(out.String(), "AAAA") {
+		t.Fatalf("committed state lost: %q", out.String())
+	}
+	if strings.Contains(out.String()[strings.Index(out.String(), "crashed"):], "BB") {
+		t.Fatalf("volatile Map write survived crash: %q", out.String())
+	}
+}
+
+func TestLinkAndRm(t *testing.T) {
+	s, out := session(t)
+	exec(t, s,
+		`mkfile orig`,
+		`write orig "shared content\n"`,
+		`link orig alias`,
+		`rm orig`,
+		`cat alias`, // the Eject survives; only the name is gone
+	)
+	if !strings.Contains(out.String(), "shared content\n") {
+		t.Fatalf("output = %q", out.String())
+	}
+	if err := s.Execute(`cat orig`); err == nil {
+		t.Fatal("removed name still resolves")
+	}
+}
+
+func TestMkdirAndLs(t *testing.T) {
+	s, out := session(t)
+	exec(t, s,
+		`mkdir sub`,
+		`mkfile f1`,
+		`mkfile f2`,
+		`ls`,
+	)
+	o := out.String()
+	for _, name := range []string{"sub", "f1", "f2"} {
+		if !strings.Contains(o, name+"\t") {
+			t.Fatalf("ls missing %s: %q", name, o)
+		}
+	}
+}
+
+func TestStatOutput(t *testing.T) {
+	s, out := session(t)
+	exec(t, s,
+		`mkfile f`,
+		`write f "12345"`,
+		`stat f`,
+	)
+	o := out.String()
+	if !strings.Contains(o, "5 bytes") || !strings.Contains(o, "checkpoint v1") {
+		t.Fatalf("stat = %q", o)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, _ := session(t)
+	for _, bad := range []string{
+		`cat nothing`,
+		`write nothing "x"`,
+		`mkfile`,
+		`bogus`,
+		`readat`,
+		`rm nothing`,
+		`write f "unterminated`,
+		`link a b`,
+	} {
+		if err := s.Execute(bad); err == nil {
+			t.Errorf("Execute(%q) accepted", bad)
+		}
+	}
+	// Duplicate names refused.
+	exec(t, s, `mkfile dup`)
+	if err := s.Execute(`mkfile dup`); err == nil {
+		t.Error("duplicate mkfile accepted")
+	}
+}
+
+func TestCommentsAndBlank(t *testing.T) {
+	s, out := session(t)
+	exec(t, s, `# comment`, ``, `   `)
+	if out.Len() != 0 {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestTransientEjectsDoNotAccumulate(t *testing.T) {
+	s, _ := session(t)
+	exec(t, s, `mkfile f`, `write f "data\n"`)
+	base := s.Kernel().ActiveCount()
+	for i := 0; i < 10; i++ {
+		exec(t, s, `cat f`, `ls`)
+	}
+	after := s.Kernel().ActiveCount()
+	if after > base {
+		t.Fatalf("active ejects grew from %d to %d over repeated cat/ls", base, after)
+	}
+}

@@ -1,0 +1,356 @@
+package fsys
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/netsim"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// Directory is the Eden directory Eject of §2: "Each entry in a
+// directory Eject is in principle a pair consisting of a mnemonic
+// lookup string and the Unique Identifier of the Eject.  It is, of
+// course, possible to enter the UID of any Eject in a directory, so
+// arbitrary networks of directories can be constructed."
+type Directory struct {
+	k    *kernel.Kernel
+	self uid.UID
+	node netsim.NodeID
+
+	mu      sync.Mutex
+	entries map[string]uid.UID
+}
+
+// dirPassiveRep is the gob schema of a Directory's passive
+// representation.
+type dirPassiveRep struct {
+	Names   []string
+	Targets []uid.UID
+}
+
+// NewDirectory creates and registers an empty directory.
+func NewDirectory(k *kernel.Kernel, node netsim.NodeID) (*Directory, uid.UID, error) {
+	d := &Directory{k: k, node: node, entries: make(map[string]uid.UID)}
+	id := k.NewUID()
+	d.self = id
+	if err := k.CreateWithUID(id, d, node); err != nil {
+		return nil, uid.Nil, err
+	}
+	return d, id, nil
+}
+
+// EdenType implements kernel.Eject.
+func (d *Directory) EdenType() string { return TypeDirectory }
+
+// PassiveRepresentation implements kernel.Checkpointer.
+func (d *Directory) PassiveRepresentation() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep := dirPassiveRep{}
+	for _, name := range d.sortedNamesLocked() {
+		rep.Names = append(rep.Names, name)
+		rep.Targets = append(rep.Targets, d.entries[name])
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&rep)
+	return buf.Bytes(), err
+}
+
+func activateDirectory(ctx kernel.ActivationContext) (kernel.Eject, error) {
+	var rep dirPassiveRep
+	if len(ctx.Passive) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(ctx.Passive)).Decode(&rep); err != nil {
+			return nil, fmt.Errorf("fsys: decode directory passive rep: %w", err)
+		}
+	}
+	d := &Directory{
+		k:       ctx.Kernel,
+		self:    ctx.Self,
+		node:    ctx.Node,
+		entries: make(map[string]uid.UID, len(rep.Names)),
+	}
+	for i, name := range rep.Names {
+		d.entries[name] = rep.Targets[i]
+	}
+	return d, nil
+}
+
+func (d *Directory) sortedNamesLocked() []string {
+	names := make([]string, 0, len(d.entries))
+	for name := range d.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Serve implements kernel.Eject.
+func (d *Directory) Serve(inv *kernel.Invocation) {
+	switch inv.Op {
+	case OpLookup:
+		req, ok := inv.Payload.(*LookupRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return
+		}
+		d.mu.Lock()
+		target, found := d.entries[req.Name]
+		d.mu.Unlock()
+		inv.Reply(&LookupReply{Target: target, Found: found})
+
+	case OpAddEntry:
+		req, ok := inv.Payload.(*AddEntryRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return
+		}
+		if req.Name == "" {
+			inv.Fail(fmt.Errorf("fsys: empty directory entry name"))
+			return
+		}
+		if req.Target.IsNil() {
+			inv.Fail(fmt.Errorf("fsys: nil UID for entry %q", req.Name))
+			return
+		}
+		d.mu.Lock()
+		if _, exists := d.entries[req.Name]; exists && !req.Replace {
+			d.mu.Unlock()
+			inv.Fail(fmt.Errorf("fsys: entry %q already exists", req.Name))
+			return
+		}
+		d.entries[req.Name] = req.Target
+		d.mu.Unlock()
+		inv.Reply(&AddEntryReply{})
+
+	case OpDeleteEntry:
+		req, ok := inv.Payload.(*DeleteEntryRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return
+		}
+		d.mu.Lock()
+		_, existed := d.entries[req.Name]
+		delete(d.entries, req.Name)
+		d.mu.Unlock()
+		inv.Reply(&DeleteEntryReply{Existed: existed})
+
+	case OpList:
+		// "The effect of a List invocation is to prepare the directory
+		// to receive a number of Read invocations, which transfer a
+		// printable representation of the directory's contents to the
+		// reader" (§4).  We prepare a transient stream per List so
+		// that concurrent listers do not interleave.
+		d.mu.Lock()
+		var items [][]byte
+		for _, name := range d.sortedNamesLocked() {
+			items = append(items, []byte(fmt.Sprintf("%s\t%s\n", name, d.entries[name])))
+		}
+		d.mu.Unlock()
+		ref, err := NewTransientStream(d.k, d.node, "dir-list", items)
+		if err != nil {
+			inv.Fail(err)
+			return
+		}
+		inv.Reply(&ListReply{Stream: ref})
+
+	case transput.OpChannels:
+		inv.Reply(&transput.ChannelsReply{})
+
+	default:
+		inv.Fail(fmt.Errorf("%w: %q on Directory", kernel.ErrNoSuchOperation, inv.Op))
+	}
+}
+
+// Len reports the number of entries (diagnostic convenience).
+func (d *Directory) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// DirectoryConcatenator is §2's composite directory: "initialised with
+// a list of directories ... yields the same result as would be
+// obtained from performing the lookup on all of the directories in
+// turn until the name is found.  Such a concatenator provides a
+// facility rather like that offered by the Unix shell and the PATH
+// environment variable."
+//
+// It responds to Lookup and List like a Directory — "From the point of
+// view of an Eject trying to perform a Lookup operation, any Eject
+// which responds in the appropriate way is a satisfactory directory"
+// — so clients cannot (and need not) tell them apart.  It is
+// implemented "by actually performing the multiple lookups" (the
+// paper's first option): each Lookup fans out nested invocations.
+type DirectoryConcatenator struct {
+	k    *kernel.Kernel
+	self uid.UID
+	node netsim.NodeID
+
+	mu   sync.Mutex
+	dirs []uid.UID
+}
+
+// concatPassiveRep is the gob schema of a concatenator's passive
+// representation.
+type concatPassiveRep struct {
+	Dirs []uid.UID
+}
+
+// NewDirectoryConcatenator creates and registers a concatenator over
+// the given directories (searched in order).
+func NewDirectoryConcatenator(k *kernel.Kernel, node netsim.NodeID, dirs []uid.UID) (*DirectoryConcatenator, uid.UID, error) {
+	c := &DirectoryConcatenator{k: k, node: node, dirs: append([]uid.UID(nil), dirs...)}
+	id := k.NewUID()
+	c.self = id
+	if err := k.CreateWithUID(id, c, node); err != nil {
+		return nil, uid.Nil, err
+	}
+	return c, id, nil
+}
+
+// EdenType implements kernel.Eject.
+func (c *DirectoryConcatenator) EdenType() string { return TypeConcatenator }
+
+// PassiveRepresentation implements kernel.Checkpointer.
+func (c *DirectoryConcatenator) PassiveRepresentation() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&concatPassiveRep{Dirs: c.dirs})
+	return buf.Bytes(), err
+}
+
+func activateConcatenator(ctx kernel.ActivationContext) (kernel.Eject, error) {
+	var rep concatPassiveRep
+	if len(ctx.Passive) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(ctx.Passive)).Decode(&rep); err != nil {
+			return nil, fmt.Errorf("fsys: decode concatenator passive rep: %w", err)
+		}
+	}
+	return &DirectoryConcatenator{k: ctx.Kernel, self: ctx.Self, node: ctx.Node, dirs: rep.Dirs}, nil
+}
+
+// Serve implements kernel.Eject.
+func (c *DirectoryConcatenator) Serve(inv *kernel.Invocation) {
+	switch inv.Op {
+	case OpLookup:
+		req, ok := inv.Payload.(*LookupRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return
+		}
+		c.mu.Lock()
+		dirs := append([]uid.UID(nil), c.dirs...)
+		c.mu.Unlock()
+		for _, dir := range dirs {
+			rep, err := Lookup(c.k, c.self, dir, req.Name)
+			if err != nil {
+				inv.Fail(fmt.Errorf("fsys: concatenator lookup in %s: %w", dir, err))
+				return
+			}
+			if rep.Found {
+				inv.Reply(rep)
+				return
+			}
+		}
+		inv.Reply(&LookupReply{Found: false})
+
+	case OpList:
+		// Concatenated listing: entries of every member directory in
+		// order, shadowed names included (the reader sees the search
+		// order).
+		c.mu.Lock()
+		dirs := append([]uid.UID(nil), c.dirs...)
+		c.mu.Unlock()
+		var items [][]byte
+		for _, dir := range dirs {
+			ref, err := List(c.k, c.self, dir)
+			if err != nil {
+				inv.Fail(err)
+				return
+			}
+			data, err := ReadAll(c.k, c.self, ref)
+			if err != nil {
+				inv.Fail(err)
+				return
+			}
+			items = append(items, transput.SplitLines(data)...)
+		}
+		ref, err := NewTransientStream(c.k, c.node, "concat-list", items)
+		if err != nil {
+			inv.Fail(err)
+			return
+		}
+		inv.Reply(&ListReply{Stream: ref})
+
+	case transput.OpChannels:
+		inv.Reply(&transput.ChannelsReply{})
+
+	default:
+		inv.Fail(fmt.Errorf("%w: %q on DirectoryConcatenator", kernel.ErrNoSuchOperation, inv.Op))
+	}
+}
+
+// RegisterTypes installs the fsys activation functions in a kernel so
+// checkpointed file-system Ejects survive crashes and deactivation.
+func RegisterTypes(k *kernel.Kernel) {
+	k.RegisterType(TypeFile, activateFile)
+	k.RegisterType(TypeDirectory, activateDirectory)
+	k.RegisterType(TypeConcatenator, activateConcatenator)
+	k.RegisterType("fsys.MapStore", func(ctx kernel.ActivationContext) (kernel.Eject, error) {
+		return &MapStore{k: ctx.Kernel, self: ctx.Self, content: append([]byte(nil), ctx.Passive...)}, nil
+	})
+}
+
+// Client-side helpers.
+
+// Lookup resolves name in dir.
+func Lookup(k *kernel.Kernel, from, dir uid.UID, name string) (*LookupReply, error) {
+	raw, err := k.Invoke(from, dir, OpLookup, &LookupRequest{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := raw.(*LookupReply)
+	if !ok {
+		return nil, fmt.Errorf("fsys: bad Lookup reply %T", raw)
+	}
+	return rep, nil
+}
+
+// AddEntry binds name to target in dir.
+func AddEntry(k *kernel.Kernel, from, dir uid.UID, name string, target uid.UID, replace bool) error {
+	_, err := k.Invoke(from, dir, OpAddEntry, &AddEntryRequest{Name: name, Target: target, Replace: replace})
+	return err
+}
+
+// DeleteEntry removes name from dir.
+func DeleteEntry(k *kernel.Kernel, from, dir uid.UID, name string) (bool, error) {
+	raw, err := k.Invoke(from, dir, OpDeleteEntry, &DeleteEntryRequest{Name: name})
+	if err != nil {
+		return false, err
+	}
+	rep, ok := raw.(*DeleteEntryReply)
+	if !ok {
+		return false, fmt.Errorf("fsys: bad DeleteEntry reply %T", raw)
+	}
+	return rep.Existed, nil
+}
+
+// List obtains a listing stream from dir.
+func List(k *kernel.Kernel, from, dir uid.UID) (StreamRef, error) {
+	raw, err := k.Invoke(from, dir, OpList, &ListRequest{})
+	if err != nil {
+		return StreamRef{}, err
+	}
+	rep, ok := raw.(*ListReply)
+	if !ok {
+		return StreamRef{}, fmt.Errorf("fsys: bad List reply %T", raw)
+	}
+	return rep.Stream, nil
+}

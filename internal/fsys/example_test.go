@@ -1,0 +1,82 @@
+package fsys_test
+
+import (
+	"fmt"
+
+	"asymstream/internal/device"
+	"asymstream/internal/fsys"
+	"asymstream/internal/kernel"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// ExampleWriteFrom shows §4's inversion of file writing: the file
+// performs active input, pulling its content from a source Eject; no
+// Write invocation exists anywhere.
+func ExampleWriteFrom() {
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+	fsys.RegisterTypes(k)
+
+	_, fileUID, _ := fsys.NewFile(k, 0)
+	srcUID, srcChan, _ := device.StaticSource(k, 0,
+		transput.SplitLines([]byte("hello\nworld\n")), transput.ROStageConfig{})
+
+	rep, _ := fsys.WriteFrom(k, uid.Nil, fileUID,
+		fsys.StreamRef{UID: srcUID, Channel: srcChan}, false)
+	fmt.Printf("pulled %d items, committed as v%d\n", rep.Items, rep.Version)
+
+	ref, _ := fsys.Open(k, uid.Nil, fileUID, nil)
+	data, _ := fsys.ReadAll(k, uid.Nil, ref)
+	fmt.Print(string(data))
+	// Output:
+	// pulled 2 items, committed as v1
+	// hello
+	// world
+}
+
+// ExampleDirectoryConcatenator shows §2's PATH-style composite: the
+// concatenator responds to Lookup like a directory, so the same client
+// helper works on both (behavioural compatibility).
+func ExampleDirectoryConcatenator() {
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+	fsys.RegisterTypes(k)
+
+	_, bin, _ := fsys.NewDirectory(k, 0)
+	_, usrBin, _ := fsys.NewDirectory(k, 0)
+	ls := uid.New()
+	cc := uid.New()
+	_ = fsys.AddEntry(k, uid.Nil, bin, "ls", ls, false)
+	_ = fsys.AddEntry(k, uid.Nil, usrBin, "cc", cc, false)
+
+	_, path, _ := fsys.NewDirectoryConcatenator(k, 0, []uid.UID{bin, usrBin})
+	for _, name := range []string{"ls", "cc", "rm"} {
+		rep, _ := fsys.Lookup(k, uid.Nil, path, name)
+		fmt.Printf("%s found=%v\n", name, rep.Found)
+	}
+	// Output:
+	// ls found=true
+	// cc found=true
+	// rm found=false
+}
+
+// ExampleMapReadAt shows the §6 Map protocol coexisting with the
+// stream protocol on the same file Eject.
+func ExampleMapReadAt() {
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+	fsys.RegisterTypes(k)
+
+	_, fileUID, _ := fsys.NewFileWithContent(k, 0, []byte("hello random world"))
+	rep, _ := fsys.MapReadAt(k, uid.Nil, fileUID, 6, 6)
+	fmt.Printf("%s\n", rep.Data)
+
+	_, _ = fsys.MapWriteAt(k, uid.Nil, fileUID, 6, []byte("RANDOM"))
+	ref, _ := fsys.Open(k, uid.Nil, fileUID, nil)
+	data, _ := fsys.ReadAll(k, uid.Nil, ref)
+	fmt.Printf("%s\n", data)
+	// Output:
+	// random
+	// hello RANDOM world
+}

@@ -1,0 +1,258 @@
+package fsys
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/netsim"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// File is an Eden file Eject: an active entity holding a byte
+// sequence.  "An Eden file would itself be able to respond to open,
+// close, read and write invocations rather than being a mere data
+// structure acted upon by operating system primitives" (§2).
+//
+// Reading: Open mints a transient stream Eject over a snapshot of the
+// content (so concurrent readers have independent cursors and a
+// concurrent write cannot tear a reader's view).
+//
+// Writing: WriteFrom is the read-only discipline's inversion of
+// file-write — the file performs *active input*, pulling its new
+// content from whatever source StreamRef it is given, until end of
+// stream; it then Checkpoints, committing the data to stable storage
+// (§2, §4).  There is no Write-data invocation on a File at all.
+type File struct {
+	k    *kernel.Kernel
+	self uid.UID
+	node netsim.NodeID
+
+	mu      sync.Mutex
+	content []byte
+	writes  uint64
+	version uint64 // latest checkpoint version
+}
+
+// filePassiveRep is the gob schema of a File's passive representation.
+type filePassiveRep struct {
+	Content []byte
+	Writes  uint64
+}
+
+// NewFile creates and registers an empty file on the given node.
+func NewFile(k *kernel.Kernel, node netsim.NodeID) (*File, uid.UID, error) {
+	return NewFileWithContent(k, node, nil)
+}
+
+// NewFileWithContent creates a file pre-loaded with content (copied).
+func NewFileWithContent(k *kernel.Kernel, node netsim.NodeID, content []byte) (*File, uid.UID, error) {
+	f := &File{k: k, node: node, content: append([]byte(nil), content...)}
+	id := k.NewUID()
+	f.self = id
+	if err := k.CreateWithUID(id, f, node); err != nil {
+		return nil, uid.Nil, err
+	}
+	return f, id, nil
+}
+
+// EdenType implements kernel.Eject.
+func (f *File) EdenType() string { return TypeFile }
+
+// PassiveRepresentation implements kernel.Checkpointer.
+func (f *File) PassiveRepresentation() ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&filePassiveRep{Content: f.content, Writes: f.writes})
+	return buf.Bytes(), err
+}
+
+// activateFile reconstructs a File from its passive representation.
+func activateFile(ctx kernel.ActivationContext) (kernel.Eject, error) {
+	var rep filePassiveRep
+	if len(ctx.Passive) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(ctx.Passive)).Decode(&rep); err != nil {
+			return nil, fmt.Errorf("fsys: decode file passive rep: %w", err)
+		}
+	}
+	return &File{
+		k:       ctx.Kernel,
+		self:    ctx.Self,
+		node:    ctx.Node,
+		content: rep.Content,
+		writes:  rep.Writes,
+		version: ctx.Version,
+	}, nil
+}
+
+// Serve implements kernel.Eject.
+func (f *File) Serve(inv *kernel.Invocation) {
+	switch inv.Op {
+	case OpOpen:
+		f.serveOpen(inv)
+	case OpWriteFrom:
+		f.serveWriteFrom(inv)
+	case OpStat:
+		f.mu.Lock()
+		rep := &StatReply{Size: int64(len(f.content)), Writes: f.writes, Version: f.version}
+		f.mu.Unlock()
+		inv.Reply(rep)
+	case transput.OpChannels:
+		// A file is not itself a stream endpoint; Open mints one.
+		inv.Reply(&transput.ChannelsReply{})
+	default:
+		// §6: a file may support more than one protocol; ours also
+		// speaks Map (random access).
+		if f.serveMap(inv) {
+			return
+		}
+		inv.Fail(fmt.Errorf("%w: %q on File", kernel.ErrNoSuchOperation, inv.Op))
+	}
+}
+
+func (f *File) serveOpen(inv *kernel.Invocation) {
+	req, ok := inv.Payload.(*OpenRequest)
+	if !ok {
+		inv.Fail(kernel.ErrNoSuchOperation)
+		return
+	}
+	f.mu.Lock()
+	snapshot := append([]byte(nil), f.content...)
+	f.mu.Unlock()
+	items := chunkItems(snapshot, req.Lines || req.ChunkSize == 0, req.ChunkSize)
+	ref, err := NewTransientStream(f.k, f.node, "file-read", items)
+	if err != nil {
+		inv.Fail(err)
+		return
+	}
+	inv.Reply(&OpenReply{Stream: ref})
+}
+
+func (f *File) serveWriteFrom(inv *kernel.Invocation) {
+	req, ok := inv.Payload.(*WriteFromRequest)
+	if !ok {
+		inv.Fail(kernel.ErrNoSuchOperation)
+		return
+	}
+	in := transput.NewInPort(f.k, f.self, req.Source.UID, req.Source.Channel, transput.InPortConfig{
+		Batch:    req.Batch,
+		Prefetch: req.Prefetch,
+	})
+	var items int64
+	var data [][]byte
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			inv.Fail(fmt.Errorf("fsys: WriteFrom pull: %w", err))
+			return
+		}
+		items++
+		data = append(data, item)
+	}
+	body := joinContent(data)
+
+	f.mu.Lock()
+	if req.Append {
+		f.content = append(f.content, body...)
+	} else {
+		f.content = append(f.content[:0:0], body...)
+	}
+	f.writes++
+	f.mu.Unlock()
+
+	// "Once a file has been written, the data is committed to stable
+	// storage by Checkpointing" (§2).
+	v, err := f.k.Checkpoint(f.self)
+	if err != nil {
+		inv.Fail(fmt.Errorf("fsys: WriteFrom checkpoint: %w", err))
+		return
+	}
+	f.mu.Lock()
+	f.version = v
+	f.mu.Unlock()
+	inv.Reply(&WriteFromReply{Items: items, Bytes: int64(len(body)), Version: v})
+}
+
+// Content returns a copy of the file's bytes (test/diagnostic
+// convenience; Eden clients use Open).
+func (f *File) Content() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.content...)
+}
+
+// Client-side helpers: thin wrappers over the invocations, so examples
+// and tests read naturally.  They take the invoker's UID (uid.Nil for
+// external drivers).
+
+// Open opens a read stream on a file Eject.
+func Open(k *kernel.Kernel, from, file uid.UID, req *OpenRequest) (StreamRef, error) {
+	if req == nil {
+		req = &OpenRequest{Lines: true}
+	}
+	raw, err := k.Invoke(from, file, OpOpen, req)
+	if err != nil {
+		return StreamRef{}, err
+	}
+	rep, ok := raw.(*OpenReply)
+	if !ok {
+		return StreamRef{}, fmt.Errorf("fsys: bad Open reply %T", raw)
+	}
+	return rep.Stream, nil
+}
+
+// WriteFrom commands a file to pull its new content from src.
+func WriteFrom(k *kernel.Kernel, from, file uid.UID, src StreamRef, appendTo bool) (*WriteFromReply, error) {
+	raw, err := k.Invoke(from, file, OpWriteFrom, &WriteFromRequest{Source: src, Append: appendTo})
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := raw.(*WriteFromReply)
+	if !ok {
+		return nil, fmt.Errorf("fsys: bad WriteFrom reply %T", raw)
+	}
+	return rep, nil
+}
+
+// Stat fetches file metadata.
+func Stat(k *kernel.Kernel, from, file uid.UID) (*StatReply, error) {
+	raw, err := k.Invoke(from, file, OpStat, &StatRequest{})
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := raw.(*StatReply)
+	if !ok {
+		return nil, fmt.Errorf("fsys: bad Stat reply %T", raw)
+	}
+	return rep, nil
+}
+
+// CloseStream closes a transient stream Eject.
+func CloseStream(k *kernel.Kernel, from uid.UID, ref StreamRef) error {
+	_, err := k.Invoke(from, ref.UID, OpCloseStream, &CloseStreamRequest{})
+	return err
+}
+
+// ReadAll drains a stream ref into one byte slice (client helper).
+func ReadAll(k *kernel.Kernel, from uid.UID, ref StreamRef) ([]byte, error) {
+	in := transput.NewInPort(k, from, ref.UID, ref.Channel, transput.InPortConfig{Batch: 16})
+	var buf bytes.Buffer
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			return buf.Bytes(), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(item)
+	}
+}

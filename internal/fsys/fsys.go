@@ -1,0 +1,197 @@
+// Package fsys implements the Eden file system of §2: files and
+// directories are *Ejects* — "active rather than passive entities" —
+// not data structures acted on by kernel primitives.
+//
+//   - A File responds to Open (yielding a read stream), WriteFrom
+//     (§4's file-opened-for-output, which actively *pulls* its new
+//     content), and Stat.  Its data is committed to stable storage by
+//     Checkpointing, "the only mechanism provided by the Eden kernel
+//     whereby an Eject may access stable storage".
+//
+//   - A Directory maps strings to UIDs and responds to Lookup,
+//     AddEntry, DeleteEntry and List; List yields a stream of
+//     printable entries, per §2/§4 ("Eden Directories also behave as
+//     sources").
+//
+//   - A DirectoryConcatenator is §2's PATH-like composite: it is
+//     behaviourally a directory because it responds like one — the
+//     paper's point about abstract-machine compatibility.
+//
+// Because a directory may hold the UID of *any* Eject, "arbitrary
+// networks of directories can be constructed"; nothing here
+// distinguishes a file UID from a pipeline stage's UID, which is what
+// makes redirection free (§8).
+package fsys
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// Operation names served by file-system Ejects.
+const (
+	OpOpen        = "File.Open"
+	OpWriteFrom   = "File.WriteFrom"
+	OpStat        = "File.Stat"
+	OpCloseStream = "Stream.Close"
+
+	OpLookup      = "Dir.Lookup"
+	OpAddEntry    = "Dir.AddEntry"
+	OpDeleteEntry = "Dir.DeleteEntry"
+	OpList        = "Dir.List"
+)
+
+// Eden type names (for activation after crash/deactivate).
+const (
+	TypeFile         = "fsys.File"
+	TypeDirectory    = "fsys.Directory"
+	TypeConcatenator = "fsys.DirectoryConcatenator"
+)
+
+// StreamRef names one end of a stream: an Eject plus the channel
+// identifier to quote on each Transfer — everything a consumer ever
+// needs (§8: "Special file or stream descriptors are not needed").
+type StreamRef struct {
+	UID     uid.UID
+	Channel transput.ChannelID
+}
+
+// OpenRequest asks a file for a fresh read stream over its current
+// content.
+type OpenRequest struct {
+	// Lines selects line-item framing (default); when false the
+	// content is served as fixed-size chunks of ChunkSize bytes.
+	Lines     bool
+	ChunkSize int
+}
+
+// OpenReply carries the transient stream Eject serving the content.
+type OpenReply struct {
+	Stream StreamRef
+}
+
+// WriteFromRequest tells a file to pull its new content from a
+// stream: "A file opened for output would immediately issue a Read
+// invocation, and would continue reading until it received an end of
+// file indicator" (§4).
+type WriteFromRequest struct {
+	Source StreamRef
+	// Append preserves existing content.
+	Append bool
+	// Batch/Prefetch tune the file's InPort.
+	Batch    int
+	Prefetch int
+}
+
+// WriteFromReply reports a completed write.
+type WriteFromReply struct {
+	Items   int64
+	Bytes   int64
+	Version uint64 // checkpoint version committing the data
+}
+
+// StatRequest asks a file for its metadata.
+type StatRequest struct{}
+
+// StatReply is a file's metadata.
+type StatReply struct {
+	Size    int64
+	Writes  uint64 // completed WriteFrom operations
+	Version uint64 // latest checkpoint version (0 = never)
+}
+
+// CloseStreamRequest closes a transient stream Eject; "when the user
+// closes the stream, the UnixFile Eject deactivates itself and, since
+// it has never Checkpointed, disappears" (§7) — ours behave the same.
+type CloseStreamRequest struct{}
+
+// CloseStreamReply acknowledges the close.
+type CloseStreamReply struct{}
+
+// LookupRequest resolves a name in a directory.
+type LookupRequest struct {
+	Name string
+}
+
+// LookupReply carries the resolution result.  Found is false when the
+// name has no entry (not an invocation failure: an absent name is a
+// normal answer).
+type LookupReply struct {
+	Target uid.UID
+	Found  bool
+}
+
+// AddEntryRequest binds a name to a UID.
+type AddEntryRequest struct {
+	Name   string
+	Target uid.UID
+	// Replace permits overwriting an existing entry.
+	Replace bool
+}
+
+// AddEntryReply acknowledges the binding.
+type AddEntryReply struct{}
+
+// DeleteEntryRequest removes a name.
+type DeleteEntryRequest struct {
+	Name string
+}
+
+// DeleteEntryReply reports whether an entry was removed.
+type DeleteEntryReply struct {
+	Existed bool
+}
+
+// ListRequest asks for a listing stream.
+type ListRequest struct{}
+
+// ListReply carries the transient stream Eject serving the printable
+// listing, one "name\tUID\n" line per entry in sorted order.
+type ListReply struct {
+	Stream StreamRef
+}
+
+func init() {
+	gob.Register(&OpenRequest{})
+	gob.Register(&OpenReply{})
+	gob.Register(&WriteFromRequest{})
+	gob.Register(&WriteFromReply{})
+	gob.Register(&StatRequest{})
+	gob.Register(&StatReply{})
+	gob.Register(&CloseStreamRequest{})
+	gob.Register(&CloseStreamReply{})
+	gob.Register(&LookupRequest{})
+	gob.Register(&LookupReply{})
+	gob.Register(&AddEntryRequest{})
+	gob.Register(&AddEntryReply{})
+	gob.Register(&DeleteEntryRequest{})
+	gob.Register(&DeleteEntryReply{})
+	gob.Register(&ListRequest{})
+	gob.Register(&ListReply{})
+}
+
+// chunkItems frames content for a read stream.
+func chunkItems(content []byte, lines bool, chunkSize int) [][]byte {
+	if lines {
+		return transput.SplitLines(content)
+	}
+	if chunkSize <= 0 {
+		chunkSize = 4096
+	}
+	var items [][]byte
+	for len(content) > 0 {
+		n := chunkSize
+		if n > len(content) {
+			n = len(content)
+		}
+		items = append(items, append([]byte(nil), content[:n]...))
+		content = content[n:]
+	}
+	return items
+}
+
+// joinContent is the inverse of chunkItems for whole-stream capture.
+func joinContent(items [][]byte) []byte { return bytes.Join(items, nil) }

@@ -1,0 +1,501 @@
+package fsys
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"asymstream/internal/device"
+	"asymstream/internal/kernel"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+func newFSKernel(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	k := kernel.New(kernel.Config{})
+	RegisterTypes(k)
+	t.Cleanup(k.Shutdown)
+	return k
+}
+
+func sourceOf(t *testing.T, k *kernel.Kernel, text string) StreamRef {
+	t.Helper()
+	id, ch, err := device.StaticSource(k, 0, transput.SplitLines([]byte(text)), transput.ROStageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return StreamRef{UID: id, Channel: ch}
+}
+
+func TestFileWriteFromAndOpen(t *testing.T) {
+	k := newFSKernel(t)
+	_, fileUID, err := NewFile(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const text = "line one\nline two\nline three\n"
+	rep, err := WriteFrom(k, uid.Nil, fileUID, sourceOf(t, k, text), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 3 || rep.Bytes != int64(len(text)) || rep.Version != 1 {
+		t.Fatalf("WriteFrom reply = %+v", rep)
+	}
+	ref, err := Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadAll(k, uid.Nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != text {
+		t.Fatalf("read back %q", data)
+	}
+	st, err := Stat(k, uid.Nil, fileUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(len(text)) || st.Writes != 1 || st.Version != 1 {
+		t.Fatalf("stat = %+v", st)
+	}
+}
+
+func TestFileAppend(t *testing.T) {
+	k := newFSKernel(t)
+	_, fileUID, err := NewFileWithContent(k, 0, []byte("first\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFrom(k, uid.Nil, fileUID, sourceOf(t, k, "second\n"), true); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadAll(k, uid.Nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "first\nsecond\n" {
+		t.Fatalf("append result %q", data)
+	}
+}
+
+func TestFileConcurrentReadersIndependentCursors(t *testing.T) {
+	k := newFSKernel(t)
+	_, fileUID, err := NewFileWithContent(k, 0, []byte("a\nb\nc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref1, err := Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref1.UID == ref2.UID {
+		t.Fatal("two Opens share a stream Eject")
+	}
+	in1 := transput.NewInPort(k, uid.Nil, ref1.UID, ref1.Channel, transput.InPortConfig{})
+	first, err := in1.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "a\n" {
+		t.Fatalf("reader1 first = %q", first)
+	}
+	// Reader 2 starts at the beginning regardless.
+	data, err := ReadAll(k, uid.Nil, ref2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a\nb\nc\n" {
+		t.Fatalf("reader2 = %q", data)
+	}
+}
+
+func TestFileChunkFraming(t *testing.T) {
+	k := newFSKernel(t)
+	content := bytes.Repeat([]byte("x"), 100)
+	_, fileUID, err := NewFileWithContent(k, 0, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := k.Invoke(uid.Nil, fileUID, OpOpen, &OpenRequest{Lines: false, ChunkSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := raw.(*OpenReply).Stream
+	in := transput.NewInPort(k, uid.Nil, ref.UID, ref.Channel, transput.InPortConfig{Batch: 10})
+	var sizes []int
+	for {
+		item, err := in.Next()
+		if err != nil {
+			break
+		}
+		sizes = append(sizes, len(item))
+	}
+	if len(sizes) != 4 || sizes[0] != 32 || sizes[3] != 4 {
+		t.Fatalf("chunk sizes = %v", sizes)
+	}
+}
+
+func TestCloseStreamDisappears(t *testing.T) {
+	k := newFSKernel(t)
+	_, fileUID, err := NewFileWithContent(k, 0, []byte("data\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CloseStream(k, uid.Nil, ref); err != nil {
+		t.Fatal(err)
+	}
+	// §7: never checkpointed, so it disappears.
+	in := transput.NewInPort(k, uid.Nil, ref.UID, ref.Channel, transput.InPortConfig{})
+	if _, err := in.Next(); !errors.Is(err, kernel.ErrNoSuchEject) {
+		t.Fatalf("closed stream still reachable: %v", err)
+	}
+}
+
+func TestFileCrashRecovery(t *testing.T) {
+	k := newFSKernel(t)
+	_, fileUID, err := NewFile(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFrom(k, uid.Nil, fileUID, sourceOf(t, k, "durable\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	k.CrashNode(0)
+	// Re-activation happens on the next invocation.
+	ref, err := Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadAll(k, uid.Nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "durable\n" {
+		t.Fatalf("after crash: %q", data)
+	}
+}
+
+func TestFileUncheckpointedContentLostOnCrash(t *testing.T) {
+	k := newFSKernel(t)
+	// NewFileWithContent does not checkpoint by itself.
+	_, fileUID, err := NewFileWithContent(k, 0, []byte("volatile\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.CrashNode(0)
+	if _, err := Open(k, uid.Nil, fileUID, nil); !errors.Is(err, kernel.ErrNoSuchEject) {
+		t.Fatalf("uncheckpointed file survived crash: %v", err)
+	}
+}
+
+func TestDirectoryOperations(t *testing.T) {
+	k := newFSKernel(t)
+	dir, dirUID, err := NewDirectory(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := uid.New()
+	if err := AddEntry(k, uid.Nil, dirUID, "alpha", target, false); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate without Replace refused.
+	if err := AddEntry(k, uid.Nil, dirUID, "alpha", uid.New(), false); err == nil {
+		t.Fatal("duplicate AddEntry accepted")
+	}
+	// Replace allowed.
+	if err := AddEntry(k, uid.Nil, dirUID, "alpha", target, true); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Lookup(k, uid.Nil, dirUID, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Found || rep.Target != target {
+		t.Fatalf("lookup = %+v", rep)
+	}
+	miss, err := Lookup(k, uid.Nil, dirUID, "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Found {
+		t.Fatal("phantom entry")
+	}
+	existed, err := DeleteEntry(k, uid.Nil, dirUID, "alpha")
+	if err != nil || !existed {
+		t.Fatalf("delete: %v %v", existed, err)
+	}
+	existed, err = DeleteEntry(k, uid.Nil, dirUID, "alpha")
+	if err != nil || existed {
+		t.Fatalf("double delete: %v %v", existed, err)
+	}
+	if dir.Len() != 0 {
+		t.Fatalf("Len = %d", dir.Len())
+	}
+	// Bad inputs.
+	if err := AddEntry(k, uid.Nil, dirUID, "", target, false); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := AddEntry(k, uid.Nil, dirUID, "nil", uid.Nil, false); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}
+
+func TestDirectoryListIsStream(t *testing.T) {
+	k := newFSKernel(t)
+	_, dirUID, err := NewDirectory(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"zeta", "alpha", "mid"}
+	targets := map[string]uid.UID{}
+	for _, n := range names {
+		targets[n] = uid.New()
+		if err := AddEntry(k, uid.Nil, dirUID, n, targets[n], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := List(k, uid.Nil, dirUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadAll(k, uid.Nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("listing = %q", data)
+	}
+	// Sorted order, "name\tUID" format.
+	wantOrder := []string{"alpha", "mid", "zeta"}
+	for i, l := range lines {
+		parts := strings.Split(l, "\t")
+		if len(parts) != 2 || parts[0] != wantOrder[i] {
+			t.Fatalf("listing line %d = %q", i, l)
+		}
+		u, err := uid.ParseUID(parts[1])
+		if err != nil || u != targets[parts[0]] {
+			t.Fatalf("listing UID for %s = %q", parts[0], parts[1])
+		}
+	}
+}
+
+func TestDirectoryCheckpointRecovery(t *testing.T) {
+	k := newFSKernel(t)
+	_, dirUID, err := NewDirectory(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := uid.New()
+	if err := AddEntry(k, uid.Nil, dirUID, "persistent", target, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Checkpoint(dirUID); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint entry is volatile.
+	if err := AddEntry(k, uid.Nil, dirUID, "volatile", uid.New(), false); err != nil {
+		t.Fatal(err)
+	}
+	k.CrashNode(0)
+	rep, err := Lookup(k, uid.Nil, dirUID, "persistent")
+	if err != nil || !rep.Found || rep.Target != target {
+		t.Fatalf("persistent entry lost: %+v %v", rep, err)
+	}
+	rep, err = Lookup(k, uid.Nil, dirUID, "volatile")
+	if err != nil || rep.Found {
+		t.Fatalf("volatile entry survived: %+v %v", rep, err)
+	}
+}
+
+func TestDirectoryConcatenator(t *testing.T) {
+	k := newFSKernel(t)
+	_, d1, err := NewDirectory(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d2, err := NewDirectory(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := uid.New()
+	back := uid.New()
+	only2 := uid.New()
+	// "shared" exists in both; d1 shadows d2.
+	if err := AddEntry(k, uid.Nil, d1, "shared", front, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddEntry(k, uid.Nil, d2, "shared", back, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddEntry(k, uid.Nil, d2, "only2", only2, false); err != nil {
+		t.Fatal(err)
+	}
+	_, catUID, err := NewDirectoryConcatenator(k, 0, []uid.UID{d1, d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Behavioural compatibility: the same Lookup helper works on the
+	// concatenator (§2's abstract-machine argument).
+	rep, err := Lookup(k, uid.Nil, catUID, "shared")
+	if err != nil || !rep.Found || rep.Target != front {
+		t.Fatalf("PATH order broken: %+v %v", rep, err)
+	}
+	rep, err = Lookup(k, uid.Nil, catUID, "only2")
+	if err != nil || !rep.Found || rep.Target != only2 {
+		t.Fatalf("fallthrough broken: %+v %v", rep, err)
+	}
+	rep, err = Lookup(k, uid.Nil, catUID, "absent")
+	if err != nil || rep.Found {
+		t.Fatalf("phantom: %+v %v", rep, err)
+	}
+	// Concatenated listing shows both, d1 first.
+	ref, err := List(k, uid.Nil, catUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadAll(k, uid.Nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(string(data), "shared"); c != 2 {
+		t.Fatalf("concat list = %q", data)
+	}
+}
+
+func TestConcatenatorCheckpointRecovery(t *testing.T) {
+	k := newFSKernel(t)
+	_, d1, err := NewDirectory(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := uid.New()
+	if err := AddEntry(k, uid.Nil, d1, "x", target, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Checkpoint(d1); err != nil {
+		t.Fatal(err)
+	}
+	_, catUID, err := NewDirectoryConcatenator(k, 0, []uid.UID{d1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Checkpoint(catUID); err != nil {
+		t.Fatal(err)
+	}
+	k.CrashNode(0)
+	rep, err := Lookup(k, uid.Nil, catUID, "x")
+	if err != nil || !rep.Found || rep.Target != target {
+		t.Fatalf("concatenator recovery: %+v %v", rep, err)
+	}
+}
+
+func TestWriteFromPipelineOutput(t *testing.T) {
+	// §4: "A file could be printed simply by requesting the printer
+	// server to read from the file" — dually, a file records a whole
+	// pipeline by pulling from its last stage.
+	k := newFSKernel(t)
+	srcID, srcChan, err := device.StaticSource(k, 0,
+		transput.SplitLines([]byte("C comment\ncode\n")), transput.ROStageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strip filter stage between source and file.
+	fUID := k.NewUID()
+	fIn := transput.NewInPort(k, fUID, srcID, srcChan, transput.InPortConfig{})
+	stage := transput.NewROStage(k, transput.ROStageConfig{Name: "strip"},
+		func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+			for {
+				item, err := ins[0].Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if !bytes.HasPrefix(item, []byte("C")) {
+					if err := outs[0].Put(item); err != nil {
+						return err
+					}
+				}
+			}
+		}, fIn)
+	if err := k.CreateWithUID(fUID, stage, 0); err != nil {
+		t.Fatal(err)
+	}
+	stage.Start()
+
+	_, fileUID, err := NewFile(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := WriteFrom(k, uid.Nil, fileUID, StreamRef{UID: fUID, Channel: stage.Writer(0).ID()}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 1 {
+		t.Fatalf("file pulled %d items", rep.Items)
+	}
+	ref, err := Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadAll(k, uid.Nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "code\n" {
+		t.Fatalf("file content %q", data)
+	}
+}
+
+func TestFileUnknownOp(t *testing.T) {
+	k := newFSKernel(t)
+	_, fileUID, err := NewFile(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Invoke(uid.Nil, fileUID, "File.Bogus", &StatRequest{}); !errors.Is(err, kernel.ErrNoSuchOperation) {
+		t.Fatalf("want ErrNoSuchOperation, got %v", err)
+	}
+}
+
+func TestManyFilesUniqueStreams(t *testing.T) {
+	k := newFSKernel(t)
+	seen := map[uid.UID]bool{}
+	for i := 0; i < 10; i++ {
+		_, fileUID, err := NewFileWithContent(k, 0, []byte(fmt.Sprintf("file %d\n", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Open(k, uid.Nil, fileUID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ref.UID] {
+			t.Fatal("stream UID reused")
+		}
+		seen[ref.UID] = true
+		data, err := ReadAll(k, uid.Nil, ref)
+		if err != nil || string(data) != fmt.Sprintf("file %d\n", i) {
+			t.Fatalf("file %d content %q (%v)", i, data, err)
+		}
+	}
+}

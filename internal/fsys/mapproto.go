@@ -1,0 +1,280 @@
+package fsys
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/netsim"
+	"asymstream/internal/uid"
+)
+
+// The Map protocol — §6: "The Transput protocol does not support
+// random access; a disk file Eject (or an Eject with a large main
+// store at its disposal) may wish to define a protocol which supports
+// the abstraction of a Map.  Such an Eject may not support the
+// transput protocol at all, or it may support both protocols."
+//
+// fsys.File supports both: the stream protocol via Open/WriteFrom and
+// the Map protocol below.  The protocols are independent — a client
+// written against either specification is satisfied, the paper's
+// behavioural-compatibility point (§2).  MapStore (below) is the
+// other case the paper names: an Eject that speaks ONLY Map.
+
+// Map protocol operation names.
+const (
+	OpMapReadAt  = "Map.ReadAt"
+	OpMapWriteAt = "Map.WriteAt"
+	OpMapSize    = "Map.Size"
+	OpMapTrim    = "Map.Trim"
+)
+
+// MapReadAtRequest reads Length bytes at Offset.
+type MapReadAtRequest struct {
+	Offset int64
+	Length int
+}
+
+// MapReadAtReply returns the bytes actually available (short at end
+// of map; EOF reports whether Offset+len(Data) is the end).
+type MapReadAtReply struct {
+	Data []byte
+	EOF  bool
+}
+
+// MapWriteAtRequest writes Data at Offset, extending the map (zero
+// filled) if Offset is past the end.
+type MapWriteAtRequest struct {
+	Offset int64
+	Data   []byte
+}
+
+// MapWriteAtReply reports the map's new size.
+type MapWriteAtReply struct {
+	Size int64
+}
+
+// MapSizeRequest asks for the current size.
+type MapSizeRequest struct{}
+
+// MapSizeReply carries the current size.
+type MapSizeReply struct {
+	Size int64
+}
+
+// MapTrimRequest truncates the map to Size bytes.
+type MapTrimRequest struct {
+	Size int64
+}
+
+// MapTrimReply acknowledges a truncation.
+type MapTrimReply struct {
+	Size int64
+}
+
+func init() {
+	gob.Register(&MapReadAtRequest{})
+	gob.Register(&MapReadAtReply{})
+	gob.Register(&MapWriteAtRequest{})
+	gob.Register(&MapWriteAtReply{})
+	gob.Register(&MapSizeRequest{})
+	gob.Register(&MapSizeReply{})
+	gob.Register(&MapTrimRequest{})
+	gob.Register(&MapTrimReply{})
+}
+
+// PayloadSize reports the metered size of the request.
+func (r *MapReadAtRequest) PayloadSize() int { return 20 }
+
+// PayloadSize reports the metered size of the reply.
+func (r *MapReadAtReply) PayloadSize() int { return 17 + len(r.Data) }
+
+// PayloadSize reports the metered size of the request.
+func (r *MapWriteAtRequest) PayloadSize() int { return 12 + len(r.Data) }
+
+// serveMapOp implements the Map protocol over a mutable byte slice
+// guarded by the caller (invoked with the owner's lock held via the
+// accessor functions).  get/set expose the backing slice.
+func serveMapOp(inv *kernel.Invocation, get func() []byte, set func([]byte)) bool {
+	switch inv.Op {
+	case OpMapReadAt:
+		req, ok := inv.Payload.(*MapReadAtRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return true
+		}
+		if req.Offset < 0 || req.Length < 0 {
+			inv.Fail(fmt.Errorf("fsys: Map.ReadAt: negative offset or length"))
+			return true
+		}
+		content := get()
+		size := int64(len(content))
+		if req.Offset >= size {
+			inv.Reply(&MapReadAtReply{EOF: true})
+			return true
+		}
+		end := req.Offset + int64(req.Length)
+		if end > size {
+			end = size
+		}
+		data := append([]byte(nil), content[req.Offset:end]...)
+		inv.Reply(&MapReadAtReply{Data: data, EOF: end == size})
+		return true
+
+	case OpMapWriteAt:
+		req, ok := inv.Payload.(*MapWriteAtRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return true
+		}
+		if req.Offset < 0 {
+			inv.Fail(fmt.Errorf("fsys: Map.WriteAt: negative offset"))
+			return true
+		}
+		content := get()
+		end := req.Offset + int64(len(req.Data))
+		if int64(len(content)) < end {
+			grown := make([]byte, end)
+			copy(grown, content)
+			content = grown
+		}
+		copy(content[req.Offset:end], req.Data)
+		set(content)
+		inv.Reply(&MapWriteAtReply{Size: int64(len(content))})
+		return true
+
+	case OpMapSize:
+		inv.Reply(&MapSizeReply{Size: int64(len(get()))})
+		return true
+
+	case OpMapTrim:
+		req, ok := inv.Payload.(*MapTrimRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return true
+		}
+		if req.Size < 0 {
+			inv.Fail(fmt.Errorf("fsys: Map.Trim: negative size"))
+			return true
+		}
+		content := get()
+		if req.Size < int64(len(content)) {
+			content = content[:req.Size]
+			set(content)
+		}
+		inv.Reply(&MapTrimReply{Size: int64(len(get()))})
+		return true
+	}
+	return false
+}
+
+// serveMap dispatches Map ops against the File's content.  Called
+// from File.Serve.
+func (f *File) serveMap(inv *kernel.Invocation) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return serveMapOp(inv,
+		func() []byte { return f.content },
+		func(b []byte) { f.content = b },
+	)
+}
+
+// MapStore is an Eject that supports ONLY the Map protocol — §6's "may
+// not support the transput protocol at all".  It is a large in-memory
+// store with checkpointing.
+type MapStore struct {
+	k    *kernel.Kernel
+	self uid.UID
+
+	mu      sync.Mutex
+	content []byte
+}
+
+// NewMapStore creates and registers a MapStore.
+func NewMapStore(k *kernel.Kernel, node netsim.NodeID) (*MapStore, uid.UID, error) {
+	m := &MapStore{k: k}
+	id := k.NewUID()
+	m.self = id
+	if err := k.CreateWithUID(id, m, node); err != nil {
+		return nil, uid.Nil, err
+	}
+	return m, id, nil
+}
+
+// EdenType implements kernel.Eject.
+func (m *MapStore) EdenType() string { return "fsys.MapStore" }
+
+// Serve implements kernel.Eject: Map ops only.
+func (m *MapStore) Serve(inv *kernel.Invocation) {
+	m.mu.Lock()
+	handled := serveMapOp(inv,
+		func() []byte { return m.content },
+		func(b []byte) { m.content = b },
+	)
+	m.mu.Unlock()
+	if !handled {
+		inv.Fail(fmt.Errorf("%w: %q on MapStore (Map protocol only)", kernel.ErrNoSuchOperation, inv.Op))
+	}
+}
+
+// PassiveRepresentation implements kernel.Checkpointer.
+func (m *MapStore) PassiveRepresentation() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.content...), nil
+}
+
+// Client-side Map helpers.
+
+// MapReadAt reads length bytes at offset from a Map-speaking Eject.
+func MapReadAt(k *kernel.Kernel, from, target uid.UID, offset int64, length int) (*MapReadAtReply, error) {
+	raw, err := k.Invoke(from, target, OpMapReadAt, &MapReadAtRequest{Offset: offset, Length: length})
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := raw.(*MapReadAtReply)
+	if !ok {
+		return nil, fmt.Errorf("fsys: bad Map.ReadAt reply %T", raw)
+	}
+	return rep, nil
+}
+
+// MapWriteAt writes data at offset.
+func MapWriteAt(k *kernel.Kernel, from, target uid.UID, offset int64, data []byte) (int64, error) {
+	raw, err := k.Invoke(from, target, OpMapWriteAt, &MapWriteAtRequest{Offset: offset, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	rep, ok := raw.(*MapWriteAtReply)
+	if !ok {
+		return 0, fmt.Errorf("fsys: bad Map.WriteAt reply %T", raw)
+	}
+	return rep.Size, nil
+}
+
+// MapSize asks for the map's size.
+func MapSize(k *kernel.Kernel, from, target uid.UID) (int64, error) {
+	raw, err := k.Invoke(from, target, OpMapSize, &MapSizeRequest{})
+	if err != nil {
+		return 0, err
+	}
+	rep, ok := raw.(*MapSizeReply)
+	if !ok {
+		return 0, fmt.Errorf("fsys: bad Map.Size reply %T", raw)
+	}
+	return rep.Size, nil
+}
+
+// MapTrim truncates the map.
+func MapTrim(k *kernel.Kernel, from, target uid.UID, size int64) (int64, error) {
+	raw, err := k.Invoke(from, target, OpMapTrim, &MapTrimRequest{Size: size})
+	if err != nil {
+		return 0, err
+	}
+	rep, ok := raw.(*MapTrimReply)
+	if !ok {
+		return 0, fmt.Errorf("fsys: bad Map.Trim reply %T", raw)
+	}
+	return rep.Size, nil
+}

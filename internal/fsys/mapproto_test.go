@@ -1,0 +1,192 @@
+package fsys
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+func TestFileSpeaksBothProtocols(t *testing.T) {
+	// §6: "it may support both protocols."
+	k := newFSKernel(t)
+	_, fileUID, err := NewFileWithContent(k, 0, []byte("hello random world\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map protocol: random access.
+	rep, err := MapReadAt(k, uid.Nil, fileUID, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Data) != "random" || rep.EOF {
+		t.Fatalf("ReadAt = %q eof=%v", rep.Data, rep.EOF)
+	}
+	// Stream protocol on the very same Eject.
+	ref, err := Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadAll(k, uid.Nil, ref)
+	if err != nil || string(data) != "hello random world\n" {
+		t.Fatalf("stream read %q %v", data, err)
+	}
+	// Map write is visible to subsequent stream readers.
+	if _, err := MapWriteAt(k, uid.Nil, fileUID, 6, []byte("RANDOM")); err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := ReadAll(k, uid.Nil, ref2)
+	if err != nil || string(data2) != "hello RANDOM world\n" {
+		t.Fatalf("after Map write: %q %v", data2, err)
+	}
+}
+
+func TestMapReadAtEdges(t *testing.T) {
+	k := newFSKernel(t)
+	_, fileUID, err := NewFileWithContent(k, 0, []byte("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read past end.
+	rep, err := MapReadAt(k, uid.Nil, fileUID, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Data) != 0 || !rep.EOF {
+		t.Fatalf("past-end read = %+v", rep)
+	}
+	// Short read at the boundary.
+	rep, err = MapReadAt(k, uid.Nil, fileUID, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Data) != "89" || !rep.EOF {
+		t.Fatalf("boundary read = %q eof=%v", rep.Data, rep.EOF)
+	}
+	// Exact interior read is not EOF.
+	rep, err = MapReadAt(k, uid.Nil, fileUID, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Data) != "01234" || rep.EOF {
+		t.Fatalf("interior read = %q eof=%v", rep.Data, rep.EOF)
+	}
+	// Negative offset is an invocation failure.
+	if _, err := MapReadAt(k, uid.Nil, fileUID, -1, 5); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestMapWriteAtExtendsZeroFilled(t *testing.T) {
+	k := newFSKernel(t)
+	_, fileUID, err := NewFile(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := MapWriteAt(k, uid.Nil, fileUID, 5, []byte("xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 8 {
+		t.Fatalf("size = %d", size)
+	}
+	rep, err := MapReadAt(k, uid.Nil, fileUID, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep.Data, []byte{0, 0, 0, 0, 0, 'x', 'y', 'z'}) {
+		t.Fatalf("content = %v", rep.Data)
+	}
+}
+
+func TestMapTrim(t *testing.T) {
+	k := newFSKernel(t)
+	_, fileUID, err := NewFileWithContent(k, 0, []byte("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := MapTrim(k, uid.Nil, fileUID, 4)
+	if err != nil || size != 4 {
+		t.Fatalf("trim: %d %v", size, err)
+	}
+	// Trimming up never grows.
+	size, err = MapTrim(k, uid.Nil, fileUID, 100)
+	if err != nil || size != 4 {
+		t.Fatalf("trim up: %d %v", size, err)
+	}
+	got, err := MapSize(k, uid.Nil, fileUID)
+	if err != nil || got != 4 {
+		t.Fatalf("size after trim: %d %v", got, err)
+	}
+}
+
+func TestMapStoreSpeaksOnlyMap(t *testing.T) {
+	// §6: "Such an Eject may not support the transput protocol at all."
+	k := newFSKernel(t)
+	_, msUID, err := NewMapStore(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapWriteAt(k, uid.Nil, msUID, 0, []byte("map data")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MapReadAt(k, uid.Nil, msUID, 0, 8)
+	if err != nil || string(rep.Data) != "map data" {
+		t.Fatalf("map store read: %q %v", rep.Data, err)
+	}
+	// The transput protocol is refused outright.
+	in := transput.NewInPort(k, uid.Nil, msUID, transput.Chan(0), transput.InPortConfig{})
+	if _, err := in.Next(); !errors.Is(err, kernel.ErrNoSuchOperation) {
+		t.Fatalf("Transfer on MapStore: %v", err)
+	}
+}
+
+func TestMapStoreCheckpointRecovery(t *testing.T) {
+	k := newFSKernel(t)
+	_, msUID, err := NewMapStore(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapWriteAt(k, uid.Nil, msUID, 0, []byte("durable map")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Checkpoint(msUID); err != nil {
+		t.Fatal(err)
+	}
+	k.CrashNode(0)
+	rep, err := MapReadAt(k, uid.Nil, msUID, 0, 11)
+	if err != nil || string(rep.Data) != "durable map" {
+		t.Fatalf("after crash: %q %v", rep.Data, err)
+	}
+}
+
+func TestMapWriteReadRoundTripProperty(t *testing.T) {
+	k := newFSKernel(t)
+	_, msUID, err := NewMapStore(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, data []byte) bool {
+		offset := int64(off % 4096)
+		if _, err := MapWriteAt(k, uid.Nil, msUID, offset, data); err != nil {
+			return false
+		}
+		rep, err := MapReadAt(k, uid.Nil, msUID, offset, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(rep.Data, data)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

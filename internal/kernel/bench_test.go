@@ -1,0 +1,130 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"asymstream/internal/netsim"
+	"asymstream/internal/uid"
+)
+
+// Kernel micro-benchmarks: the primitive costs under the pipeline
+// measurements.  (The paper-level benchmarks live at the repo root.)
+
+func BenchmarkInvokeLocal(b *testing.B) {
+	k := New(Config{})
+	defer k.Shutdown()
+	id, err := k.Create(&pinger{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &pingReq{N: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Invoke(uid.Nil, id, "ping", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvokeDirectDispatch(b *testing.B) {
+	k := New(Config{DirectDispatch: true})
+	defer k.Shutdown()
+	id, err := k.Create(&pinger{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &pingReq{N: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Invoke(uid.Nil, id, "ping", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvokeCrossNodeGob(b *testing.B) {
+	k := New(Config{Net: netsim.Config{Nodes: 2, EncodePayloads: true}})
+	defer k.Shutdown()
+	id, err := k.Create(&pinger{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &pingReq{N: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Invoke(uid.Nil, id, "ping", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvokeParallel(b *testing.B) {
+	for _, ejects := range []int{1, 8} {
+		b.Run(fmt.Sprintf("ejects=%d", ejects), func(b *testing.B) {
+			k := New(Config{})
+			defer k.Shutdown()
+			ids := make([]uid.UID, ejects)
+			for i := range ids {
+				var err error
+				ids[i], err = k.Create(&pinger{}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				req := &pingReq{N: 1}
+				for pb.Next() {
+					if _, err := k.Invoke(uid.Nil, ids[i%ejects], "ping", req); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	k := New(Config{StoreHistory: 2})
+	defer k.Shutdown()
+	p := &persistent{k: k, n: 42}
+	id, err := k.Create(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.self = id
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Checkpoint(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkActivation(b *testing.B) {
+	k := New(Config{})
+	defer k.Shutdown()
+	k.RegisterType("test.Persistent", activatePersistent)
+	p := &persistent{k: k, n: 7}
+	id, err := k.Create(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.self = id
+	if _, err := k.Checkpoint(id); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.Deactivate(id); err != nil {
+			b.Fatal(err)
+		}
+		// The next invocation re-activates from stable storage.
+		if _, err := k.Invoke(uid.Nil, id, "get", &pingReq{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

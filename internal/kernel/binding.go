@@ -1,0 +1,167 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"asymstream/internal/netsim"
+	"asymstream/internal/uid"
+)
+
+// ejectState tracks an Eject's lifecycle.  Per §1, Ejects "are not
+// always active, either because they (or their computers) have
+// crashed, or because they have explicitly deactivated themselves.
+// However, if a passive eject is sent an invocation, the Eden kernel
+// will activate it."
+type ejectState int
+
+const (
+	stateActive ejectState = iota
+	statePassive
+	stateDestroyed
+)
+
+func (s ejectState) String() string {
+	switch s {
+	case stateActive:
+		return "active"
+	case statePassive:
+		return "passive"
+	case stateDestroyed:
+		return "destroyed"
+	default:
+		return fmt.Sprintf("ejectState(%d)", int(s))
+	}
+}
+
+// binding is the kernel's record for one UID: its home node, lifecycle
+// state and, when active, the running Eject with its mailbox and
+// worker pool.  The mailbox is unbounded (slice + condition variable)
+// so that enqueueing never blocks the invoker's goroutine: back
+// pressure in the transput system is the protocol's job (bounded
+// anticipatory buffers), not the kernel's.
+type binding struct {
+	id   uid.UID
+	node netsim.NodeID
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   ejectState
+	eject   Eject
+	queue   []*Invocation
+	quit    bool // tells the dispatcher to drain and exit
+	epoch   uint64
+	workers chan struct{} // counting semaphore for Serve goroutines
+	wg      sync.WaitGroup
+}
+
+func newBinding(id uid.UID, node netsim.NodeID, e Eject, workers int) *binding {
+	b := &binding{
+		id:      id,
+		node:    node,
+		state:   stateActive,
+		eject:   e,
+		workers: make(chan struct{}, workers),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// enqueue appends an invocation for dispatch.  It returns false if the
+// binding is no longer active (the caller re-resolves, which may
+// re-activate the Eject).
+func (b *binding) enqueue(inv *Invocation) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stateActive || b.quit {
+		return false
+	}
+	// Broadcast rather than Signal: around a deactivate/re-activate
+	// cycle a stale dispatcher goroutine may still be waiting, and a
+	// single Signal could wake only that one (which exits without
+	// consuming), losing the wakeup.
+	b.queue = append(b.queue, inv)
+	b.cond.Broadcast()
+	return true
+}
+
+// dispatch is the binding's coordinator goroutine: it pulls queued
+// invocations and hands each to a worker goroutine, bounded by the
+// worker semaphore.  This is the paper's "coordinator process that
+// receives incoming invocations, and a number of worker processes"
+// (§4 footnote), realised with goroutines.
+func (b *binding) dispatch(epoch uint64) {
+	for {
+		b.mu.Lock()
+		for len(b.queue) == 0 && !b.quit {
+			b.cond.Wait()
+		}
+		if b.quit && b.epoch == epoch {
+			// Fail everything still queued, then exit.
+			pending := b.queue
+			b.queue = nil
+			b.mu.Unlock()
+			for _, inv := range pending {
+				inv.Fail(ErrDeactivated)
+			}
+			return
+		}
+		if b.epoch != epoch {
+			// A newer activation owns the queue now.
+			b.mu.Unlock()
+			return
+		}
+		inv := b.queue[0]
+		b.queue = b.queue[1:]
+		e := b.eject
+		b.mu.Unlock()
+
+		b.workers <- struct{}{}
+		b.wg.Add(1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !inv.Replied() {
+						inv.Fail(fmt.Errorf("kernel: Eject panicked serving %q: %v", inv.Op, r))
+					}
+				}
+				<-b.workers
+				b.wg.Done()
+			}()
+			e.Serve(inv)
+			if !inv.Replied() {
+				inv.Fail(fmt.Errorf("%w: op %q", ErrNoReply, inv.Op))
+			}
+		}()
+	}
+}
+
+// stop transitions the binding out of the active state.  It does not
+// wait for in-flight workers; they complete their replies naturally.
+func (b *binding) stop(next ejectState) (Eject, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stateActive {
+		if b.state != stateDestroyed { // destruction is final
+			b.state = next
+		}
+		return nil, false
+	}
+	e := b.eject
+	b.state = next
+	b.eject = nil
+	b.quit = true
+	b.cond.Broadcast()
+	return e, true
+}
+
+// reactivate installs a fresh Eject instance and restarts dispatch.
+func (b *binding) reactivate(e Eject) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateActive
+	b.eject = e
+	b.quit = false
+	b.epoch++
+	return b.epoch
+}

@@ -1,0 +1,122 @@
+package kernel
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"asymstream/internal/netsim"
+)
+
+// Sentinel errors returned by kernel operations.  They are compared
+// with errors.Is; RemoteError wraps them across simulated node
+// boundaries.
+var (
+	// ErrNoSuchEject means the target UID names no Eject: it was never
+	// created, or it deactivated without checkpointing and so, per §7,
+	// "disappears".
+	ErrNoSuchEject = errors.New("kernel: no such Eject")
+	// ErrNoSuchOperation is returned by Ejects for unknown op names.
+	ErrNoSuchOperation = errors.New("kernel: no such operation")
+	// ErrNoReply means the Eject's Serve returned without replying.
+	ErrNoReply = errors.New("kernel: Eject did not reply")
+	// ErrDeactivated means the invocation was queued when its target
+	// deactivated; the caller may retry (the kernel will re-activate).
+	ErrDeactivated = errors.New("kernel: Eject deactivated with invocation pending")
+	// ErrKernelDown is returned after Shutdown.
+	ErrKernelDown = errors.New("kernel: shut down")
+	// ErrNotCheckpointable is returned by Checkpoint when the Eject
+	// does not implement Checkpointer.
+	ErrNotCheckpointable = errors.New("kernel: Eject has no passive representation")
+	// ErrUnknownType is returned on activation when no ActivateFunc is
+	// registered for the stored Eden type.
+	ErrUnknownType = errors.New("kernel: unregistered Eden type")
+)
+
+// RemoteError is the wire form of an error that crossed a node
+// boundary.  Error identity (errors.Is against the sentinels above)
+// is preserved via the Code field.
+type RemoteError struct {
+	Code string // sentinel name, or "" for ad-hoc errors
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// sentinelByCode maps wire codes back to sentinel errors.
+var sentinelByCode = map[string]error{
+	"no_such_eject":      ErrNoSuchEject,
+	"no_such_operation":  ErrNoSuchOperation,
+	"no_reply":           ErrNoReply,
+	"deactivated":        ErrDeactivated,
+	"kernel_down":        ErrKernelDown,
+	"not_checkpointable": ErrNotCheckpointable,
+	"unknown_type":       ErrUnknownType,
+	"net_dropped":        netsim.ErrDropped,
+	"net_partitioned":    netsim.ErrPartitioned,
+}
+
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, ErrNoSuchEject):
+		return "no_such_eject"
+	case errors.Is(err, ErrNoSuchOperation):
+		return "no_such_operation"
+	case errors.Is(err, ErrNoReply):
+		return "no_reply"
+	case errors.Is(err, ErrDeactivated):
+		return "deactivated"
+	case errors.Is(err, ErrKernelDown):
+		return "kernel_down"
+	case errors.Is(err, ErrNotCheckpointable):
+		return "not_checkpointable"
+	case errors.Is(err, ErrUnknownType):
+		return "unknown_type"
+	case errors.Is(err, netsim.ErrDropped):
+		return "net_dropped"
+	case errors.Is(err, netsim.ErrPartitioned):
+		return "net_partitioned"
+	default:
+		return ""
+	}
+}
+
+// Unwrap lets errors.Is recognise the sentinel behind a RemoteError.
+func (e *RemoteError) Unwrap() error {
+	if s, ok := sentinelByCode[e.Code]; ok {
+		return s
+	}
+	return nil
+}
+
+// toWire converts an arbitrary error to its gob-safe wire form.
+func toWire(err error) error {
+	if err == nil {
+		return nil
+	}
+	if re, ok := err.(*RemoteError); ok {
+		return re
+	}
+	return &RemoteError{Code: codeFor(err), Msg: err.Error()}
+}
+
+// OpError decorates a kernel error with the op and target that caused
+// it, for diagnostics at pipeline level.
+type OpError struct {
+	Op     string
+	Target string
+	Err    error
+}
+
+// Error implements the error interface.
+func (e *OpError) Error() string {
+	return fmt.Sprintf("kernel: invoke %q on %s: %v", e.Op, e.Target, e.Err)
+}
+
+// Unwrap exposes the underlying kernel error to errors.Is/As.
+func (e *OpError) Unwrap() error { return e.Err }
+
+func init() {
+	gob.Register(&RemoteError{})
+}

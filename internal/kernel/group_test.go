@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"asymstream/internal/storage"
+	"asymstream/internal/uid"
+)
+
+func TestCheckpointGroupAtomicCommit(t *testing.T) {
+	k := newTestKernel(t, Config{})
+	k.RegisterType("test.Persistent", activatePersistent)
+	var ids []uid.UID
+	for i := 0; i < 3; i++ {
+		p := &persistent{k: k}
+		id, err := k.Create(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.self = id
+		for j := 0; j <= i; j++ {
+			if _, err := k.Invoke(uid.Nil, id, "incr", &pingReq{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ids = append(ids, id)
+	}
+	versions, err := k.CheckpointGroup(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 3 {
+		t.Fatalf("versions = %v", versions)
+	}
+	for i, v := range versions {
+		if v != 1 {
+			t.Errorf("entry %d version = %d", i, v)
+		}
+	}
+	// All three recover after a crash, with their grouped state.
+	k.CrashNode(0)
+	for i, id := range ids {
+		raw, err := k.Invoke(uid.Nil, id, "get", &pingReq{})
+		if err != nil {
+			t.Fatalf("recover %d: %v", i, err)
+		}
+		if rep := raw.(*pingRep); rep.N != i+1 {
+			t.Errorf("recovered %d: N = %d, want %d", i, rep.N, i+1)
+		}
+	}
+}
+
+func TestCheckpointGroupAllOrNothing(t *testing.T) {
+	k := newTestKernel(t, Config{})
+	k.RegisterType("test.Persistent", activatePersistent)
+	p := &persistent{k: k}
+	goodID, _ := k.Create(p, 0)
+	p.self = goodID
+	badID, _ := k.Create(&pinger{}, 0) // not a Checkpointer
+
+	if _, err := k.CheckpointGroup([]uid.UID{goodID, badID}); !errors.Is(err, ErrNotCheckpointable) {
+		t.Fatalf("want ErrNotCheckpointable, got %v", err)
+	}
+	// The good member must NOT have been committed.
+	if k.Store().Exists(goodID) {
+		t.Fatal("partial group commit: good member was written")
+	}
+
+	if _, err := k.CheckpointGroup([]uid.UID{goodID, uid.New()}); !errors.Is(err, ErrNoSuchEject) {
+		t.Fatalf("want ErrNoSuchEject, got %v", err)
+	}
+	if k.Store().Exists(goodID) {
+		t.Fatal("partial group commit after unknown member")
+	}
+}
+
+func TestCheckpointGroupEmptyAndStoreValidation(t *testing.T) {
+	k := newTestKernel(t, Config{})
+	if vs, err := k.CheckpointGroup(nil); err != nil || vs != nil {
+		t.Fatalf("empty group: %v %v", vs, err)
+	}
+	// Store-level: duplicate UID in one group.
+	s := storage.NewStore(2)
+	id := uid.New()
+	_, err := s.CheckpointGroup([]storage.GroupEntry{
+		{ID: id, EdenType: "t", Data: nil},
+		{ID: id, EdenType: "t", Data: nil},
+	})
+	if err == nil {
+		t.Fatal("duplicate UID in group accepted")
+	}
+	// Store-level: type mismatch aborts the whole group.
+	if _, err := s.Checkpoint(id, "typeA", nil); err != nil {
+		t.Fatal(err)
+	}
+	other := uid.New()
+	_, err = s.CheckpointGroup([]storage.GroupEntry{
+		{ID: other, EdenType: "t", Data: nil},
+		{ID: id, EdenType: "typeB", Data: nil},
+	})
+	if err == nil {
+		t.Fatal("type-mismatch group accepted")
+	}
+	if s.Exists(other) {
+		t.Fatal("aborted group committed a member")
+	}
+}

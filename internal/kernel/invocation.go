@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asymstream/internal/netsim"
+	"asymstream/internal/uid"
+)
+
+// Invocation is one request delivered to an Eject.  Per §1 an
+// invocation "is a request to perform some named operation, and may be
+// thought of as a kind of remote procedure call".
+//
+// The Eject's Serve method receives the Invocation on a worker
+// goroutine and must complete it exactly once, with Reply or Fail.
+// Serve is free to block first — that is how "passive output" parks an
+// incoming Read until data is available (§4) — because each Eject has
+// a pool of worker processes, mirroring Eden's multi-process Ejects.
+type Invocation struct {
+	// MsgID is unique per kernel, for tracing.
+	MsgID uint64
+	// From is the invoking Eject (uid.Nil for external drivers such as
+	// test harnesses).  The paper (§5) is emphatic that user code must
+	// NOT use this for authorisation — "the effect of a particular
+	// invocation ought to depend only on its parameters" — and the
+	// transput package honours that; it is exposed only because the
+	// kernel needs it to return the reply, exactly as in the paper.
+	From uid.UID
+	// Target is the Eject being invoked.
+	Target uid.UID
+	// Op names the operation, e.g. "Transput.Transfer".
+	Op string
+	// Payload is the operation's argument record (already transported
+	// across the simulated network, i.e. gob round-tripped when the
+	// network is configured to encode).
+	Payload any
+
+	fromNode netsim.NodeID
+	toNode   netsim.NodeID
+	replied  atomic.Bool
+	replyc   chan reply
+}
+
+type reply struct {
+	payload any
+	err     error
+}
+
+// Reply completes the invocation successfully with the given result
+// payload.  Calling Reply or Fail more than once panics: a double
+// reply is always a programming error in the Eject.
+func (inv *Invocation) Reply(payload any) {
+	if !inv.replied.CompareAndSwap(false, true) {
+		panic("kernel: double reply to invocation " + inv.Op)
+	}
+	inv.replyc <- reply{payload: payload}
+}
+
+// Fail completes the invocation with an error.
+func (inv *Invocation) Fail(err error) {
+	if err == nil {
+		panic("kernel: Fail(nil)")
+	}
+	if !inv.replied.CompareAndSwap(false, true) {
+		panic("kernel: double reply to invocation " + inv.Op)
+	}
+	inv.replyc <- reply{err: toWire(err)}
+}
+
+// Replied reports whether the invocation has been completed.
+func (inv *Invocation) Replied() bool { return inv.replied.Load() }
+
+// Call is the invoker's handle on an outstanding invocation.  §1: "The
+// sending of an invocation does not suspend the execution of the
+// sending Eject: the sender is free to perform other tasks."  Call is
+// that freedom: the invoker may Wait immediately (synchronous style)
+// or keep the Call and collect the reply later, possibly selecting on
+// Done.
+type Call struct {
+	k        *Kernel
+	op       string
+	target   uid.UID
+	fromNode netsim.NodeID
+	toNode   netsim.NodeID
+
+	replyc chan reply
+	start  sync.Once
+	done   chan struct{}
+	res    reply
+
+	// tracing (set only when the kernel's Trace hook is installed)
+	traced     bool
+	traceFrom  uid.UID
+	traceMsgID uint64
+	traceStart time.Time
+}
+
+func newCall(k *Kernel, op string, target uid.UID, from, to netsim.NodeID) *Call {
+	return &Call{
+		k:        k,
+		op:       op,
+		target:   target,
+		fromNode: from,
+		toNode:   to,
+		replyc:   make(chan reply, 1),
+		done:     make(chan struct{}),
+	}
+}
+
+// finish runs the reply path: the reply payload crosses the network
+// from the target's node back to the invoker's node, and the reply
+// meters tick.
+func (c *Call) finish(r reply) {
+	k := c.k
+	if r.err == nil {
+		payload, _, terr := k.net.Transmit(c.toNode, c.fromNode, r.payload)
+		if terr != nil {
+			r = reply{err: toWire(terr)}
+		} else {
+			r.payload = payload
+		}
+	}
+	k.met.Replies.Inc()
+	k.met.ProcessSwitches.Inc()
+	if r.err == nil {
+		if sz, ok := r.payload.(Sizer); ok {
+			k.met.BytesMoved.Add(int64(sz.PayloadSize()))
+		}
+	}
+	c.res = r
+	c.traceFinish(r)
+	close(c.done)
+}
+
+// Done returns a channel that is closed when the reply is available.
+// The first call arms a background collector.
+func (c *Call) Done() <-chan struct{} {
+	c.start.Do(func() {
+		go func() { c.finish(<-c.replyc) }()
+	})
+	return c.done
+}
+
+// Wait blocks until the reply arrives and returns it.  Safe to call
+// from multiple goroutines; all observe the same result.
+func (c *Call) Wait() (any, error) {
+	c.start.Do(func() { c.finish(<-c.replyc) })
+	<-c.done
+	if c.res.err != nil {
+		return nil, &OpError{Op: c.op, Target: c.target.String(), Err: c.res.err}
+	}
+	return c.res.payload, nil
+}
+
+// Sizer lets a payload report its size in bytes so the kernel can
+// meter BytesMoved without reflection on the hot path.
+type Sizer interface {
+	PayloadSize() int
+}

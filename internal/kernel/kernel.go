@@ -1,0 +1,627 @@
+// Package kernel implements a simulation of the Eden kernel: the
+// runtime that hosts Ejects, routes invocations between them
+// (location-independently, across simulated nodes), activates passive
+// Ejects on demand, and provides the Checkpoint primitive backed by
+// stable storage.
+//
+// The paper's model (§1):
+//
+//   - Ejects and invocations are the only entities in the system.
+//   - Each Eject has an unforgeable UID and is addressed only by it.
+//   - Invocations are named operations with a reply, like RPC.
+//   - Sending an invocation does not suspend the sender.
+//   - A passive Eject that is invoked is activated by the kernel,
+//     reconstructing itself from its Passive Representation.
+//
+// Everything in this reproduction — files, directories, filters,
+// devices, passive buffers — is an Eject hosted by this kernel, so the
+// invocation meters capture exactly the counts the paper reasons
+// about.
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"asymstream/internal/metrics"
+	"asymstream/internal/netsim"
+	"asymstream/internal/storage"
+	"asymstream/internal/uid"
+)
+
+// Eject is the interface every Eden object implements.  Serve is
+// called on a worker goroutine per invocation and may block (that is
+// how passive transput parks a Read until output is ready); it must
+// complete the invocation exactly once via inv.Reply or inv.Fail.
+type Eject interface {
+	// EdenType names the type-code, used to find the ActivateFunc on
+	// re-activation.  It must be stable across runs.
+	EdenType() string
+	// Serve handles one invocation.
+	Serve(inv *Invocation)
+}
+
+// Checkpointer is implemented by Ejects that support the Checkpoint
+// primitive.  PassiveRepresentation must capture enough state to
+// reconstruct the Eject "in a consistent state" (§1).
+type Checkpointer interface {
+	PassiveRepresentation() ([]byte, error)
+}
+
+// Deactivatable is implemented by Ejects that own internal goroutines
+// or other resources to release when the kernel stops them.
+type Deactivatable interface {
+	OnDeactivate()
+}
+
+// ActivationContext is passed to an ActivateFunc when the kernel
+// re-activates a passive Eject.
+type ActivationContext struct {
+	Kernel  *Kernel
+	Self    uid.UID
+	Node    netsim.NodeID
+	Passive []byte
+	Version uint64
+}
+
+// ActivateFunc reconstructs an Eject of one Eden type from its passive
+// representation.
+type ActivateFunc func(ctx ActivationContext) (Eject, error)
+
+// Config parameterises a Kernel.
+type Config struct {
+	// Net configures the simulated network (node count, latencies,
+	// wire encoding, faults).
+	Net netsim.Config
+	// WorkersPerEject bounds concurrent Serve calls per Eject
+	// (default 32) — the paper's pool of worker processes.
+	WorkersPerEject int
+	// DirectDispatch, when set, runs Serve synchronously in the
+	// invoker's goroutine instead of via mailbox + worker.  This is an
+	// ablation switch: it removes the scheduling cost the paper counts
+	// as "process switching" while keeping invocation counts intact.
+	DirectDispatch bool
+	// DeterministicUIDs, when non-zero, seeds a reproducible UID
+	// stream (tests only).
+	DeterministicUIDs uint64
+	// StoreHistory bounds checkpoint versions retained per UID
+	// (default 4).
+	StoreHistory int
+	// Trace, when non-nil, receives one TraceEvent per completed
+	// invocation (see trace.go).  Adds one timestamp per invocation.
+	Trace TraceFunc
+	// Store, when non-nil, is used as the stable store instead of a
+	// fresh one.  Stable storage outlives the kernel — it is "durable
+	// across system crashes" (§1) — so a new kernel booted over the
+	// old store re-activates every checkpointed Eject on demand: a
+	// whole-system reboot.
+	Store *storage.Store
+}
+
+// Kernel hosts Ejects and routes invocations.
+type Kernel struct {
+	cfg   Config
+	met   *metrics.Set
+	net   *netsim.Network
+	store *storage.Store
+	gen   *uid.Generator
+
+	mu       sync.RWMutex
+	bindings map[uid.UID]*binding
+	types    map[string]ActivateFunc
+	msgID    uint64
+	down     bool
+}
+
+// New creates a Kernel with its own metrics set, network and stable
+// store.
+func New(cfg Config) *Kernel {
+	if cfg.WorkersPerEject <= 0 {
+		cfg.WorkersPerEject = 32
+	}
+	if cfg.StoreHistory <= 0 {
+		cfg.StoreHistory = 4
+	}
+	met := &metrics.Set{}
+	var gen *uid.Generator
+	if cfg.DeterministicUIDs != 0 {
+		gen = uid.NewDeterministic(cfg.DeterministicUIDs)
+	} else {
+		gen = uid.NewGenerator()
+	}
+	store := cfg.Store
+	if store == nil {
+		store = storage.NewStore(cfg.StoreHistory)
+	}
+	return &Kernel{
+		cfg:      cfg,
+		met:      met,
+		net:      netsim.New(cfg.Net, met),
+		store:    store,
+		gen:      gen,
+		bindings: make(map[uid.UID]*binding),
+		types:    make(map[string]ActivateFunc),
+	}
+}
+
+// Metrics returns the kernel's metric set.
+func (k *Kernel) Metrics() *metrics.Set { return k.met }
+
+// Network returns the simulated network.
+func (k *Kernel) Network() *netsim.Network { return k.net }
+
+// Store returns the stable store.
+func (k *Kernel) Store() *storage.Store { return k.store }
+
+// NewUID mints a fresh UID from the kernel's generator.
+func (k *Kernel) NewUID() uid.UID { return k.gen.New() }
+
+// RegisterType associates an Eden type name with its activation
+// function.  Registration must happen before any Eject of that type is
+// re-activated; registering twice replaces the function.
+func (k *Kernel) RegisterType(name string, fn ActivateFunc) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.types[name] = fn
+}
+
+// Create registers a new, active Eject on the given node and returns
+// its freshly minted UID.
+func (k *Kernel) Create(e Eject, node netsim.NodeID) (uid.UID, error) {
+	id := k.gen.New()
+	if err := k.CreateWithUID(id, e, node); err != nil {
+		return uid.Nil, err
+	}
+	return id, nil
+}
+
+// CreateWithUID registers a new active Eject under a caller-chosen
+// UID.  It fails if the UID is already bound.
+func (k *Kernel) CreateWithUID(id uid.UID, e Eject, node netsim.NodeID) error {
+	if id.IsNil() {
+		return fmt.Errorf("kernel: create with nil UID")
+	}
+	if int(node) < 0 || int(node) >= k.net.Nodes() {
+		return fmt.Errorf("kernel: create on node %d: only %d nodes", node, k.net.Nodes())
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.down {
+		return ErrKernelDown
+	}
+	if _, exists := k.bindings[id]; exists {
+		return fmt.Errorf("kernel: UID %s already bound", id)
+	}
+	b := newBinding(id, node, e, k.cfg.WorkersPerEject)
+	k.bindings[id] = b
+	k.met.EjectsCreated.Inc()
+	if !k.cfg.DirectDispatch {
+		go b.dispatch(b.epoch)
+	}
+	return nil
+}
+
+// NodeOf reports the home node of an Eject.
+func (k *Kernel) NodeOf(id uid.UID) (netsim.NodeID, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	if b, ok := k.bindings[id]; ok {
+		return b.node, nil
+	}
+	return 0, ErrNoSuchEject
+}
+
+// State returns "active", "passive" or "destroyed" for diagnostics,
+// or an error for unknown UIDs.
+func (k *Kernel) State(id uid.UID) (string, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	if b, ok := k.bindings[id]; ok {
+		b.mu.Lock()
+		s := b.state.String()
+		b.mu.Unlock()
+		return s, nil
+	}
+	if k.store.Exists(id) {
+		return "passive", nil
+	}
+	return "", ErrNoSuchEject
+}
+
+// ActiveCount returns the number of currently active Ejects.
+func (k *Kernel) ActiveCount() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	n := 0
+	for _, b := range k.bindings {
+		b.mu.Lock()
+		if b.state == stateActive {
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}
+
+// resolve finds the active binding for target, activating a passive
+// Eject if necessary (the kernel behaviour §1 promises).
+func (k *Kernel) resolve(target uid.UID) (*binding, error) {
+	k.mu.RLock()
+	if k.down {
+		k.mu.RUnlock()
+		return nil, ErrKernelDown
+	}
+	b, ok := k.bindings[target]
+	k.mu.RUnlock()
+	if ok {
+		b.mu.Lock()
+		st := b.state
+		b.mu.Unlock()
+		switch st {
+		case stateActive:
+			return b, nil
+		case stateDestroyed:
+			return nil, ErrNoSuchEject
+		}
+		// passive: fall through to activation
+	} else if !k.store.Exists(target) {
+		return nil, ErrNoSuchEject
+	}
+	return k.activate(target)
+}
+
+// activate reconstructs a passive Eject from its latest passive
+// representation.
+func (k *Kernel) activate(target uid.UID) (*binding, error) {
+	rep, err := k.store.Latest(target)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (no passive representation)", ErrNoSuchEject, target)
+	}
+	k.mu.Lock()
+	if k.down {
+		k.mu.Unlock()
+		return nil, ErrKernelDown
+	}
+	fn, ok := k.types[rep.EdenType]
+	if !ok {
+		k.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, rep.EdenType)
+	}
+	b := k.bindings[target]
+	if b != nil {
+		b.mu.Lock()
+		if b.state == stateActive { // lost a race; someone else activated
+			b.mu.Unlock()
+			k.mu.Unlock()
+			return b, nil
+		}
+		if b.state == stateDestroyed {
+			b.mu.Unlock()
+			k.mu.Unlock()
+			return nil, ErrNoSuchEject
+		}
+		b.mu.Unlock()
+	}
+	node := netsim.NodeID(0)
+	if b != nil {
+		node = b.node
+	}
+	k.mu.Unlock()
+
+	// Run the type's activation code outside the kernel lock: it may
+	// itself create Ejects or invoke.
+	e, err := fn(ActivationContext{
+		Kernel:  k,
+		Self:    target,
+		Node:    node,
+		Passive: rep.Data,
+		Version: rep.Version,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kernel: activate %s (%s): %w", target, rep.EdenType, err)
+	}
+
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	b = k.bindings[target]
+	if b == nil {
+		b = newBinding(target, node, e, k.cfg.WorkersPerEject)
+		b.state = statePassive // reactivate below flips it
+		k.bindings[target] = b
+	}
+	b.mu.Lock()
+	if b.state == stateActive {
+		// Concurrent activation won; discard our instance.
+		b.mu.Unlock()
+		if d, ok := e.(Deactivatable); ok {
+			d.OnDeactivate()
+		}
+		return b, nil
+	}
+	b.mu.Unlock()
+	epoch := b.reactivate(e)
+	k.met.Activations.Inc()
+	if !k.cfg.DirectDispatch {
+		go b.dispatch(epoch)
+	}
+	return b, nil
+}
+
+// nodeOf returns the home node of id, or node 0 for external callers
+// (uid.Nil or unknown UIDs).
+func (k *Kernel) nodeOf(id uid.UID) netsim.NodeID {
+	if id.IsNil() {
+		return 0
+	}
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	if b, ok := k.bindings[id]; ok {
+		return b.node
+	}
+	return 0
+}
+
+// AsyncInvoke sends an invocation and returns immediately with a Call
+// handle.  This is Eden's native style: "the sender is free to perform
+// other tasks".
+func (k *Kernel) AsyncInvoke(from, target uid.UID, op string, payload any) *Call {
+	fromNode := k.nodeOf(from)
+
+	for attempt := 0; ; attempt++ {
+		b, err := k.resolve(target)
+		if err != nil {
+			c := newCall(k, op, target, fromNode, fromNode)
+			k.traceStart(c, from, 0)
+			c.replyc <- reply{err: toWire(err)}
+			return c
+		}
+
+		// The request payload crosses the network to the target node.
+		sent, _, terr := k.net.Transmit(fromNode, b.node, payload)
+		if terr != nil {
+			c := newCall(k, op, target, fromNode, b.node)
+			k.traceStart(c, from, 0)
+			c.replyc <- reply{err: toWire(terr)}
+			return c
+		}
+
+		k.mu.Lock()
+		k.msgID++
+		id := k.msgID
+		k.mu.Unlock()
+
+		c := newCall(k, op, target, fromNode, b.node)
+		k.traceStart(c, from, id)
+		inv := &Invocation{
+			MsgID:    id,
+			From:     from,
+			Target:   target,
+			Op:       op,
+			Payload:  sent,
+			fromNode: fromNode,
+			toNode:   b.node,
+			replyc:   c.replyc,
+		}
+
+		k.met.Invocations.Inc()
+		k.met.ProcessSwitches.Inc()
+		if fromNode == b.node {
+			k.met.LocalInvocations.Inc()
+		} else {
+			k.met.CrossNodeInvocations.Inc()
+		}
+		if sz, ok := payload.(Sizer); ok {
+			k.met.BytesMoved.Add(int64(sz.PayloadSize()))
+		}
+
+		if k.cfg.DirectDispatch {
+			k.serveDirect(b, inv)
+			return c
+		}
+		if b.enqueue(inv) {
+			return c
+		}
+		// The binding deactivated between resolve and enqueue; retry,
+		// which re-activates.  Bound the retries to avoid spinning on
+		// an Eject that deactivates in a tight loop.
+		if attempt >= 3 {
+			c := newCall(k, op, target, fromNode, b.node)
+			k.traceStart(c, from, 0)
+			c.replyc <- reply{err: toWire(ErrDeactivated)}
+			return c
+		}
+	}
+}
+
+// serveDirect runs Serve synchronously (DirectDispatch ablation).
+func (k *Kernel) serveDirect(b *binding, inv *Invocation) {
+	b.mu.Lock()
+	e := b.eject
+	st := b.state
+	b.mu.Unlock()
+	if st != stateActive || e == nil {
+		inv.Fail(ErrDeactivated)
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil && !inv.Replied() {
+			inv.Fail(fmt.Errorf("kernel: Eject panicked serving %q: %v", inv.Op, r))
+		}
+	}()
+	e.Serve(inv)
+	if !inv.Replied() {
+		inv.Fail(fmt.Errorf("%w: op %q", ErrNoReply, inv.Op))
+	}
+}
+
+// Invoke performs a synchronous invocation: send, then wait for the
+// reply.
+func (k *Kernel) Invoke(from, target uid.UID, op string, payload any) (any, error) {
+	return k.AsyncInvoke(from, target, op, payload).Wait()
+}
+
+// Checkpoint creates a new passive representation for the Eject (§1).
+// It returns the stored version number.
+func (k *Kernel) Checkpoint(id uid.UID) (uint64, error) {
+	k.mu.RLock()
+	b, ok := k.bindings[id]
+	k.mu.RUnlock()
+	if !ok {
+		return 0, ErrNoSuchEject
+	}
+	b.mu.Lock()
+	e := b.eject
+	st := b.state
+	b.mu.Unlock()
+	if st != stateActive || e == nil {
+		return 0, fmt.Errorf("kernel: checkpoint %s: not active", id)
+	}
+	cp, ok := e.(Checkpointer)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s (%s)", ErrNotCheckpointable, id, e.EdenType())
+	}
+	data, err := cp.PassiveRepresentation()
+	if err != nil {
+		return 0, fmt.Errorf("kernel: checkpoint %s: %w", id, err)
+	}
+	v, err := k.store.Checkpoint(id, e.EdenType(), data)
+	if err != nil {
+		return 0, err
+	}
+	k.met.Checkpoints.Inc()
+	return v, nil
+}
+
+// CheckpointGroup checkpoints several Ejects atomically: the passive
+// representations are captured, then committed to stable storage in
+// one all-or-nothing operation.  This is the transaction-free subset
+// of the full Eden file system's atomic updates (§7): concurrent
+// mutations between capture and commit are not serialised (that would
+// need the cited transaction machinery), but a crash can never leave
+// stable storage holding some of the group's new versions and not
+// others.
+func (k *Kernel) CheckpointGroup(ids []uid.UID) ([]uint64, error) {
+	entries := make([]storage.GroupEntry, 0, len(ids))
+	for _, id := range ids {
+		k.mu.RLock()
+		b, ok := k.bindings[id]
+		k.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchEject, id)
+		}
+		b.mu.Lock()
+		e := b.eject
+		st := b.state
+		b.mu.Unlock()
+		if st != stateActive || e == nil {
+			return nil, fmt.Errorf("kernel: group checkpoint %s: not active", id)
+		}
+		cp, ok := e.(Checkpointer)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s (%s)", ErrNotCheckpointable, id, e.EdenType())
+		}
+		data, err := cp.PassiveRepresentation()
+		if err != nil {
+			return nil, fmt.Errorf("kernel: group checkpoint %s: %w", id, err)
+		}
+		entries = append(entries, storage.GroupEntry{ID: id, EdenType: e.EdenType(), Data: data})
+	}
+	versions, err := k.store.CheckpointGroup(entries)
+	if err != nil {
+		return nil, err
+	}
+	k.met.Checkpoints.Add(int64(len(entries)))
+	return versions, nil
+}
+
+// Deactivate stops an active Eject.  If it has checkpointed it becomes
+// passive (re-activatable on the next invocation); otherwise, per §7,
+// it "disappears".
+func (k *Kernel) Deactivate(id uid.UID) error {
+	k.mu.RLock()
+	b, ok := k.bindings[id]
+	k.mu.RUnlock()
+	if !ok {
+		return ErrNoSuchEject
+	}
+	next := stateDestroyed
+	if k.store.Exists(id) {
+		next = statePassive
+	}
+	e, was := b.stop(next)
+	if !was {
+		return nil // already inactive; idempotent
+	}
+	if d, ok := e.(Deactivatable); ok {
+		d.OnDeactivate()
+	}
+	return nil
+}
+
+// Destroy removes an Eject entirely, including its checkpoints.
+func (k *Kernel) Destroy(id uid.UID) error {
+	k.mu.RLock()
+	b, ok := k.bindings[id]
+	k.mu.RUnlock()
+	if ok {
+		e, was := b.stop(stateDestroyed)
+		if was {
+			if d, ok := e.(Deactivatable); ok {
+				d.OnDeactivate()
+			}
+		}
+	}
+	k.store.Delete(id)
+	if !ok && !k.store.Exists(id) {
+		return ErrNoSuchEject
+	}
+	return nil
+}
+
+// CrashNode simulates the failure of one simulated machine: every
+// Eject homed there loses its volatile state.  Checkpointed Ejects
+// become passive (they will re-activate from stable storage on the
+// next invocation); the rest are lost.
+func (k *Kernel) CrashNode(node netsim.NodeID) {
+	k.mu.RLock()
+	var victims []*binding
+	for _, b := range k.bindings {
+		if b.node == node {
+			victims = append(victims, b)
+		}
+	}
+	k.mu.RUnlock()
+	for _, b := range victims {
+		next := stateDestroyed
+		if k.store.Exists(b.id) {
+			next = statePassive
+		}
+		// A crash gives the Eject no chance to clean up: volatile
+		// state simply vanishes, so OnDeactivate is NOT called.
+		b.stop(next)
+	}
+}
+
+// Shutdown stops every Eject and refuses further work.  In-flight
+// workers finish naturally.
+func (k *Kernel) Shutdown() {
+	k.mu.Lock()
+	if k.down {
+		k.mu.Unlock()
+		return
+	}
+	k.down = true
+	all := make([]*binding, 0, len(k.bindings))
+	for _, b := range k.bindings {
+		all = append(all, b)
+	}
+	k.mu.Unlock()
+	for _, b := range all {
+		e, was := b.stop(stateDestroyed)
+		if was {
+			if d, ok := e.(Deactivatable); ok {
+				d.OnDeactivate()
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"asymstream/internal/storage"
+	"asymstream/internal/uid"
+)
+
+// TestWholeSystemReboot boots a second kernel over the first kernel's
+// stable store and verifies that checkpointed Ejects re-activate with
+// their committed state while everything volatile is gone — the §1
+// durability contract at system scale.
+func TestWholeSystemReboot(t *testing.T) {
+	store := storage.NewStore(4)
+
+	// Incarnation one.
+	k1 := New(Config{Store: store})
+	k1.RegisterType("test.Persistent", activatePersistent)
+	p := &persistent{k: k1}
+	id, err := k1.Create(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.self = id
+	for i := 0; i < 4; i++ {
+		if _, err := k1.Invoke(uid.Nil, id, "incr", &pingReq{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k1.Checkpoint(id); err != nil {
+		t.Fatal(err)
+	}
+	// Volatile increment after the checkpoint, and a never-saved Eject.
+	if _, err := k1.Invoke(uid.Nil, id, "incr", &pingReq{}); err != nil {
+		t.Fatal(err)
+	}
+	volatileID, _ := k1.Create(&pinger{}, 0)
+	k1.Shutdown() // the machine room loses power
+
+	// Incarnation two, same disk.
+	k2 := New(Config{Store: store})
+	defer k2.Shutdown()
+	k2.RegisterType("test.Persistent", activatePersistent)
+
+	raw, err := k2.Invoke(uid.Nil, id, "get", &pingReq{})
+	if err != nil {
+		t.Fatalf("re-activation after reboot: %v", err)
+	}
+	if rep := raw.(*pingRep); rep.N != 4 {
+		t.Fatalf("recovered N = %d, want 4 (checkpointed state)", rep.N)
+	}
+	if _, err := k2.Invoke(uid.Nil, volatileID, "ping", &pingReq{}); !errors.Is(err, ErrNoSuchEject) {
+		t.Fatalf("volatile Eject survived reboot: %v", err)
+	}
+
+	// The recovered Eject is fully functional, including further
+	// checkpoints on the same store.
+	if _, err := k2.Invoke(uid.Nil, id, "incr", &pingReq{}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := k2.Checkpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("post-reboot checkpoint version = %d, want 2", v)
+	}
+}
+
+// TestRebootWithoutTypeRegistration: a rebooted kernel that does not
+// know the type-code cannot re-activate — the 1983 type-code IS the
+// program text, which must be installed.
+func TestRebootWithoutTypeRegistration(t *testing.T) {
+	store := storage.NewStore(4)
+	k1 := New(Config{Store: store})
+	k1.RegisterType("test.Persistent", activatePersistent)
+	p := &persistent{k: k1}
+	id, _ := k1.Create(p, 0)
+	p.self = id
+	if _, err := k1.Checkpoint(id); err != nil {
+		t.Fatal(err)
+	}
+	k1.Shutdown()
+
+	k2 := New(Config{Store: store})
+	defer k2.Shutdown()
+	if _, err := k2.Invoke(uid.Nil, id, "get", &pingReq{}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("want ErrUnknownType, got %v", err)
+	}
+}

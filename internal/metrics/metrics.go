@@ -1,0 +1,199 @@
+// Package metrics provides the counters with which the reproduction
+// meters the quantities the paper reasons about: invocations (the
+// paper's unit of communication cost), process switches, bytes moved,
+// and — for the Unix baseline of Figure 1 — system calls.
+//
+// All counters are cheap atomics so that metering does not distort the
+// throughput benchmarks that compare the transput disciplines.  A
+// Snapshot captures every counter at an instant; Diff subtracts two
+// snapshots, which is how the benchmark harness attributes costs to a
+// single pipeline run.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Set forces the counter to n.  Only tests use this.
+func (c *Counter) Set(n int64) { c.v.Store(n) }
+
+// Set is the fixed collection of counters the reproduction meters.  A
+// single Set is shared by one simulated Eden system (kernel + network
+// + devices); independent systems have independent Sets, so parallel
+// benchmarks do not contaminate each other.
+type Set struct {
+	// Invocations counts every inter-Eject invocation routed through
+	// the kernel, the paper's fundamental cost unit.
+	Invocations Counter
+	// LocalInvocations / CrossNodeInvocations partition Invocations by
+	// whether source and target Ejects share a simulated node.
+	LocalInvocations     Counter
+	CrossNodeInvocations Counter
+	// Replies counts invocation replies (== completed invocations).
+	Replies Counter
+	// ProcessSwitches approximates scheduling cost: every delivery of
+	// an invocation to a target Eject and every delivery of a reply to
+	// the invoker counts as one switch, matching the paper's
+	// "communications overhead and process switching" bullet.
+	ProcessSwitches Counter
+	// BytesMoved counts payload bytes crossing Eject boundaries.
+	BytesMoved Counter
+	// WireBytes counts gob-encoded bytes on cross-node hops (0 when
+	// serialisation is disabled).
+	WireBytes Counter
+	// Activations counts kernel activations of passive Ejects.
+	Activations Counter
+	// Checkpoints counts Checkpoint operations (stable storage writes).
+	Checkpoints Counter
+	// Syscalls counts simulated Unix system calls in the Figure 1
+	// baseline (read/write/open/close on kernel pipes).
+	Syscalls Counter
+	// EjectsCreated counts Eject registrations, so experiments can
+	// report the paper's n+2 vs 2n+3 Eject counts directly.
+	EjectsCreated Counter
+	// TransferInvocations counts stream-protocol Transfer (pull)
+	// invocations specifically, and DeliverInvocations the write-only
+	// dual, so the per-datum counts of E1–E4 can be isolated from
+	// control-plane invocations (initialisation, close, lookup...).
+	TransferInvocations Counter
+	DeliverInvocations  Counter
+	// ItemsMoved counts stream items (records or byte chunks) that
+	// crossed an Eject boundary inside Transfer/Deliver payloads.
+	ItemsMoved Counter
+}
+
+// Snapshot is a point-in-time copy of every counter in a Set.
+type Snapshot struct {
+	Values map[string]int64
+}
+
+// fields enumerates the counters of a Set by name, in a fixed order.
+func (s *Set) fields() []struct {
+	name string
+	c    *Counter
+} {
+	return []struct {
+		name string
+		c    *Counter
+	}{
+		{"invocations", &s.Invocations},
+		{"local_invocations", &s.LocalInvocations},
+		{"cross_node_invocations", &s.CrossNodeInvocations},
+		{"replies", &s.Replies},
+		{"process_switches", &s.ProcessSwitches},
+		{"bytes_moved", &s.BytesMoved},
+		{"wire_bytes", &s.WireBytes},
+		{"activations", &s.Activations},
+		{"checkpoints", &s.Checkpoints},
+		{"syscalls", &s.Syscalls},
+		{"ejects_created", &s.EjectsCreated},
+		{"transfer_invocations", &s.TransferInvocations},
+		{"deliver_invocations", &s.DeliverInvocations},
+		{"items_moved", &s.ItemsMoved},
+	}
+}
+
+// Snapshot captures the current value of every counter.
+func (s *Set) Snapshot() Snapshot {
+	snap := Snapshot{Values: make(map[string]int64, 16)}
+	for _, f := range s.fields() {
+		snap.Values[f.name] = f.c.Value()
+	}
+	return snap
+}
+
+// Diff returns a Snapshot holding later-minus-earlier for every
+// counter.  It panics if the snapshots have different key sets, which
+// would indicate mixed metric versions.
+func Diff(earlier, later Snapshot) Snapshot {
+	if len(earlier.Values) != len(later.Values) {
+		panic("metrics: mismatched snapshots")
+	}
+	d := Snapshot{Values: make(map[string]int64, len(later.Values))}
+	for k, v := range later.Values {
+		ev, ok := earlier.Values[k]
+		if !ok {
+			panic("metrics: mismatched snapshots: missing " + k)
+		}
+		d.Values[k] = v - ev
+	}
+	return d
+}
+
+// Get returns the named counter value (0 if absent).
+func (sn Snapshot) Get(name string) int64 { return sn.Values[name] }
+
+// String renders the snapshot as "name=value" pairs in sorted order,
+// omitting zero counters to keep experiment output readable.
+func (sn Snapshot) String() string {
+	keys := make([]string, 0, len(sn.Values))
+	for k, v := range sn.Values {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, sn.Values[k])
+	}
+	return b.String()
+}
+
+// Registry maps names to Sets so tools can enumerate the systems that
+// exist in one process (the shell creates one per session).
+type Registry struct {
+	mu   sync.Mutex
+	sets map[string]*Set
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{sets: make(map[string]*Set)} }
+
+// Register adds a named Set, replacing any previous Set of that name.
+func (r *Registry) Register(name string, s *Set) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sets[name] = s
+}
+
+// Get looks up a Set by name.
+func (r *Registry) Get(name string) (*Set, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sets[name]
+	return s, ok
+}
+
+// Names returns the registered names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.sets))
+	for n := range r.sets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,237 @@
+// Package netsim simulates the network substrate underneath the Eden
+// kernel: several VAX-class "nodes" joined by a 10 Mbit Ethernet in
+// the 1983 prototype, here a configurable latency/bandwidth model.
+//
+// The paper's efficiency argument (§4) rests on invocation being
+// location-independent and therefore dearer than a system call; the
+// payoff of the read-only discipline is that it halves the number of
+// invocations.  This package is what makes that cost real in the
+// reproduction: every cross-node hop can be charged a latency, counted
+// on a per-link meter, and optionally pushed through gob encoding so
+// that payload copying costs appear in wall-clock measurements too.
+//
+// Failure injection (drops and partitions) exists so the kernel's
+// error paths can be tested; the paper's pipelines assume a healthy
+// network, and the benchmarks run with failures disabled.
+package netsim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"asymstream/internal/metrics"
+)
+
+// NodeID names a simulated machine.  Node 0 always exists.
+type NodeID int
+
+// Config controls the cost and fault model of a Network.
+type Config struct {
+	// Nodes is the number of simulated machines (minimum 1).
+	Nodes int
+	// LocalLatency is charged to an invocation whose source and target
+	// Ejects share a node (models the kernel trap + queueing).
+	LocalLatency time.Duration
+	// CrossLatency is charged when the invocation crosses nodes
+	// (models Ethernet + remote kernel).  The paper's premise is
+	// CrossLatency >> a system call.
+	CrossLatency time.Duration
+	// CrossCPU busy-spins for the given duration on each cross-node
+	// hop instead of sleeping.  This models the 1983 reality that
+	// invocation cost was mostly *protocol processing on the CPUs*
+	// (VAXen assembling and parsing Ethernet packets), which — unlike
+	// wire latency — cannot be hidden by concurrency.  Halving the
+	// number of invocations halves this cost, which is exactly the
+	// paper's efficiency claim.
+	CrossCPU time.Duration
+	// InvocationCPU busy-spins on EVERY hop, local or remote.  The
+	// paper's premise is that invocation is costly *because it is
+	// location-independent* — a local invocation runs the same
+	// machinery as a remote one — so experiments that test the
+	// invocation-halving payoff charge this uniformly.
+	InvocationCPU time.Duration
+	// BytesPerSecond, when non-zero, charges additional latency of
+	// size/BytesPerSecond to cross-node messages, modelling link
+	// bandwidth (10 Mbit/s ≈ 1.25e6 bytes/s in the prototype).
+	BytesPerSecond int64
+	// EncodePayloads pushes every cross-node payload through gob and
+	// back, so the measurement includes real serialisation work and
+	// WireBytes is meaningful.  Payload types must be gob-registered.
+	EncodePayloads bool
+	// DropRate is the probability in [0,1) that a cross-node message
+	// is lost (the send returns ErrDropped).  Tests only.
+	DropRate float64
+	// Seed seeds the fault-injection RNG; 0 means a fixed default.
+	Seed int64
+}
+
+// ErrDropped is returned when fault injection discards a message.
+var ErrDropped = errors.New("netsim: message dropped")
+
+// ErrPartitioned is returned when the two nodes are partitioned.
+var ErrPartitioned = errors.New("netsim: nodes partitioned")
+
+// ErrNoSuchNode is returned for an out-of-range NodeID.
+var ErrNoSuchNode = errors.New("netsim: no such node")
+
+// LinkStats carries the per-direction traffic meters for a node pair.
+type LinkStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Network is a simulated interconnect.  All methods are safe for
+// concurrent use.
+type Network struct {
+	cfg Config
+	met *metrics.Set
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	links      map[[2]NodeID]*LinkStats
+	partitions map[[2]NodeID]bool
+}
+
+// New creates a Network.  met may be nil, in which case a private
+// metrics set is used.
+func New(cfg Config, met *metrics.Set) *Network {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if met == nil {
+		met = &metrics.Set{}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1983
+	}
+	return &Network{
+		cfg:        cfg,
+		met:        met,
+		rng:        rand.New(rand.NewSource(seed)),
+		links:      make(map[[2]NodeID]*LinkStats),
+		partitions: make(map[[2]NodeID]bool),
+	}
+}
+
+// Nodes returns the number of simulated machines.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+func pair(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+// Partition severs connectivity between two nodes until Heal is
+// called.  Local traffic (a == b) cannot be partitioned.
+func (n *Network) Partition(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[pair(a, b)] = true
+}
+
+// Heal restores connectivity between two nodes.
+func (n *Network) Heal(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, pair(a, b))
+}
+
+// Link returns a copy of the traffic stats for the (unordered) node
+// pair.
+func (n *Network) Link(a, b NodeID) LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.links[pair(a, b)]; ok {
+		return *s
+	}
+	return LinkStats{}
+}
+
+// spin burns CPU for roughly d without yielding the processor —
+// protocol-processing cost that concurrency cannot hide.
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// Transmit models moving payload from node a to node b.  It returns
+// the payload to deliver (a gob round-tripped copy when
+// EncodePayloads is set, the original otherwise) and the number of
+// wire bytes charged.  Latency is charged by sleeping, so zero-latency
+// configurations are free.
+func (n *Network) Transmit(a, b NodeID, payload any) (any, int64, error) {
+	if int(a) < 0 || int(a) >= n.cfg.Nodes || int(b) < 0 || int(b) >= n.cfg.Nodes {
+		return nil, 0, fmt.Errorf("%w: %d->%d (have %d nodes)", ErrNoSuchNode, a, b, n.cfg.Nodes)
+	}
+	if n.cfg.InvocationCPU > 0 {
+		spin(n.cfg.InvocationCPU)
+	}
+	if a == b {
+		if n.cfg.LocalLatency > 0 {
+			time.Sleep(n.cfg.LocalLatency)
+		}
+		return payload, 0, nil
+	}
+
+	n.mu.Lock()
+	if n.partitions[pair(a, b)] {
+		n.mu.Unlock()
+		return nil, 0, ErrPartitioned
+	}
+	dropped := n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate
+	n.mu.Unlock()
+	if dropped {
+		return nil, 0, ErrDropped
+	}
+
+	out := payload
+	var wire int64
+	if n.cfg.EncodePayloads {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&payload); err != nil {
+			return nil, 0, fmt.Errorf("netsim: encode: %w", err)
+		}
+		wire = int64(buf.Len())
+		var decoded any
+		if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+			return nil, 0, fmt.Errorf("netsim: decode: %w", err)
+		}
+		out = decoded
+		n.met.WireBytes.Add(wire)
+	}
+
+	delay := n.cfg.CrossLatency
+	if n.cfg.BytesPerSecond > 0 && wire > 0 {
+		delay += time.Duration(wire * int64(time.Second) / n.cfg.BytesPerSecond)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if n.cfg.CrossCPU > 0 {
+		spin(n.cfg.CrossCPU)
+	}
+
+	n.mu.Lock()
+	key := pair(a, b)
+	s := n.links[key]
+	if s == nil {
+		s = &LinkStats{}
+		n.links[key] = s
+	}
+	s.Messages++
+	s.Bytes += wire
+	n.mu.Unlock()
+	return out, wire, nil
+}

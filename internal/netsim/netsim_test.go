@@ -1,0 +1,192 @@
+package netsim
+
+import (
+	"encoding/gob"
+	"errors"
+	"testing"
+	"time"
+
+	"asymstream/internal/metrics"
+)
+
+type testPayload struct {
+	N    int
+	Data []byte
+}
+
+func init() {
+	gob.Register(&testPayload{})
+}
+
+func TestLocalTransmitPassthrough(t *testing.T) {
+	n := New(Config{Nodes: 2}, nil)
+	p := &testPayload{N: 1, Data: []byte("x")}
+	out, wire, err := n.Transmit(0, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire != 0 {
+		t.Errorf("local wire bytes = %d, want 0", wire)
+	}
+	if out != any(p) {
+		t.Error("local transmit should pass the same pointer")
+	}
+}
+
+func TestCrossTransmitWithoutEncoding(t *testing.T) {
+	n := New(Config{Nodes: 2}, nil)
+	p := &testPayload{N: 2}
+	out, wire, err := n.Transmit(0, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire != 0 {
+		t.Errorf("unencoded wire bytes = %d, want 0", wire)
+	}
+	if out != any(p) {
+		t.Error("unencoded transmit should pass the same pointer")
+	}
+	stats := n.Link(0, 1)
+	if stats.Messages != 1 {
+		t.Errorf("link messages = %d, want 1", stats.Messages)
+	}
+}
+
+func TestCrossTransmitGobRoundTrip(t *testing.T) {
+	met := &metrics.Set{}
+	n := New(Config{Nodes: 2, EncodePayloads: true}, met)
+	p := &testPayload{N: 42, Data: []byte("hello")}
+	out, wire, err := n.Transmit(0, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire <= 0 {
+		t.Error("encoded transmit must report wire bytes")
+	}
+	got, ok := out.(*testPayload)
+	if !ok {
+		t.Fatalf("decoded type %T", out)
+	}
+	if got == p {
+		t.Error("encoded transmit must deliver a copy")
+	}
+	if got.N != 42 || string(got.Data) != "hello" {
+		t.Errorf("decoded %+v", got)
+	}
+	if met.WireBytes.Value() != wire {
+		t.Errorf("WireBytes = %d, want %d", met.WireBytes.Value(), wire)
+	}
+	if s := n.Link(0, 1); s.Bytes != wire {
+		t.Errorf("link bytes = %d, want %d", s.Bytes, wire)
+	}
+}
+
+func TestTransmitBadNode(t *testing.T) {
+	n := New(Config{Nodes: 2}, nil)
+	if _, _, err := n.Transmit(0, 5, nil); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("want ErrNoSuchNode, got %v", err)
+	}
+	if _, _, err := n.Transmit(-1, 0, nil); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("want ErrNoSuchNode, got %v", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(Config{Nodes: 3}, nil)
+	n.Partition(0, 1)
+	if _, _, err := n.Transmit(0, 1, nil); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", err)
+	}
+	// Partition is symmetric.
+	if _, _, err := n.Transmit(1, 0, nil); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("reverse direction: want ErrPartitioned, got %v", err)
+	}
+	// Unrelated pair unaffected.
+	if _, _, err := n.Transmit(0, 2, nil); err != nil {
+		t.Fatalf("unrelated pair: %v", err)
+	}
+	// Local traffic cannot be partitioned.
+	if _, _, err := n.Transmit(0, 0, nil); err != nil {
+		t.Fatalf("local traffic: %v", err)
+	}
+	n.Heal(1, 0)
+	if _, _, err := n.Transmit(0, 1, nil); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := New(Config{Nodes: 2, DropRate: 1.0}, nil)
+	if _, _, err := n.Transmit(0, 1, nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("DropRate=1: want ErrDropped, got %v", err)
+	}
+	// Local traffic never drops.
+	if _, _, err := n.Transmit(1, 1, nil); err != nil {
+		t.Fatalf("local with DropRate=1: %v", err)
+	}
+	// DropRate ~0.5 should drop some and pass some (seeded, stable).
+	n2 := New(Config{Nodes: 2, DropRate: 0.5, Seed: 7}, nil)
+	drops, passes := 0, 0
+	for i := 0; i < 200; i++ {
+		if _, _, err := n2.Transmit(0, 1, nil); err != nil {
+			drops++
+		} else {
+			passes++
+		}
+	}
+	if drops == 0 || passes == 0 {
+		t.Errorf("DropRate=0.5: drops=%d passes=%d", drops, passes)
+	}
+}
+
+func TestNodesMinimumOne(t *testing.T) {
+	n := New(Config{}, nil)
+	if n.Nodes() != 1 {
+		t.Fatalf("Nodes() = %d, want 1", n.Nodes())
+	}
+}
+
+func TestCrossLatencySleeps(t *testing.T) {
+	n := New(Config{Nodes: 2, CrossLatency: 20 * time.Millisecond}, nil)
+	start := time.Now()
+	if _, _, err := n.Transmit(0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("cross transmit took %v, want >= ~20ms", elapsed)
+	}
+	// Local hop is not charged cross latency.
+	start = time.Now()
+	if _, _, err := n.Transmit(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Errorf("local transmit took %v, want ~0", elapsed)
+	}
+}
+
+func TestInvocationCPUCharged(t *testing.T) {
+	n := New(Config{Nodes: 1, InvocationCPU: 5 * time.Millisecond}, nil)
+	start := time.Now()
+	if _, _, err := n.Transmit(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Errorf("InvocationCPU hop took %v, want >= ~5ms", elapsed)
+	}
+}
+
+func TestBandwidthCharging(t *testing.T) {
+	// 1 KiB at 10 KiB/s should take ~100ms.
+	n := New(Config{Nodes: 2, EncodePayloads: true, BytesPerSecond: 10 * 1024}, nil)
+	p := &testPayload{Data: make([]byte, 1024)}
+	start := time.Now()
+	_, wire, err := n.Transmit(0, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(wire) * time.Second / (10 * 1024)
+	if elapsed := time.Since(start); elapsed < want/2 {
+		t.Errorf("bandwidth-limited transmit took %v, want >= ~%v", elapsed, want)
+	}
+}

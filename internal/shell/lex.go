@@ -1,0 +1,168 @@
+// Package shell implements a small command language for assembling
+// and running transput pipelines — the reproduction's stand-in for
+// the Unix shell syntax the paper repeatedly contrasts against
+// ("ASSIGN OUTPUT CHANNEL name TO file, or like the Unix shell's 'n>'
+// syntax", §5).
+//
+// Grammar:
+//
+//	line     := pipeline | command
+//	pipeline := stage ('|' stage)+
+//	stage    := word (word | quoted | key '=' value)*
+//	command  := word args...
+//
+// The first stage must be a source (text, count, file, clock...), the
+// last a sink (print, collect, discard, file...).  Options anywhere in
+// the line (discipline=readonly, batch=8, prefetch=2, cap=true)
+// configure the build.  Because every Eject is named by UID,
+// "redirection of input and output can be provided very naturally"
+// (§8): the `file` source and sink work by obtaining stream
+// capabilities from the §7 bootstrap Eject.
+package shell
+
+import (
+	"fmt"
+	"strings"
+)
+
+// token is one lexed word; quoted strings keep spaces and escapes.
+type token struct {
+	text   string
+	quoted bool
+	pos    int
+}
+
+// lex splits a line into tokens.  Supported syntax: bare words,
+// "double quotes" with \n \t \\ \" escapes, and the | separator as
+// its own token.
+func lex(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '|':
+			toks = append(toks, token{text: "|", pos: i})
+			i++
+		case c == '"':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				switch line[i] {
+				case '\\':
+					if i+1 >= n {
+						return nil, fmt.Errorf("shell: trailing backslash at %d", i)
+					}
+					i++
+					switch line[i] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '\\':
+						b.WriteByte('\\')
+					case '"':
+						b.WriteByte('"')
+					default:
+						return nil, fmt.Errorf("shell: bad escape \\%c at %d", line[i], i)
+					}
+					i++
+				case '"':
+					i++
+					closed = true
+				default:
+					if closed {
+						break
+					}
+					b.WriteByte(line[i])
+					i++
+				}
+				if closed {
+					break
+				}
+			}
+			if !closed {
+				return nil, fmt.Errorf("shell: unterminated string starting at %d", start)
+			}
+			toks = append(toks, token{text: b.String(), quoted: true, pos: start})
+		default:
+			start := i
+			for i < n && line[i] != ' ' && line[i] != '\t' && line[i] != '|' && line[i] != '"' {
+				i++
+			}
+			toks = append(toks, token{text: line[start:i], pos: start})
+		}
+	}
+	return toks, nil
+}
+
+// stageSpec is one parsed pipeline stage.
+type stageSpec struct {
+	name string
+	args []token
+}
+
+// parsed is a whole parsed line.
+type parsed struct {
+	stages []stageSpec
+	opts   map[string]string
+}
+
+// parse splits tokens into stages and extracts key=value options.
+func parse(toks []token) (parsed, error) {
+	p := parsed{opts: make(map[string]string)}
+	cur := stageSpec{}
+	flush := func() error {
+		if cur.name == "" {
+			return fmt.Errorf("shell: empty stage")
+		}
+		p.stages = append(p.stages, cur)
+		cur = stageSpec{}
+		return nil
+	}
+	for _, t := range toks {
+		if t.text == "|" && !t.quoted {
+			if err := flush(); err != nil {
+				return p, err
+			}
+			continue
+		}
+		// key=value option (unquoted, recognised keys only — anything
+		// else containing '=' stays a stage argument, e.g. an edit
+		// script "s/a=b/c/").
+		if !t.quoted {
+			if eq := strings.IndexByte(t.text, '='); eq > 0 && isOptionKey(t.text[:eq]) {
+				p.opts[strings.ToLower(t.text[:eq])] = t.text[eq+1:]
+				continue
+			}
+		}
+		if cur.name == "" {
+			cur.name = strings.ToLower(t.text)
+			continue
+		}
+		cur.args = append(cur.args, t)
+	}
+	if cur.name != "" || len(p.stages) == 0 {
+		if err := flush(); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+// isOptionKey reports whether key is a recognised global option; any
+// other token containing '=' stays a stage argument (e.g. an edit
+// script "s/a=b/c/").
+func isOptionKey(key string) bool {
+	switch strings.ToLower(key) {
+	case "discipline", "batch", "prefetch", "anticipation", "cap", "buffercap":
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,549 @@
+package shell
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"asymstream/internal/device"
+	"asymstream/internal/filters"
+	"asymstream/internal/fsys"
+	"asymstream/internal/kernel"
+	"asymstream/internal/metrics"
+	"asymstream/internal/trace"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+	"asymstream/internal/unixfs"
+)
+
+// Session is one shell session over a simulated Eden system: a kernel,
+// a bootstrap Unix file system, and the state needed to build and run
+// pipelines.
+type Session struct {
+	K    *kernel.Kernel
+	UFS  *unixfs.UnixFS
+	ufs  uid.UID
+	out  io.Writer
+	last metrics.Snapshot
+	ring *trace.Ring
+}
+
+// NewSession boots a session on its own kernel.  out receives
+// pipeline output and command results.
+func NewSession(out io.Writer) (*Session, error) {
+	ring := trace.NewRing(4096)
+	k := kernel.New(kernel.Config{Trace: ring.Record})
+	u, ufsUID, err := unixfs.New(k, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{K: k, UFS: u, ufs: ufsUID, out: out, ring: ring}
+	s.last = k.Metrics().Snapshot()
+	return s, nil
+}
+
+// Close shuts the session's kernel down.
+func (s *Session) Close() { s.K.Shutdown() }
+
+// Execute runs one line: a pipeline (contains '|' or starts with a
+// source word) or a built-in command.
+func (s *Session) Execute(line string) error {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	toks, err := lex(line)
+	if err != nil {
+		return err
+	}
+	p, err := parse(toks)
+	if err != nil {
+		return err
+	}
+	if len(p.stages) == 1 {
+		return s.command(p.stages[0])
+	}
+	return s.runPipeline(p)
+}
+
+// command dispatches the non-pipeline built-ins.
+func (s *Session) command(st stageSpec) error {
+	argText := func(i int) (string, error) {
+		if i >= len(st.args) {
+			return "", fmt.Errorf("shell: %s: missing argument %d", st.name, i+1)
+		}
+		return st.args[i].text, nil
+	}
+	switch st.name {
+	case "help":
+		fmt.Fprint(s.out, helpText)
+		return nil
+	case "stats":
+		now := s.K.Metrics().Snapshot()
+		fmt.Fprintf(s.out, "since last: %s\n", metrics.Diff(s.last, now))
+		s.last = now
+		return nil
+	case "trace":
+		// trace [n]: dump the most recent n invocations (default 20).
+		n := 20
+		if len(st.args) > 0 {
+			v, err := strconv.Atoi(st.args[0].text)
+			if err != nil {
+				return fmt.Errorf("shell: trace %q: %w", st.args[0].text, err)
+			}
+			n = v
+		}
+		evs := s.ring.Events()
+		if n < len(evs) {
+			evs = evs[len(evs)-n:]
+		}
+		sub := trace.NewRing(len(evs) + 1)
+		for _, ev := range evs {
+			sub.Record(ev)
+		}
+		fmt.Fprintf(s.out, "%d invocations total; last %d:\n", s.ring.Total(), len(evs))
+		return sub.Dump(s.out)
+	case "ls":
+		path := "/"
+		if len(st.args) > 0 {
+			path = st.args[0].text
+		}
+		names, err := s.UFS.Host().ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintln(s.out, n)
+		}
+		return nil
+	case "put":
+		path, err := argText(0)
+		if err != nil {
+			return err
+		}
+		text, err := argText(1)
+		if err != nil {
+			return err
+		}
+		return s.UFS.Host().WriteFile(path, []byte(text))
+	case "cat":
+		path, err := argText(0)
+		if err != nil {
+			return err
+		}
+		data, err := s.UFS.Host().ReadFile(path)
+		if err != nil {
+			return err
+		}
+		_, err = s.out.Write(data)
+		return err
+	case "mkdir":
+		path, err := argText(0)
+		if err != nil {
+			return err
+		}
+		return s.UFS.Host().MkdirAll(path)
+	case "rm":
+		path, err := argText(0)
+		if err != nil {
+			return err
+		}
+		return s.UFS.Host().Remove(path)
+	default:
+		return fmt.Errorf("shell: unknown command %q (single-stage lines are commands; pipelines need '|')", st.name)
+	}
+}
+
+// options decodes the global key=value options into build options.
+func options(p parsed) (transput.Discipline, transput.Options, error) {
+	d := transput.ReadOnly
+	opt := transput.Options{}
+	for key, val := range p.opts {
+		switch key {
+		case "discipline":
+			switch strings.ToLower(val) {
+			case "readonly", "ro", "read-only":
+				d = transput.ReadOnly
+			case "writeonly", "wo", "write-only":
+				d = transput.WriteOnly
+			case "buffered", "conventional", "unix":
+				d = transput.Buffered
+			default:
+				return d, opt, fmt.Errorf("shell: unknown discipline %q", val)
+			}
+		case "batch", "prefetch", "anticipation", "buffercap":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return d, opt, fmt.Errorf("shell: %s=%q: %w", key, val, err)
+			}
+			switch key {
+			case "batch":
+				opt.Batch = n
+			case "prefetch":
+				opt.Prefetch = n
+			case "anticipation":
+				opt.Anticipation = n
+			case "buffercap":
+				opt.BufferCapacity = n
+			}
+		case "cap":
+			opt.CapabilityMode = val == "true" || val == "1" || val == "yes"
+		}
+	}
+	return d, opt, nil
+}
+
+// runPipeline builds and runs a parsed pipeline.
+func (s *Session) runPipeline(p parsed) error {
+	d, opt, err := options(p)
+	if err != nil {
+		return err
+	}
+	src, err := s.source(p.stages[0])
+	if err != nil {
+		return err
+	}
+	sinkStage := p.stages[len(p.stages)-1]
+	sink, finish, err := s.sink(sinkStage)
+	if err != nil {
+		return err
+	}
+	var fs []transput.Filter
+	for _, st := range p.stages[1 : len(p.stages)-1] {
+		f, err := s.filterFor(st)
+		if err != nil {
+			return err
+		}
+		fs = append(fs, f)
+	}
+	pl, err := transput.BuildPipeline(s.K, d, src, fs, sink, opt)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := pl.Run(); err != nil {
+		return err
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(s.out, "[%s discipline, %d ejects, %s]\n", d, pl.Ejects(), elapsed.Round(time.Microsecond))
+	return nil
+}
+
+// source builds the pipeline's SourceFunc from its first stage.
+func (s *Session) source(st stageSpec) (transput.SourceFunc, error) {
+	switch st.name {
+	case "text", "lines":
+		if len(st.args) != 1 {
+			return nil, fmt.Errorf("shell: %s needs one (quoted) argument", st.name)
+		}
+		items := transput.SplitLines([]byte(st.args[0].text))
+		return func(out transput.ItemWriter) error {
+			for _, it := range items {
+				if err := out.Put(it); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case "count":
+		if len(st.args) != 1 {
+			return nil, fmt.Errorf("shell: count needs a number")
+		}
+		n, err := strconv.Atoi(st.args[0].text)
+		if err != nil {
+			return nil, fmt.Errorf("shell: count %q: %w", st.args[0].text, err)
+		}
+		return func(out transput.ItemWriter) error {
+			for i := 0; i < n; i++ {
+				if err := out.Put([]byte(fmt.Sprintf("%d\n", i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case "clock":
+		// Pull n timestamps from a ClockSource Eject — the paper's
+		// date/time source (§4).
+		n := 3
+		if len(st.args) > 0 {
+			v, err := strconv.Atoi(st.args[0].text)
+			if err != nil {
+				return nil, fmt.Errorf("shell: clock %q: %w", st.args[0].text, err)
+			}
+			n = v
+		}
+		return func(out transput.ItemWriter) error {
+			_, clkUID, err := device.NewClockSource(s.K, 0, nil, "")
+			if err != nil {
+				return err
+			}
+			// The clock is transient to this pipeline run.
+			defer func() { _ = s.K.Destroy(clkUID) }()
+			in := transput.NewInPort(s.K, uid.Nil, clkUID, transput.Chan(0), transput.InPortConfig{})
+			for i := 0; i < n; i++ {
+				item, err := in.Next()
+				if err != nil {
+					return err
+				}
+				if err := out.Put(item); err != nil {
+					return err
+				}
+			}
+			in.Cancel("clock read complete")
+			return nil
+		}, nil
+	case "file":
+		if len(st.args) != 1 {
+			return nil, fmt.Errorf("shell: file needs a path")
+		}
+		path := st.args[0].text
+		// Obtain an Eden stream from the bootstrap Eject, then pump it
+		// into the pipeline — input redirection from a file uses the
+		// same mechanism as from any Eject (§4).
+		return func(out transput.ItemWriter) error {
+			ref, err := unixfs.NewStream(s.K, uid.Nil, s.ufs, path)
+			if err != nil {
+				return err
+			}
+			in := transput.NewInPort(s.K, uid.Nil, ref.UID, ref.Channel, transput.InPortConfig{Batch: 16})
+			_, err = transput.Copy(nopClose{out}, in)
+			// Close the transient UnixFile so it disappears (§7).
+			_ = fsys.CloseStream(s.K, uid.Nil, ref)
+			return err
+		}, nil
+	default:
+		return nil, fmt.Errorf("shell: unknown source %q (try text, count, file)", st.name)
+	}
+}
+
+// nopClose stops Copy from closing the pipeline writer early; the
+// stage harness owns the close.
+type nopClose struct{ transput.ItemWriter }
+
+func (nopClose) Close() error                 { return nil }
+func (nopClose) CloseWithError(_ error) error { return nil }
+
+// sink builds the pipeline's SinkFunc and a finish function run after
+// completion.
+func (s *Session) sink(st stageSpec) (transput.SinkFunc, func() error, error) {
+	nop := func() error { return nil }
+	switch st.name {
+	case "print":
+		return func(in transput.ItemReader) error {
+			for {
+				item, err := in.Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if _, err := s.out.Write(item); err != nil {
+					return err
+				}
+			}
+		}, nop, nil
+	case "discard":
+		return func(in transput.ItemReader) error {
+			_, err := transput.Drain(in)
+			return err
+		}, nop, nil
+	case "file":
+		if len(st.args) != 1 {
+			return nil, nil, fmt.Errorf("shell: file sink needs a path")
+		}
+		path := st.args[0].text
+		var collected []byte
+		sink := func(in transput.ItemReader) error {
+			for {
+				item, err := in.Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				collected = append(collected, item...)
+			}
+		}
+		finish := func() error {
+			return s.UFS.Host().WriteFile(path, collected)
+		}
+		return sink, finish, nil
+	default:
+		return nil, nil, fmt.Errorf("shell: unknown sink %q (try print, discard, file)", st.name)
+	}
+}
+
+// filterFor maps a stage spec to a filter from the library.  The
+// session is needed for filters with host-FS parameters (spell).
+func (s *Session) filterFor(st stageSpec) (transput.Filter, error) {
+	arg := func(i int) (string, bool) {
+		if i < len(st.args) {
+			return st.args[i].text, true
+		}
+		return "", false
+	}
+	num := func(i, dflt int) (int, error) {
+		txt, ok := arg(i)
+		if !ok {
+			return dflt, nil
+		}
+		return strconv.Atoi(txt)
+	}
+	mk := func(b transput.Body) (transput.Filter, error) {
+		return transput.Filter{Name: st.name, Body: b}, nil
+	}
+	switch st.name {
+	case "identity", "cat":
+		return mk(filters.Identity())
+	case "upcase":
+		return mk(filters.UpperCase())
+	case "lowcase", "downcase":
+		return mk(filters.LowerCase())
+	case "strip":
+		prefix, ok := arg(0)
+		if !ok {
+			prefix = "C"
+		}
+		return mk(filters.StripComments(prefix))
+	case "grep":
+		pat, ok := arg(0)
+		if !ok {
+			return transput.Filter{}, fmt.Errorf("shell: grep needs a pattern")
+		}
+		invert := false
+		if flag, ok := arg(1); ok && flag == "-v" {
+			invert = true
+		}
+		return mk(filters.Grep(pat, invert))
+	case "replace":
+		pat, ok1 := arg(0)
+		rep, ok2 := arg(1)
+		if !ok1 || !ok2 {
+			return transput.Filter{}, fmt.Errorf("shell: replace needs pattern and replacement")
+		}
+		return mk(filters.Replace(pat, rep))
+	case "head":
+		n, err := num(0, 10)
+		if err != nil {
+			return transput.Filter{}, err
+		}
+		return mk(filters.Head(n))
+	case "tail":
+		n, err := num(0, 10)
+		if err != nil {
+			return transput.Filter{}, err
+		}
+		return mk(filters.Tail(n))
+	case "ln", "linenumber":
+		return mk(filters.LineNumber())
+	case "sort":
+		return mk(filters.SortLines())
+	case "uniq":
+		return mk(filters.Uniq())
+	case "wc":
+		return mk(filters.WordCount())
+	case "rot13":
+		return mk(filters.Rot13())
+	case "expand":
+		n, err := num(0, 8)
+		if err != nil {
+			return transput.Filter{}, err
+		}
+		return mk(filters.ExpandTabs(n))
+	case "paginate":
+		n, err := num(0, 60)
+		if err != nil {
+			return transput.Filter{}, err
+		}
+		title, _ := arg(1)
+		return mk(filters.Paginate(n, title))
+	case "sed":
+		// Inline edit script: each argument is one command, e.g.
+		//   sed "s/old/new/" "d/pattern/"
+		// The commands become the editor's second (command) input.
+		if len(st.args) == 0 {
+			return transput.Filter{}, fmt.Errorf("shell: sed needs at least one command")
+		}
+		script := make([][]byte, len(st.args))
+		for i, a := range st.args {
+			script[i] = []byte(a.text + "\n")
+		}
+		body := func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+			return filters.StreamEditor()(
+				[]transput.ItemReader{ins[0], transput.NewSliceReader(script)}, outs)
+		}
+		return mk(body)
+	case "fold":
+		n, err := num(0, 72)
+		if err != nil {
+			return transput.Filter{}, err
+		}
+		return mk(filters.Fold(n))
+	case "pretty":
+		ind, ok := arg(0)
+		if !ok {
+			ind = "    "
+		}
+		return mk(filters.PrettyPrint(ind))
+	case "histogram", "freq":
+		return mk(filters.Histogram())
+	case "spell":
+		// spell /dict.txt — the dictionary is read from the host FS at
+		// build time and becomes the checker's second input.
+		path, ok := arg(0)
+		if !ok {
+			return transput.Filter{}, fmt.Errorf("shell: spell needs a dictionary path")
+		}
+		dict, err := s.UFS.Host().ReadFile(path)
+		if err != nil {
+			return transput.Filter{}, err
+		}
+		words := transput.SplitLines(dict)
+		body := func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+			return filters.SpellCheck()(
+				[]transput.ItemReader{ins[0], transput.NewSliceReader(words)}, outs)
+		}
+		return mk(body)
+	case "words":
+		return mk(filters.Words())
+	default:
+		return transput.Filter{}, fmt.Errorf("shell: unknown filter %q (try: %s)", st.name, strings.Join(FilterNames(), ", "))
+	}
+}
+
+// FilterNames lists the filters the shell accepts, for help text.
+func FilterNames() []string {
+	names := []string{
+		"cat", "upcase", "lowcase", "strip", "grep", "replace",
+		"head", "tail", "ln", "sort", "uniq", "wc", "rot13",
+		"expand", "paginate", "sed", "fold", "pretty", "histogram",
+		"words", "spell",
+	}
+	sort.Strings(names)
+	return names
+}
+
+const helpText = `pipelines:
+  <source> | <filter>... | <sink>   [options]
+sources: text "..."   count N   file /path   clock N
+sinks:   print   discard   file /path
+filters: ` + "cat upcase lowcase strip grep replace head tail ln sort uniq wc rot13 expand paginate sed fold pretty histogram words" + `
+options: discipline=readonly|writeonly|buffered  batch=N  prefetch=N  anticipation=N  cap=true
+commands:
+  ls [/path]        list host directory
+  put /path "text"  write host file
+  cat /path         show host file
+  mkdir /path       create host directory
+  rm /path          remove host file
+  stats             metrics since last stats
+  trace [n]         dump the last n invocations (default 20)
+  help              this text
+`

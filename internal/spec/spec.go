@@ -1,0 +1,128 @@
+// Package spec makes §2's behavioural compatibility executable.
+//
+// The paper: "Each Eject may be thought of as an abstract machine ...
+// Since this pattern of invocation and reply is all that other
+// entities can observe about the Eject, all Ejects with equivalent
+// state machines provide the same functionality. ... From the point of
+// view of an Eject trying to perform a Lookup operation, any Eject
+// which responds in the appropriate way is a satisfactory directory."
+// And the superset rule: "provided that S' contains all the operations
+// of S and that their semantics are the same, it does not matter to E
+// that S' contains other operations in addition."
+//
+// A Spec is a set of probes — operations with request vectors and
+// reply validators — and Conforms runs them against a live Eject.  An
+// Eject conforms if every probe succeeds, regardless of its Eden type
+// and regardless of any *other* operations it supports: conformance is
+// observational, exactly as in the paper.  (The 1983 system had no
+// mechanical checker; this is the reproduction's test instrument for
+// the paper's compatibility arguments.)
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/uid"
+)
+
+// Probe is one observation: invoke Op with Request and validate the
+// reply.
+type Probe struct {
+	// Name describes the probe in failure messages.
+	Name string
+	// Op is the operation to invoke.
+	Op string
+	// Request builds the request payload (a fresh one per run, since
+	// payloads may be mutated by transport).
+	Request func() any
+	// Validate inspects the reply payload; nil means any successful
+	// reply conforms.
+	Validate func(reply any) error
+	// AllowError, when non-nil, treats an invocation error matching
+	// the predicate as conforming (e.g. probing that an op is
+	// *refused* is itself a behavioural observation).
+	AllowError func(err error) bool
+}
+
+// Spec is a named set of probes: the abstract machine's observable
+// fragment.
+type Spec struct {
+	Name   string
+	Probes []Probe
+}
+
+// Violation describes one failed probe.
+type Violation struct {
+	Probe string
+	Op    string
+	Err   error
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s (%s): %v", v.Probe, v.Op, v.Err)
+}
+
+// ConformanceError aggregates a run's violations.
+type ConformanceError struct {
+	Spec       string
+	Target     uid.UID
+	Violations []Violation
+}
+
+// Error implements the error interface.
+func (e *ConformanceError) Error() string {
+	parts := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("spec: %s does not conform to %q: %s",
+		e.Target, e.Spec, strings.Join(parts, "; "))
+}
+
+// Conforms probes target and reports nil if every probe passes.
+// Probes run in order (earlier probes may establish state later ones
+// rely on, like the paper's List-then-Read directories).
+func Conforms(k *kernel.Kernel, from, target uid.UID, s Spec) error {
+	var violations []Violation
+	for _, p := range s.Probes {
+		raw, err := k.Invoke(from, target, p.Op, p.Request())
+		if err != nil {
+			if p.AllowError != nil && p.AllowError(err) {
+				continue
+			}
+			violations = append(violations, Violation{Probe: p.Name, Op: p.Op, Err: err})
+			continue
+		}
+		if p.AllowError != nil {
+			violations = append(violations, Violation{
+				Probe: p.Name, Op: p.Op,
+				Err: errors.New("operation succeeded but the spec requires refusal"),
+			})
+			continue
+		}
+		if p.Validate != nil {
+			if verr := p.Validate(raw); verr != nil {
+				violations = append(violations, Violation{Probe: p.Name, Op: p.Op, Err: verr})
+			}
+		}
+	}
+	if len(violations) > 0 {
+		return &ConformanceError{Spec: s.Name, Target: target, Violations: violations}
+	}
+	return nil
+}
+
+// expect asserts a reply's concrete type, returning it for further
+// validation.
+func expect[T any](raw any) (T, error) {
+	v, ok := raw.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("reply type %T, want %T", raw, zero)
+	}
+	return v, nil
+}

@@ -1,0 +1,156 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"asymstream/internal/device"
+	"asymstream/internal/fsys"
+	"asymstream/internal/kernel"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+func specKernel(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	k := kernel.New(kernel.Config{})
+	fsys.RegisterTypes(k)
+	t.Cleanup(k.Shutdown)
+	return k
+}
+
+// TestDirectoryAndConcatenatorConform is §2's central example run as a
+// check: "From the point of view of an Eject trying to perform a
+// Lookup operation, any Eject which responds in the appropriate way is
+// a satisfactory directory" — the concatenator passes the same
+// directory spec as the real directory, despite being a different Eden
+// type.
+func TestDirectoryAndConcatenatorConform(t *testing.T) {
+	k := specKernel(t)
+	_, dirUID, err := fsys.NewDirectory(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, catUID, err := fsys.NewDirectoryConcatenator(k, 0, []uid.UID{dirUID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Conforms(k, uid.Nil, dirUID, DirectorySpec()); err != nil {
+		t.Errorf("Directory does not conform: %v", err)
+	}
+	if err := Conforms(k, uid.Nil, catUID, DirectorySpec()); err != nil {
+		t.Errorf("Concatenator does not conform (the paper's whole point): %v", err)
+	}
+	// The full (mutating) spec: the directory satisfies it, the
+	// concatenator does not — a genuine behavioural difference the
+	// checker must see.
+	if err := Conforms(k, uid.Nil, dirUID, DirectoryMutableSpec()); err != nil {
+		t.Errorf("Directory does not conform to the full spec: %v", err)
+	}
+	if err := Conforms(k, uid.Nil, catUID, DirectoryMutableSpec()); err == nil {
+		t.Error("Concatenator claims to support AddEntry/DeleteEntry")
+	}
+}
+
+// TestSupersetRule: a directory is also a satisfactory *source*-of-
+// listings consumer target via its List stream, and — the superset
+// rule — a File (which supports Open, Stat, Map AND stream ops via
+// its transient streams) still conforms to MapSpec: extra operations
+// never hurt.
+func TestSupersetRule(t *testing.T) {
+	k := specKernel(t)
+	_, fileUID, err := fsys.NewFileWithContent(k, 0, []byte("content\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File speaks Map — despite also speaking Open/WriteFrom/Stat.
+	if err := Conforms(k, uid.Nil, fileUID, MapSpec()); err != nil {
+		t.Errorf("File does not conform to MapSpec: %v", err)
+	}
+	// MapStore speaks Map and refuses streams.
+	_, msUID, err := fsys.NewMapStore(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Conforms(k, uid.Nil, msUID, MapSpec()); err != nil {
+		t.Errorf("MapStore does not conform to MapSpec: %v", err)
+	}
+	if err := Conforms(k, uid.Nil, msUID, NotAStreamSpec()); err != nil {
+		t.Errorf("MapStore does not refuse Transfer: %v", err)
+	}
+}
+
+// TestSourcesConform: very different Eden types — a static stage, a
+// transient file stream, the clock device — all satisfy the same
+// source spec.
+func TestSourcesConform(t *testing.T) {
+	k := specKernel(t)
+
+	staticUID, staticChan, err := device.StaticSource(k, 0,
+		transput.SplitLines([]byte("x\n")), transput.ROStageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Conforms(k, uid.Nil, staticUID, SourceSpec(staticChan)); err != nil {
+		t.Errorf("static source: %v", err)
+	}
+
+	_, fileUID, err := fsys.NewFileWithContent(k, 0, []byte("y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fsys.Open(k, uid.Nil, fileUID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Conforms(k, uid.Nil, ref.UID, SourceSpec(ref.Channel)); err != nil {
+		t.Errorf("file stream: %v", err)
+	}
+
+	_, clockUID, err := device.NewClockSource(k, 0, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Conforms(k, uid.Nil, clockUID, SourceSpec(transput.Chan(0))); err != nil {
+		t.Errorf("clock: %v", err)
+	}
+}
+
+// TestNonConformanceIsDiagnosed: a file is not a directory, and the
+// error says which probes failed.
+func TestNonConformanceIsDiagnosed(t *testing.T) {
+	k := specKernel(t)
+	_, fileUID, err := fsys.NewFile(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Conforms(k, uid.Nil, fileUID, DirectorySpec())
+	if err == nil {
+		t.Fatal("a File conformed to the directory spec")
+	}
+	var ce *ConformanceError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error type %T", err)
+	}
+	if len(ce.Violations) != 2 {
+		t.Fatalf("violations = %v", ce.Violations)
+	}
+	if !strings.Contains(err.Error(), "Lookup") && !strings.Contains(err.Error(), "lookup") {
+		t.Fatalf("diagnosis missing op names: %v", err)
+	}
+}
+
+// TestAllowErrorRequiresRefusal: NotAStreamSpec fails against an Eject
+// that DOES serve Transfer.
+func TestAllowErrorRequiresRefusal(t *testing.T) {
+	k := specKernel(t)
+	srcUID, _, err := device.StaticSource(k, 0,
+		transput.SplitLines([]byte("x\n")), transput.ROStageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Conforms(k, uid.Nil, srcUID, NotAStreamSpec()); err == nil {
+		t.Fatal("a stream source passed the refuses-streams spec")
+	}
+}

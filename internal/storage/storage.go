@@ -1,0 +1,220 @@
+// Package storage implements the "stable storage" beneath the Eden
+// kernel's Checkpoint primitive.
+//
+// Per the paper (§1): "An Eject may perform a Checkpoint operation.
+// The effect of Checkpointing is to create a Passive Representation, a
+// data structure designed to be durable across system crashes. ...
+// The checkpoint primitive is the only mechanism provided by the Eden
+// kernel whereby an Eject may access stable storage (i.e. the disk)."
+//
+// The store keeps, per UID, a version-numbered history of passive
+// representations together with the Eden type name needed to
+// re-instantiate the Eject on activation.  A Crash of the volatile
+// system never touches this store; recovery reads the latest version.
+// The history depth is bounded so long-running simulations do not grow
+// without limit.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"asymstream/internal/uid"
+)
+
+// PassiveRep is one checkpointed state of an Eject.
+type PassiveRep struct {
+	// EdenType names the type-code that can reconstruct the Eject.
+	EdenType string
+	// Version is 1 for the first checkpoint and increases by one per
+	// checkpoint of the same UID.
+	Version uint64
+	// Data is the Eject-defined serialised state.
+	Data []byte
+}
+
+// ErrNotFound is returned when a UID has never checkpointed.
+var ErrNotFound = errors.New("storage: no passive representation")
+
+// ErrNoSuchVersion is returned when a requested version has been
+// truncated or never existed.
+var ErrNoSuchVersion = errors.New("storage: no such version")
+
+// Store is a stable store for passive representations.  It is safe
+// for concurrent use.  The zero value is not usable; call NewStore.
+type Store struct {
+	mu      sync.RWMutex
+	history int
+	reps    map[uid.UID][]PassiveRep // ascending by Version
+	writes  int64
+}
+
+// NewStore creates a Store that retains up to history versions per
+// UID (minimum 1).
+func NewStore(history int) *Store {
+	if history < 1 {
+		history = 1
+	}
+	return &Store{history: history, reps: make(map[uid.UID][]PassiveRep)}
+}
+
+// Checkpoint appends a new passive representation for id and returns
+// its version number.  The data slice is copied, so the caller may
+// reuse its buffer.
+func (s *Store) Checkpoint(id uid.UID, edenType string, data []byte) (uint64, error) {
+	if id.IsNil() {
+		return 0, errors.New("storage: nil UID")
+	}
+	if edenType == "" {
+		return 0, errors.New("storage: empty Eden type")
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist := s.reps[id]
+	var version uint64 = 1
+	if len(hist) > 0 {
+		last := hist[len(hist)-1]
+		if last.EdenType != edenType {
+			return 0, fmt.Errorf("storage: %s checkpointed as %q, was %q", id, edenType, last.EdenType)
+		}
+		version = last.Version + 1
+	}
+	hist = append(hist, PassiveRep{EdenType: edenType, Version: version, Data: cp})
+	if len(hist) > s.history {
+		hist = hist[len(hist)-s.history:]
+	}
+	s.reps[id] = hist
+	s.writes++
+	return version, nil
+}
+
+// GroupEntry is one member of an atomic group checkpoint.
+type GroupEntry struct {
+	ID       uid.UID
+	EdenType string
+	Data     []byte
+}
+
+// CheckpointGroup commits several passive representations atomically:
+// either every entry gains a new version or none does.  This is the
+// transaction-free subset of the full Eden file system's "atomic
+// updates" (§7 cites the Eden Transaction-Based File System design);
+// the store is the single commit point, so atomicity is simply
+// holding the lock across the validations and the writes.
+func (s *Store) CheckpointGroup(entries []GroupEntry) ([]uint64, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	seen := make(map[uid.UID]bool, len(entries))
+	for _, e := range entries {
+		if e.ID.IsNil() {
+			return nil, errors.New("storage: nil UID in group")
+		}
+		if e.EdenType == "" {
+			return nil, errors.New("storage: empty Eden type in group")
+		}
+		if seen[e.ID] {
+			return nil, fmt.Errorf("storage: duplicate UID %s in group", e.ID)
+		}
+		seen[e.ID] = true
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Validate everything before mutating anything.
+	versions := make([]uint64, len(entries))
+	for i, e := range entries {
+		hist := s.reps[e.ID]
+		versions[i] = 1
+		if len(hist) > 0 {
+			last := hist[len(hist)-1]
+			if last.EdenType != e.EdenType {
+				return nil, fmt.Errorf("storage: %s checkpointed as %q, was %q (group aborted)",
+					e.ID, e.EdenType, last.EdenType)
+			}
+			versions[i] = last.Version + 1
+		}
+	}
+	// Commit.
+	for i, e := range entries {
+		cp := make([]byte, len(e.Data))
+		copy(cp, e.Data)
+		hist := append(s.reps[e.ID], PassiveRep{EdenType: e.EdenType, Version: versions[i], Data: cp})
+		if len(hist) > s.history {
+			hist = hist[len(hist)-s.history:]
+		}
+		s.reps[e.ID] = hist
+		s.writes++
+	}
+	return versions, nil
+}
+
+// Latest returns the most recent passive representation for id.
+func (s *Store) Latest(id uid.UID) (PassiveRep, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hist := s.reps[id]
+	if len(hist) == 0 {
+		return PassiveRep{}, ErrNotFound
+	}
+	rep := hist[len(hist)-1]
+	rep.Data = append([]byte(nil), rep.Data...)
+	return rep, nil
+}
+
+// Version returns a specific checkpointed version for id.
+func (s *Store) Version(id uid.UID, version uint64) (PassiveRep, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hist := s.reps[id]
+	if len(hist) == 0 {
+		return PassiveRep{}, ErrNotFound
+	}
+	for _, rep := range hist {
+		if rep.Version == version {
+			rep.Data = append([]byte(nil), rep.Data...)
+			return rep, nil
+		}
+	}
+	return PassiveRep{}, fmt.Errorf("%w: %s v%d", ErrNoSuchVersion, id, version)
+}
+
+// Exists reports whether id has ever checkpointed.
+func (s *Store) Exists(id uid.UID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.reps[id]) > 0
+}
+
+// Delete removes every passive representation of id (an Eject that
+// deactivates without checkpointing "disappears", §7; an Eject that is
+// destroyed does so explicitly).
+func (s *Store) Delete(id uid.UID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.reps, id)
+}
+
+// UIDs lists, in canonical order, every UID with stored state.
+func (s *Store) UIDs() []uid.UID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]uid.UID, 0, len(s.reps))
+	for id := range s.reps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
+}
+
+// Writes reports the total number of checkpoints ever taken.
+func (s *Store) Writes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.writes
+}

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"asymstream/internal/uid"
+)
+
+func TestCheckpointAndLatest(t *testing.T) {
+	s := NewStore(4)
+	id := uid.New()
+	v, err := s.Checkpoint(id, "test.Type", []byte("state1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("first version = %d, want 1", v)
+	}
+	rep, err := s.Latest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EdenType != "test.Type" || string(rep.Data) != "state1" || rep.Version != 1 {
+		t.Fatalf("latest = %+v", rep)
+	}
+}
+
+func TestVersionsIncrease(t *testing.T) {
+	s := NewStore(10)
+	id := uid.New()
+	for i := 1; i <= 5; i++ {
+		v, err := s.Checkpoint(id, "t", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i) {
+			t.Fatalf("version = %d, want %d", v, i)
+		}
+	}
+	rep, err := s.Version(id, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Data[0] != 3 {
+		t.Fatalf("version 3 data = %v", rep.Data)
+	}
+}
+
+func TestHistoryTruncation(t *testing.T) {
+	s := NewStore(2)
+	id := uid.New()
+	for i := 1; i <= 5; i++ {
+		if _, err := s.Checkpoint(id, "t", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Version(id, 1); !errors.Is(err, ErrNoSuchVersion) {
+		t.Errorf("truncated version should be gone, got %v", err)
+	}
+	if rep, err := s.Version(id, 5); err != nil || rep.Data[0] != 5 {
+		t.Errorf("latest version missing: %v %v", rep, err)
+	}
+	if rep, err := s.Version(id, 4); err != nil || rep.Data[0] != 4 {
+		t.Errorf("second-latest version missing: %v %v", rep, err)
+	}
+}
+
+func TestLatestMissing(t *testing.T) {
+	s := NewStore(1)
+	if _, err := s.Latest(uid.New()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, err := s.Version(uid.New(), 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestTypeMismatchRejected(t *testing.T) {
+	s := NewStore(4)
+	id := uid.New()
+	if _, err := s.Checkpoint(id, "typeA", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(id, "typeB", nil); err == nil {
+		t.Fatal("type change across checkpoints must be rejected")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	s := NewStore(1)
+	if _, err := s.Checkpoint(uid.Nil, "t", nil); err == nil {
+		t.Error("nil UID accepted")
+	}
+	if _, err := s.Checkpoint(uid.New(), "", nil); err == nil {
+		t.Error("empty type accepted")
+	}
+}
+
+func TestDataIsCopied(t *testing.T) {
+	s := NewStore(1)
+	id := uid.New()
+	buf := []byte("original")
+	if _, err := s.Checkpoint(id, "t", buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBER!")
+	rep, err := s.Latest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Data) != "original" {
+		t.Fatalf("stored data aliased caller's buffer: %q", rep.Data)
+	}
+	// And the returned copy must not alias the store.
+	rep.Data[0] = 'X'
+	rep2, _ := s.Latest(id)
+	if string(rep2.Data) != "original" {
+		t.Fatal("Latest returned an aliasing slice")
+	}
+}
+
+func TestDeleteAndExists(t *testing.T) {
+	s := NewStore(1)
+	id := uid.New()
+	if s.Exists(id) {
+		t.Fatal("Exists before checkpoint")
+	}
+	if _, err := s.Checkpoint(id, "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exists(id) {
+		t.Fatal("not Exists after checkpoint")
+	}
+	s.Delete(id)
+	if s.Exists(id) {
+		t.Fatal("Exists after delete")
+	}
+	s.Delete(id) // idempotent
+}
+
+func TestUIDsSorted(t *testing.T) {
+	s := NewStore(1)
+	for i := 0; i < 20; i++ {
+		if _, err := s.Checkpoint(uid.New(), "t", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := s.UIDs()
+	if len(ids) != 20 {
+		t.Fatalf("UIDs() len = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if !ids[i-1].Less(ids[i]) {
+			t.Fatalf("UIDs not sorted at %d", i)
+		}
+	}
+	if s.Writes() != 20 {
+		t.Fatalf("Writes() = %d", s.Writes())
+	}
+}
+
+func TestCheckpointDataRoundTripProperty(t *testing.T) {
+	s := NewStore(3)
+	f := func(data []byte) bool {
+		id := uid.New()
+		if _, err := s.Checkpoint(id, "t", data); err != nil {
+			return false
+		}
+		rep, err := s.Latest(id)
+		if err != nil {
+			return false
+		}
+		if len(rep.Data) != len(data) {
+			return false
+		}
+		for i := range data {
+			if rep.Data[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

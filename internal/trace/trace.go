@@ -1,0 +1,110 @@
+// Package trace collects kernel invocation events into a bounded ring
+// buffer so that sessions and tests can inspect the invocation traffic
+// the paper's arguments are about, event by event.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"asymstream/internal/kernel"
+)
+
+// Ring is a fixed-capacity event collector.  It is safe for
+// concurrent use and is intended to be installed as a kernel's Trace
+// hook:
+//
+//	ring := trace.NewRing(1024)
+//	k := kernel.New(kernel.Config{Trace: ring.Record})
+type Ring struct {
+	mu    sync.Mutex
+	buf   []kernel.TraceEvent
+	next  int
+	full  bool
+	total int64
+}
+
+// NewRing creates a ring retaining the latest n events (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]kernel.TraceEvent, n)}
+}
+
+// Record stores one event; it is the kernel.TraceFunc.
+func (r *Ring) Record(ev kernel.TraceEvent) {
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total reports how many events have ever been recorded.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []kernel.TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]kernel.TraceEvent, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]kernel.TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Reset discards all retained events (the total keeps counting).
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.next = 0
+	r.full = false
+	r.mu.Unlock()
+}
+
+// Dump writes the retained events to w, one line each:
+//
+//	#42 Transput.Transfer  0->1  1f2e… -> 9c0a…  312µs
+func (r *Ring) Dump(w io.Writer) error {
+	for _, ev := range r.Events() {
+		status := "ok"
+		if ev.Err != "" {
+			status = "ERR " + ev.Err
+		}
+		from := "external"
+		if !ev.From.IsNil() {
+			from = ev.From.String()[:8]
+		}
+		if _, err := fmt.Fprintf(w, "#%-6d %-24s %d->%d  %s -> %s  %8s  %s\n",
+			ev.MsgID, ev.Op, ev.FromNode, ev.ToNode,
+			from, ev.Target.String()[:8],
+			ev.Elapsed.Round(1000), status); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByOp aggregates the retained events by operation name — a
+// quick per-op histogram of the traffic.
+func (r *Ring) CountByOp() map[string]int {
+	counts := make(map[string]int)
+	for _, ev := range r.Events() {
+		counts[ev.Op]++
+	}
+	return counts
+}

@@ -1,0 +1,135 @@
+package transput
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/uid"
+)
+
+// Port-level micro-benchmarks: the costs inside one stream hop.
+
+func benchKernel(b *testing.B) *kernel.Kernel {
+	b.Helper()
+	k := kernel.New(kernel.Config{})
+	b.Cleanup(k.Shutdown)
+	return k
+}
+
+// BenchmarkTransferHop measures one pull over a warm channel at
+// several batch sizes.
+func BenchmarkTransferHop(b *testing.B) {
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			k := benchKernel(b)
+			st := NewROStage(k, ROStageConfig{Name: "src", Anticipation: 1024},
+				func(_ []ItemReader, outs []ItemWriter) error {
+					for {
+						if err := outs[0].Put([]byte("sixteen-byte-pay")); err != nil {
+							return nil
+						}
+					}
+				})
+			id := k.NewUID()
+			if err := k.CreateWithUID(id, st, 0); err != nil {
+				b.Fatal(err)
+			}
+			st.Start()
+			in := NewInPort(k, uid.Nil, id, Chan(0), InPortConfig{Batch: batch})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.Next(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			in.Cancel("bench done")
+		})
+	}
+}
+
+// BenchmarkDeliverHop measures one push into a draining sink.
+func BenchmarkDeliverHop(b *testing.B) {
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			k := benchKernel(b)
+			st := NewWOStage(k, WOStageConfig{Name: "sink", Capacity: 1024},
+				func(ins []ItemReader, _ []ItemWriter) error {
+					_, err := Drain(ins[0])
+					return err
+				})
+			id := k.NewUID()
+			if err := k.CreateWithUID(id, st, 0); err != nil {
+				b.Fatal(err)
+			}
+			st.Start()
+			p := NewPusher(k, uid.Nil, id, Chan(0), PusherConfig{Batch: batch})
+			item := []byte("sixteen-byte-pay")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Put(item); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = p.Close()
+		})
+	}
+}
+
+// BenchmarkChannelWriterPut measures the intra-Eject write path alone
+// (no invocation): the §4 "standard IO module" buffer operation.  A
+// fresh buffer is cycled in whenever the current one fills (nothing
+// consumes during the measurement), amortised over 2^20 puts.
+func BenchmarkChannelWriterPut(b *testing.B) {
+	const chunk = 1 << 20
+	item := []byte("sixteen-byte-pay")
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		port := NewOutPort(nil, OutPortConfig{})
+		w := port.Declare("Output", 0, chunk)
+		n := b.N - done
+		if n > chunk {
+			n = chunk
+		}
+		for j := 0; j < n; j++ {
+			if err := w.Put(item); err != nil {
+				b.Fatal(err)
+			}
+		}
+		done += n
+	}
+}
+
+// BenchmarkRecordCodec measures §6 framing alone.
+func BenchmarkRecordCodec(b *testing.B) {
+	type rec struct {
+		Seq  int
+		Name string
+	}
+	var cw CollectWriter
+	w := NewRecordWriter[rec](&cw)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cw.Items = cw.Items[:0]
+			cw.Items = nil
+			if err := w.Write(rec{Seq: i, Name: "bench"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Prepare one encoded item for decode.
+	cw.Items = nil
+	_ = w.Write(rec{Seq: 1, Name: "bench"})
+	encoded := cw.Items[0]
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := NewRecordReader[rec](NewSliceReader([][]byte{encoded}))
+			if _, err := r.Read(); err != nil && err != io.EOF {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package transput
+
+import (
+	"fmt"
+	"sync"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/metrics"
+)
+
+// PassiveBuffer is a Unix-pipe-like Eject: it performs passive input
+// in response to Deliver and passive output in response to Transfer,
+// buffering in between.  §3: "Because entities like Unix pipes perform
+// both buffering and passive transput, I will refer to them as passive
+// buffers. ... The passive buffer provides the active transput
+// operations with the necessary correspondents."
+//
+// It exists for the conventional-discipline baseline (Figure 1
+// transliterated into Eden): connecting two active filters requires
+// one of these between them, which is precisely the Eject and
+// invocation overhead the read-only discipline eliminates.  It also
+// reappears in the paper's §5 as the pragmatic fix for secondary
+// streams under a single-pair discipline.
+type PassiveBuffer struct {
+	name     string
+	met      *metrics.Set
+	capacity int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	buf          [][]byte
+	expectedEnds int
+	ends         int
+	abortErr     *AbortedError
+
+	deliversServed  int64
+	transfersServed int64
+}
+
+// PassiveBufferConfig parameterises a PassiveBuffer.
+type PassiveBufferConfig struct {
+	Name string
+	// Capacity bounds the buffer in items; 0 means DefaultCapacity,
+	// negative means 1.
+	Capacity int
+	// Writers is the number of End marks that complete the stream
+	// (fan-in degree); minimum 1.
+	Writers int
+}
+
+// NewPassiveBuffer creates a passive buffer Eject.  k may be nil in
+// unit tests (metering is then dropped).
+func NewPassiveBuffer(k *kernel.Kernel, cfg PassiveBufferConfig) *PassiveBuffer {
+	capacity := cfg.Capacity
+	switch {
+	case capacity < 0:
+		capacity = 1
+	case capacity == 0:
+		capacity = DefaultCapacity
+	}
+	writers := cfg.Writers
+	if writers < 1 {
+		writers = 1
+	}
+	var met *metrics.Set
+	if k != nil {
+		met = k.Metrics()
+	} else {
+		met = &metrics.Set{}
+	}
+	b := &PassiveBuffer{
+		name:         cfg.Name,
+		met:          met,
+		capacity:     capacity,
+		expectedEnds: writers,
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// EdenType implements kernel.Eject.
+func (b *PassiveBuffer) EdenType() string { return "transput.PassiveBuffer" }
+
+func (b *PassiveBuffer) endedLocked() bool { return b.ends >= b.expectedEnds }
+
+// Serve implements kernel.Eject, answering both stream directions on
+// channel 0 (a pipe has exactly one stream).
+func (b *PassiveBuffer) Serve(inv *kernel.Invocation) {
+	switch inv.Op {
+	case OpDeliver:
+		b.serveDeliver(inv)
+	case OpTransfer:
+		b.serveTransfer(inv)
+	case OpChannels:
+		inv.Reply(&ChannelsReply{Channels: []ChannelAdvert{
+			{Name: "Input", ID: Chan(0), Dir: "in"},
+			{Name: "Output", ID: Chan(0), Dir: "out"},
+		}})
+	case OpAbort:
+		req, ok := inv.Payload.(*AbortRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return
+		}
+		b.mu.Lock()
+		if b.abortErr == nil {
+			b.abortErr = &AbortedError{Msg: req.Msg}
+		}
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		inv.Reply(&AbortReply{})
+	default:
+		inv.Fail(fmt.Errorf("%w: %q on passive buffer %q", kernel.ErrNoSuchOperation, inv.Op, b.name))
+	}
+}
+
+func (b *PassiveBuffer) serveDeliver(inv *kernel.Invocation) {
+	req, ok := inv.Payload.(*DeliverRequest)
+	if !ok {
+		inv.Fail(kernel.ErrNoSuchOperation)
+		return
+	}
+	b.met.DeliverInvocations.Inc()
+	b.mu.Lock()
+	for _, item := range req.Items {
+		for len(b.buf) >= b.capacity && b.abortErr == nil {
+			b.cond.Wait()
+		}
+		if b.abortErr != nil {
+			break
+		}
+		b.buf = append(b.buf, append([]byte(nil), item...))
+		b.cond.Broadcast()
+	}
+	if b.abortErr != nil {
+		msg := b.abortErr.Msg
+		b.mu.Unlock()
+		inv.Reply(&DeliverReply{Status: StatusAborted, AbortMsg: msg})
+		return
+	}
+	if req.End {
+		b.ends++
+		b.cond.Broadcast()
+	}
+	b.deliversServed++
+	b.mu.Unlock()
+	b.met.ItemsMoved.Add(int64(len(req.Items)))
+	inv.Reply(&DeliverReply{Status: StatusOK})
+}
+
+func (b *PassiveBuffer) serveTransfer(inv *kernel.Invocation) {
+	req, ok := inv.Payload.(*TransferRequest)
+	if !ok {
+		inv.Fail(kernel.ErrNoSuchOperation)
+		return
+	}
+	b.met.TransferInvocations.Inc()
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+	b.mu.Lock()
+	for len(b.buf) == 0 && !b.endedLocked() && b.abortErr == nil {
+		b.cond.Wait()
+	}
+	if b.abortErr != nil && len(b.buf) == 0 {
+		msg := b.abortErr.Msg
+		b.mu.Unlock()
+		inv.Reply(&TransferReply{Status: StatusAborted, AbortMsg: msg})
+		return
+	}
+	n := len(b.buf)
+	if n > max {
+		n = max
+	}
+	items := make([][]byte, n)
+	copy(items, b.buf[:n])
+	rest := b.buf[n:]
+	for i := range b.buf[:n] {
+		b.buf[i] = nil
+	}
+	b.buf = append(b.buf[:0], rest...)
+	status := StatusOK
+	if b.endedLocked() && len(b.buf) == 0 {
+		status = StatusEnd
+	}
+	b.transfersServed++
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	b.met.ItemsMoved.Add(int64(n))
+	inv.Reply(&TransferReply{Items: items, Status: status})
+}
+
+// OnDeactivate aborts the buffer, releasing parked workers.
+func (b *PassiveBuffer) OnDeactivate() {
+	b.mu.Lock()
+	if b.abortErr == nil {
+		b.abortErr = &AbortedError{Msg: "buffer deactivated"}
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Buffered reports the items currently queued.
+func (b *PassiveBuffer) Buffered() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}

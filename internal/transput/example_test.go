@@ -1,0 +1,142 @@
+package transput_test
+
+import (
+	"fmt"
+	"io"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// ExampleBuildPipeline assembles the paper's Figure 2: a read-only
+// pipeline in which the sink pulls and nothing ever performs a Write
+// invocation.
+func ExampleBuildPipeline() {
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+
+	src := func(out transput.ItemWriter) error {
+		for _, s := range []string{"C comment", "      CODE"} {
+			if err := out.Put([]byte(s)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	strip := transput.Filter{Name: "strip", Body: func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		for {
+			item, err := ins[0].Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if item[0] != 'C' {
+				if err := outs[0].Put(item); err != nil {
+					return err
+				}
+			}
+		}
+	}}
+	sink := func(in transput.ItemReader) error {
+		for {
+			item, err := in.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(item))
+		}
+	}
+
+	p, err := transput.BuildPipeline(k, transput.ReadOnly, src, []transput.Filter{strip}, sink, transput.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := p.Run(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("ejects:", p.Ejects())
+	// Output:
+	//       CODE
+	// ejects: 3
+}
+
+// ExampleInPort_Redirect retargets a live consumer between two
+// sources — §8's dynamic redirection: only a (UID, channel) pair is
+// ever needed.
+func ExampleInPort_Redirect() {
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+
+	mkSource := func(lines ...string) (uid.UID, transput.ChannelID) {
+		st := transput.NewROStage(k, transput.ROStageConfig{Name: "src"},
+			func(_ []transput.ItemReader, outs []transput.ItemWriter) error {
+				for _, l := range lines {
+					if err := outs[0].Put([]byte(l)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		id := k.NewUID()
+		if err := k.CreateWithUID(id, st, 0); err != nil {
+			panic(err)
+		}
+		st.Start()
+		return id, st.Writer(0).ID()
+	}
+	aUID, aChan := mkSource("from A")
+	bUID, bChan := mkSource("from B")
+
+	in := transput.NewInPort(k, uid.Nil, aUID, aChan, transput.InPortConfig{})
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		fmt.Println(string(item))
+	}
+	_ = in.Redirect(bUID, bChan, "")
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		fmt.Println(string(item))
+	}
+	// Output:
+	// from A
+	// from B
+}
+
+// ExampleRecordWriter moves typed records over the byte-item protocol
+// (§6's "streams of arbitrary records").
+func ExampleRecordWriter() {
+	type reading struct {
+		Station string
+		TempC   float64
+	}
+	var cw transput.CollectWriter
+	w := transput.NewRecordWriter[reading](&cw)
+	_ = w.Write(reading{Station: "KSEA", TempC: 11.5})
+	_ = w.Write(reading{Station: "KPDX", TempC: 13.0})
+
+	r := transput.NewRecordReader[reading](transput.NewSliceReader(cw.Items))
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		fmt.Printf("%s %.1f\n", rec.Station, rec.TempC)
+	}
+	// Output:
+	// KSEA 11.5
+	// KPDX 13.0
+}

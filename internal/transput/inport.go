@@ -1,0 +1,278 @@
+package transput
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/metrics"
+	"asymstream/internal/uid"
+)
+
+// InPort is the active-input half of the read-only discipline: it
+// issues Transfer invocations against a source Eject's channel and
+// hands the resulting items to the application through the
+// conventional-looking Next (Read) interface.
+//
+// Two knobs correspond to the paper's ablations:
+//
+//   - Batch is the Max parameter on each Transfer (how many items one
+//     invocation may return).  Batch 1 reproduces the paper's
+//     one-datum-per-invocation accounting.
+//
+//   - Prefetch enables anticipatory pulling: a background process (a
+//     goroutine — one of the Eject's "worker processes") pulls ahead
+//     of the consumer into a local buffer of the given number of
+//     batches.  Prefetch 0 is the demand-driven (lazy) limit: a
+//     Transfer is issued only when the consumer actually needs data.
+//
+// Stream order is preserved because at most one Transfer is
+// outstanding per InPort at any instant: the protocol (like the
+// paper's) has no sequence numbers, so a second concurrent Transfer on
+// the same channel could be serviced out of order.  Overlap comes from
+// pulling *ahead*, never from pulling *concurrently*.
+type InPort struct {
+	k       *kernel.Kernel
+	met     *metrics.Set
+	self    uid.UID
+	source  uid.UID
+	channel ChannelID
+	batch   int
+	pref    int
+
+	mu        sync.Mutex
+	pending   [][]byte
+	done      bool
+	err       error // nil for normal EOF
+	cancelled bool
+
+	// prefetch machinery (pref > 0)
+	ahead    chan pulled
+	pullerOn bool
+	stopPull chan struct{}
+	pullerWG sync.WaitGroup
+
+	transfersIssued int64
+	itemsIn         int64
+}
+
+// pulled is one Transfer's worth of results moving from the puller
+// goroutine to the consumer.
+type pulled struct {
+	items  [][]byte
+	status Status
+	err    error
+}
+
+// InPortConfig parameterises an InPort.
+type InPortConfig struct {
+	// Batch is Max per Transfer; <=0 means 1.
+	Batch int
+	// Prefetch is the local read-ahead buffer in batches; <=0 means
+	// demand-driven.
+	Prefetch int
+}
+
+// NewInPort creates an active-input port.  self identifies the
+// invoking Eject (uid.Nil for external drivers such as device pumps
+// or tests); source and channel name the stream to pull from — exactly
+// the two facts §4 says a filter must be initialised with ("one of
+// them is the Unique Identifier of the Eject from which it is to
+// obtain its input", plus the channel identifier of §5).
+func NewInPort(k *kernel.Kernel, self, source uid.UID, channel ChannelID, cfg InPortConfig) *InPort {
+	if k == nil {
+		panic("transput: NewInPort requires a kernel")
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	pref := cfg.Prefetch
+	if pref < 0 {
+		pref = 0
+	}
+	return &InPort{
+		k:       k,
+		met:     k.Metrics(),
+		self:    self,
+		source:  source,
+		channel: channel,
+		batch:   batch,
+		pref:    pref,
+	}
+}
+
+// Source returns the UID this port pulls from.
+func (p *InPort) Source() uid.UID { return p.source }
+
+// Channel returns the channel identifier this port reads.
+func (p *InPort) Channel() ChannelID { return p.channel }
+
+// transfer issues one synchronous Transfer and normalises the result.
+func (p *InPort) transfer() pulled {
+	p.mu.Lock()
+	p.transfersIssued++
+	p.mu.Unlock()
+	raw, err := p.k.Invoke(p.self, p.source, OpTransfer, &TransferRequest{
+		Channel: p.channel,
+		Max:     p.batch,
+	})
+	if err != nil {
+		return pulled{err: err}
+	}
+	rep, ok := raw.(*TransferReply)
+	if !ok {
+		return pulled{err: fmt.Errorf("transput: bad Transfer reply type %T", raw)}
+	}
+	switch rep.Status {
+	case StatusOK, StatusEnd:
+		return pulled{items: rep.Items, status: rep.Status}
+	default:
+		return pulled{err: statusErr(rep.Status, rep.AbortMsg)}
+	}
+}
+
+// startPullerLocked arms the anticipatory puller.  Caller holds p.mu.
+func (p *InPort) startPullerLocked() {
+	p.ahead = make(chan pulled, p.pref)
+	p.stopPull = make(chan struct{})
+	p.pullerOn = true
+	p.pullerWG.Add(1)
+	go func() {
+		defer p.pullerWG.Done()
+		defer close(p.ahead)
+		for {
+			select {
+			case <-p.stopPull:
+				return
+			default:
+			}
+			res := p.transfer()
+			select {
+			case p.ahead <- res:
+			case <-p.stopPull:
+				return
+			}
+			if res.err != nil || res.status == StatusEnd {
+				return
+			}
+		}
+	}()
+}
+
+// absorb integrates one pulled batch under p.mu.
+func (p *InPort) absorbLocked(res pulled) {
+	if res.err != nil {
+		p.done = true
+		p.err = res.err
+		return
+	}
+	p.pending = append(p.pending, res.items...)
+	if res.status == StatusEnd {
+		p.done = true
+	}
+}
+
+// Next returns the next item, or (nil, io.EOF) at end of stream.
+// It implements ItemReader.
+func (p *InPort) Next() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if len(p.pending) > 0 {
+			item := p.pending[0]
+			p.pending[0] = nil
+			p.pending = p.pending[1:]
+			p.itemsIn++
+			return item, nil
+		}
+		if p.done {
+			if p.err != nil {
+				return nil, p.err
+			}
+			return nil, io.EOF
+		}
+		if p.pref > 0 {
+			if !p.pullerOn {
+				p.startPullerLocked()
+			}
+			ahead := p.ahead
+			p.mu.Unlock()
+			res, ok := <-ahead
+			p.mu.Lock()
+			if p.done && p.err != nil {
+				continue // cancelled while waiting
+			}
+			if !ok {
+				// Puller exited without a final status (cancelled).
+				if !p.done {
+					p.done = true
+				}
+				continue
+			}
+			p.absorbLocked(res)
+			continue
+		}
+		// Demand-driven: one synchronous Transfer, issued without
+		// holding the lock so Cancel can proceed.
+		p.mu.Unlock()
+		res := p.transfer()
+		p.mu.Lock()
+		if p.done && p.err != nil {
+			continue // cancelled while waiting
+		}
+		p.absorbLocked(res)
+	}
+}
+
+// Cancel abandons the stream early and tells the source to abort the
+// channel, so an upstream producer blocked on a full buffer does not
+// wait forever.  Filters with early exit (head, grep -m) need this.
+// Cancel is idempotent; after it, Next returns an AbortedError.
+func (p *InPort) Cancel(msg string) {
+	p.mu.Lock()
+	if p.cancelled {
+		p.mu.Unlock()
+		return
+	}
+	p.cancelled = true
+	if p.done {
+		// The stream already ended normally (or failed); there is
+		// nothing upstream to release, and sending an Abort would
+		// pollute the invocation counts the experiments measure.
+		p.mu.Unlock()
+		p.pullerWG.Wait()
+		return
+	}
+	p.done = true
+	if p.err == nil {
+		p.err = &AbortedError{Msg: msg}
+	}
+	p.pending = nil
+	if p.pullerOn {
+		close(p.stopPull)
+	}
+	p.mu.Unlock()
+	// The abort wakes any Transfer worker parked on the channel
+	// (including our own in-flight pull).
+	_, _ = p.k.Invoke(p.self, p.source, OpAbort, &AbortRequest{Channel: p.channel, Msg: msg})
+	p.pullerWG.Wait()
+}
+
+// TransfersIssued reports how many Transfer invocations this port has
+// sent; the E1–E4 experiments derive invocations-per-datum from it.
+func (p *InPort) TransfersIssued() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.transfersIssued
+}
+
+// ItemsRead reports how many items the consumer has taken.
+func (p *InPort) ItemsRead() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.itemsIn
+}
+
+var _ ItemReader = (*InPort)(nil)

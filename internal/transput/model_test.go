@@ -1,0 +1,128 @@
+package transput
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"asymstream/internal/uid"
+)
+
+// Model-based test for PassiveBuffer: drive it with a random schedule
+// of writes and reads and compare against a plain FIFO model.  The
+// buffer's only observable contract is pipe semantics — whatever goes
+// in comes out once, in order, then EOF after End.
+func TestPassiveBufferAgainstFIFOModel(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			k := testKernel(t)
+			capacity := rng.Intn(8) + 1
+			buf := NewPassiveBuffer(k, PassiveBufferConfig{Name: "model", Capacity: capacity})
+			bufID, err := k.Create(buf, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			nItems := rng.Intn(200) + 1
+			var model [][]byte // reference FIFO
+			for i := 0; i < nItems; i++ {
+				item := make([]byte, rng.Intn(16))
+				rng.Read(item)
+				model = append(model, item)
+			}
+
+			// Writer pushes with random batch sizes.
+			push := NewPusher(k, uid.Nil, bufID, Chan(0), PusherConfig{Batch: rng.Intn(5) + 1})
+			go func() {
+				for _, item := range model {
+					if err := push.Put(item); err != nil {
+						return
+					}
+				}
+				_ = push.Close()
+			}()
+
+			// Reader pulls with a different random batch size.
+			in := NewInPort(k, uid.Nil, bufID, Chan(0), InPortConfig{Batch: rng.Intn(7) + 1})
+			var got [][]byte
+			for {
+				item, err := in.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, item)
+			}
+			if len(got) != len(model) {
+				t.Fatalf("cap=%d: got %d items, want %d", capacity, len(got), len(model))
+			}
+			for i := range model {
+				if !bytes.Equal(got[i], model[i]) {
+					t.Fatalf("cap=%d: item %d differs", capacity, i)
+				}
+			}
+		})
+	}
+}
+
+// Model-based test for the OutPort/InPort pair: a random pattern of
+// producer pauses, consumer batch sizes and anticipation bounds must
+// never reorder, drop or duplicate items.
+func TestOutPortAgainstFIFOModel(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed * 977))
+			k := testKernel(t)
+			nItems := rng.Intn(300) + 1
+			anticipation := rng.Intn(10) - 1 // includes -1 (sync) and 0 (default)
+			model := make([][]byte, nItems)
+			for i := range model {
+				model[i] = []byte(fmt.Sprintf("i%d", i))
+			}
+			st := NewROStage(k, ROStageConfig{Name: "model", Anticipation: anticipation},
+				func(_ []ItemReader, outs []ItemWriter) error {
+					for _, item := range model {
+						if err := outs[0].Put(item); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			id := k.NewUID()
+			if err := k.CreateWithUID(id, st, 0); err != nil {
+				t.Fatal(err)
+			}
+			st.Start()
+			in := NewInPort(k, uid.Nil, id, Chan(0), InPortConfig{
+				Batch:    rng.Intn(9) + 1,
+				Prefetch: rng.Intn(3),
+			})
+			var got [][]byte
+			for {
+				item, err := in.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, item)
+			}
+			if len(got) != nItems {
+				t.Fatalf("anticipation=%d: got %d, want %d", anticipation, len(got), nItems)
+			}
+			for i := range model {
+				if !bytes.Equal(got[i], model[i]) {
+					t.Fatalf("anticipation=%d: item %d = %q want %q", anticipation, i, got[i], model[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,383 @@
+package transput
+
+import (
+	"sync"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/metrics"
+	"asymstream/internal/uid"
+)
+
+// OutPort is the passive-output half of the read-only discipline: the
+// machinery an Eject embeds so that it can *respond to* Transfer
+// invocations.
+//
+// It realises §4's "standard IO module": "The standard IO module
+// obtained from a library would implement the usual Write operations
+// that put characters into a buffer.  However, that buffer would be
+// shared with a process that receives invocations which request data
+// and services them."  Here the application side writes through
+// ChannelWriter (a conventional-looking Put/Close API) into a bounded
+// per-channel buffer, and the Eject's Serve method hands Transfer
+// invocations to ServeTransfer, which blocks until data is available —
+// the kernel's worker pool provides "the process that services
+// requests".
+//
+// The buffer bound is the anticipatory-computation limit: a filter
+// runs ahead of its consumer until the buffer fills, then suspends —
+// "each Eject in a pipeline should read some input and buffer-up some
+// output, and then suspend processing pending a request for output"
+// (§4).  Capacity 0 is legal and gives fully synchronous handoff
+// (pure laziness: the producer cannot even compute one item ahead).
+type OutPort struct {
+	met     *metrics.Set
+	capMode bool
+	mintCap func() uid.UID
+
+	mu    sync.Mutex
+	chans []*outChannel
+	byNum map[ChannelNum]*outChannel
+	byCap map[uid.UID]*outChannel
+}
+
+// OutPortConfig parameterises an OutPort.
+type OutPortConfig struct {
+	// Capacity bounds each channel's anticipatory buffer in items.
+	// Negative means 0 (synchronous); zero means DefaultCapacity.
+	Capacity int
+	// CapabilityMode mints a UID per channel and requires Transfer
+	// requests to quote it (§5's unforgeable channel identifiers).
+	CapabilityMode bool
+}
+
+// DefaultCapacity is the per-channel anticipatory buffer bound used
+// when the config does not specify one.
+const DefaultCapacity = 64
+
+// NewOutPort creates an OutPort.  k supplies UID minting (capability
+// mode) and the metric set; it may be nil in unit tests, in which case
+// capability mode mints from the global generator and metering is
+// dropped on a private set.
+func NewOutPort(k *kernel.Kernel, cfg OutPortConfig) *OutPort {
+	var met *metrics.Set
+	mint := uid.New
+	if k != nil {
+		met = k.Metrics()
+		mint = k.NewUID
+	} else {
+		met = &metrics.Set{}
+	}
+	return &OutPort{
+		met:     met,
+		capMode: cfg.CapabilityMode,
+		mintCap: mint,
+		byNum:   make(map[ChannelNum]*outChannel),
+		byCap:   make(map[uid.UID]*outChannel),
+	}
+}
+
+// outChannel is one bounded stream buffer inside an OutPort.
+type outChannel struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	name     string
+	id       ChannelID
+	capacity int
+
+	buf      [][]byte
+	closed   bool
+	abortErr *AbortedError
+
+	transfersServed int64
+	itemsOut        int64
+}
+
+func newOutChannel(name string, id ChannelID, capacity int) *outChannel {
+	c := &outChannel{name: name, id: id, capacity: capacity}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Declare creates a channel and returns the writer the Eject's
+// application code uses to fill it.  In capability mode the channel's
+// unforgeable identifier is minted here; callers obtain it from the
+// writer's ID (or via OpChannels) to hand to authorised readers.
+// capacity < 0 selects a synchronous (capacity 0) channel, capacity
+// == 0 selects DefaultCapacity.
+func (p *OutPort) Declare(name string, num ChannelNum, capacity int) *ChannelWriter {
+	switch {
+	case capacity < 0:
+		capacity = 0
+	case capacity == 0:
+		capacity = DefaultCapacity
+	}
+	id := ChannelID{Num: num}
+	if p.capMode {
+		id.Cap = p.mintCap()
+	}
+	ch := newOutChannel(name, id, capacity)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.chans = append(p.chans, ch)
+	p.byNum[num] = ch
+	if p.capMode {
+		p.byCap[id.Cap] = ch
+	}
+	return &ChannelWriter{ch: ch}
+}
+
+// lookup resolves a requested ChannelID under the port's addressing
+// mode.
+func (p *OutPort) lookup(id ChannelID) (*outChannel, Status) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capMode {
+		if !id.IsCap() {
+			return nil, StatusNotPermitted
+		}
+		ch, ok := p.byCap[id.Cap]
+		if !ok {
+			return nil, StatusNotPermitted
+		}
+		return ch, StatusOK
+	}
+	ch, ok := p.byNum[id.Num]
+	if !ok {
+		return nil, StatusNoSuchChannel
+	}
+	return ch, StatusOK
+}
+
+// Adverts lists the port's channels for OpChannels.  In capability
+// mode this is how a pipeline builder learns the channel UIDs; the
+// security of the scheme "depends on the honesty of the Eject which
+// performs the interconnections" (§5), i.e. of whoever calls this.
+func (p *OutPort) Adverts() []ChannelAdvert {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ads := make([]ChannelAdvert, 0, len(p.chans))
+	for _, ch := range p.chans {
+		ads = append(ads, ChannelAdvert{Name: ch.name, ID: ch.id, Dir: "out"})
+	}
+	return ads
+}
+
+// ServeTransfer handles one Transfer invocation.  It blocks (parking
+// the kernel worker) until at least one item is available or the
+// stream ends — this blocking IS passive output.
+func (p *OutPort) ServeTransfer(inv *kernel.Invocation) {
+	req, ok := inv.Payload.(*TransferRequest)
+	if !ok {
+		inv.Fail(kernel.ErrNoSuchOperation)
+		return
+	}
+	p.met.TransferInvocations.Inc()
+	ch, st := p.lookup(req.Channel)
+	if st != StatusOK {
+		inv.Reply(&TransferReply{Status: st})
+		return
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+
+	ch.mu.Lock()
+	for len(ch.buf) == 0 && !ch.closed && ch.abortErr == nil {
+		ch.cond.Wait()
+	}
+	if ch.abortErr != nil {
+		msg := ch.abortErr.Msg
+		ch.mu.Unlock()
+		inv.Reply(&TransferReply{Status: StatusAborted, AbortMsg: msg})
+		return
+	}
+	n := len(ch.buf)
+	if n > max {
+		n = max
+	}
+	items := make([][]byte, n)
+	copy(items, ch.buf[:n])
+	// Release references so the GC can reclaim consumed items.
+	rest := ch.buf[n:]
+	for i := range ch.buf[:n] {
+		ch.buf[i] = nil
+	}
+	ch.buf = append(ch.buf[:0], rest...)
+	status := StatusOK
+	if ch.closed && len(ch.buf) == 0 {
+		// Combine the final batch with the end indication.
+		status = StatusEnd
+	}
+	ch.transfersServed++
+	ch.itemsOut += int64(n)
+	ch.cond.Broadcast() // wake writers waiting for space
+	ch.mu.Unlock()
+
+	p.met.ItemsMoved.Add(int64(n))
+	inv.Reply(&TransferReply{Items: items, Status: status})
+}
+
+// ServeAbort handles OpAbort: it aborts the named channel (or all).
+func (p *OutPort) ServeAbort(inv *kernel.Invocation) {
+	req, ok := inv.Payload.(*AbortRequest)
+	if !ok {
+		inv.Fail(kernel.ErrNoSuchOperation)
+		return
+	}
+	if req.All {
+		p.mu.Lock()
+		chans := append([]*outChannel(nil), p.chans...)
+		p.mu.Unlock()
+		for _, ch := range chans {
+			ch.abort(&AbortedError{Msg: req.Msg})
+		}
+		inv.Reply(&AbortReply{})
+		return
+	}
+	ch, st := p.lookup(req.Channel)
+	if st != StatusOK {
+		inv.Reply(&AbortReply{}) // aborting a nonexistent channel is a no-op
+		return
+	}
+	ch.abort(&AbortedError{Msg: req.Msg})
+	inv.Reply(&AbortReply{})
+}
+
+// Serve dispatches the transput operations an OutPort understands.
+// Eject types embed an OutPort and call this from their Serve for the
+// transput op names, handling their own ops otherwise.  It returns
+// false if the op is not a transput operation this port handles.
+func (p *OutPort) Serve(inv *kernel.Invocation) bool {
+	switch inv.Op {
+	case OpTransfer:
+		p.ServeTransfer(inv)
+	case OpChannels:
+		inv.Reply(&ChannelsReply{Channels: p.Adverts()})
+	case OpAbort:
+		p.ServeAbort(inv)
+	default:
+		return false
+	}
+	return true
+}
+
+// TransfersServed reports the total Transfer invocations served across
+// all channels.  The laziness experiment (E5) asserts this is zero
+// before any sink is connected.
+func (p *OutPort) TransfersServed() int64 {
+	p.mu.Lock()
+	chans := append([]*outChannel(nil), p.chans...)
+	p.mu.Unlock()
+	var n int64
+	for _, ch := range chans {
+		ch.mu.Lock()
+		n += ch.transfersServed
+		ch.mu.Unlock()
+	}
+	return n
+}
+
+// Buffered reports the total items currently buffered (anticipated but
+// not yet pulled) across all channels.
+func (p *OutPort) Buffered() int {
+	p.mu.Lock()
+	chans := append([]*outChannel(nil), p.chans...)
+	p.mu.Unlock()
+	n := 0
+	for _, ch := range chans {
+		ch.mu.Lock()
+		n += len(ch.buf)
+		ch.mu.Unlock()
+	}
+	return n
+}
+
+func (ch *outChannel) abort(err *AbortedError) {
+	ch.mu.Lock()
+	if ch.abortErr == nil && !ch.closed {
+		ch.abortErr = err
+	}
+	ch.cond.Broadcast()
+	ch.mu.Unlock()
+}
+
+// ChannelWriter is the application-side writer for one OutPort
+// channel: the conventional Write interface of §4's standard IO
+// module.  It implements ItemWriter.
+type ChannelWriter struct {
+	ch *outChannel
+}
+
+// ID returns the channel's identifier (including its capability, when
+// in capability mode).
+func (w *ChannelWriter) ID() ChannelID { return w.ch.id }
+
+// Name returns the channel's advertised name.
+func (w *ChannelWriter) Name() string { return w.ch.name }
+
+// Put appends one item, blocking while the anticipatory buffer is at
+// capacity.  The item is copied.
+func (w *ChannelWriter) Put(item []byte) error {
+	ch := w.ch
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.capacity == 0 {
+		// Rendezvous semantics: at most one item in flight, and Put
+		// returns only once a Transfer has consumed it.  This is the
+		// "pure laziness" limit of §4: the producer cannot compute
+		// even one item ahead of its consumer.
+		for len(ch.buf) > 0 && !ch.closed && ch.abortErr == nil {
+			ch.cond.Wait()
+		}
+		if ch.closed {
+			return ErrClosed
+		}
+		if ch.abortErr != nil {
+			return ch.abortErr
+		}
+		ch.buf = append(ch.buf, append([]byte(nil), item...))
+		ch.cond.Broadcast()
+		for len(ch.buf) > 0 && ch.abortErr == nil && !ch.closed {
+			ch.cond.Wait()
+		}
+		if ch.abortErr != nil {
+			return ch.abortErr
+		}
+		return nil
+	}
+	for len(ch.buf) >= ch.capacity && !ch.closed && ch.abortErr == nil {
+		ch.cond.Wait()
+	}
+	if ch.closed {
+		return ErrClosed
+	}
+	if ch.abortErr != nil {
+		return ch.abortErr
+	}
+	ch.buf = append(ch.buf, append([]byte(nil), item...))
+	ch.cond.Broadcast()
+	return nil
+}
+
+// Close marks normal end of stream.  Buffered items drain first;
+// readers then see StatusEnd.
+func (w *ChannelWriter) Close() error {
+	ch := w.ch
+	ch.mu.Lock()
+	ch.closed = true
+	ch.cond.Broadcast()
+	ch.mu.Unlock()
+	return nil
+}
+
+// CloseWithError aborts the channel: readers see StatusAborted with
+// the error's message, and further Puts fail.
+func (w *ChannelWriter) CloseWithError(err error) error {
+	if err == nil {
+		return w.Close()
+	}
+	w.ch.abort(&AbortedError{Msg: err.Error()})
+	return nil
+}

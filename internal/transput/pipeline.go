@@ -1,0 +1,377 @@
+package transput
+
+import (
+	"errors"
+	"fmt"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/netsim"
+	"asymstream/internal/uid"
+)
+
+// Discipline selects which corresponding pair of transput primitives a
+// pipeline is wired with.
+type Discipline int
+
+const (
+	// ReadOnly: active input + passive output (Figure 2).  Sinks pull.
+	ReadOnly Discipline = iota
+	// WriteOnly: active output + passive input (§5, Figure 3).
+	// Sources push.
+	WriteOnly
+	// Buffered: both active primitives with a PassiveBuffer Eject
+	// between every pair of stages (Figure 1 transliterated into
+	// Eden) — the paper's comparison baseline.
+	Buffered
+)
+
+// String names the discipline for logs and shell output.
+func (d Discipline) String() string {
+	switch d {
+	case ReadOnly:
+		return "read-only"
+	case WriteOnly:
+		return "write-only"
+	case Buffered:
+		return "buffered"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// SourceFunc produces the pipeline's data; it writes items and
+// returns.  The harness closes the writer.
+type SourceFunc func(out ItemWriter) error
+
+// SinkFunc consumes the pipeline's data until io.EOF.
+type SinkFunc func(in ItemReader) error
+
+// Filter names a single-input single-output stage body for linear
+// pipelines.  Multi-stream topologies (Figures 3 and 4) are assembled
+// from the stage types directly; see the reports example.
+type Filter struct {
+	Name string
+	Body Body
+}
+
+// Role identifies a pipeline element for placement decisions.
+type Role string
+
+// Placement roles.
+const (
+	RoleSource Role = "source"
+	RoleFilter Role = "filter"
+	RoleSink   Role = "sink"
+	RoleBuffer Role = "buffer"
+)
+
+// Options tunes a pipeline build.
+type Options struct {
+	// Batch is items per Transfer/Deliver (<=0 means 1, the paper's
+	// one-datum-per-invocation accounting).
+	Batch int
+	// Prefetch is the InPort read-ahead in batches (read-only and
+	// buffered disciplines).
+	Prefetch int
+	// Anticipation bounds each stage's internal buffer: the OutPort
+	// buffer in read-only mode, the WOInPort buffer in write-only
+	// mode.  0 means DefaultCapacity; negative means minimal
+	// (synchronous handoff / single item).
+	Anticipation int
+	// BufferCapacity bounds PassiveBuffer Ejects (buffered discipline
+	// only); 0 means DefaultCapacity.
+	BufferCapacity int
+	// CapabilityMode uses UID channel identifiers end to end.
+	CapabilityMode bool
+	// LazyStart (read-only only) delays every producing stage until
+	// it is first invoked, demonstrating §4's laziness.
+	LazyStart bool
+	// Placement maps each element to a simulated node; nil places
+	// everything on node 0.  index is the filter index for RoleFilter
+	// and the buffer index for RoleBuffer, 0 otherwise.
+	Placement func(role Role, index int) netsim.NodeID
+}
+
+func (o Options) node(role Role, index int) netsim.NodeID {
+	if o.Placement == nil {
+		return 0
+	}
+	return o.Placement(role, index)
+}
+
+// Pipeline is a built, runnable pipeline and its Eject inventory.
+type Pipeline struct {
+	K          *kernel.Kernel
+	Discipline Discipline
+
+	SourceUID  uid.UID
+	FilterUIDs []uid.UID
+	SinkUID    uid.UID
+	BufferUIDs []uid.UID
+
+	starters []interface{ Start() }
+	sinkDone <-chan struct{}
+	sinkErr  func() error
+	stageErr []func() error
+	allUIDs  []uid.UID
+}
+
+// Ejects reports how many Ejects the pipeline comprises — the paper's
+// n+2 (asymmetric) vs 2n+3 (buffered) comparison.
+func (p *Pipeline) Ejects() int { return len(p.allUIDs) }
+
+// Start sets the pipeline in motion.  In the read-only discipline
+// only the sink pump is strictly necessary — everything upstream is
+// demand-driven — but non-lazy stages are started too so they can
+// anticipate.
+func (p *Pipeline) Start() {
+	for _, s := range p.starters {
+		s.Start()
+	}
+}
+
+// Wait blocks until the sink has consumed the whole stream and
+// returns the pipeline's error, preferring the originating stage's
+// error over the sink's derived abort.
+func (p *Pipeline) Wait() error {
+	<-p.sinkDone
+	serr := p.sinkErr()
+	if serr == nil {
+		return nil
+	}
+	if errors.Is(serr, ErrAborted) {
+		for _, fe := range p.stageErr {
+			if e := fe(); e != nil && !errors.Is(e, ErrAborted) {
+				return fmt.Errorf("pipeline stage failed: %w", e)
+			}
+		}
+	}
+	return serr
+}
+
+// Run is Start followed by Wait.
+func (p *Pipeline) Run() error {
+	p.Start()
+	return p.Wait()
+}
+
+// Destroy removes every Eject the pipeline created.
+func (p *Pipeline) Destroy() {
+	for _, id := range p.allUIDs {
+		_ = p.K.Destroy(id)
+	}
+}
+
+// BuildPipeline wires src | filters... | sink under the given
+// discipline and returns the (not yet started) pipeline.
+func BuildPipeline(k *kernel.Kernel, d Discipline, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (*Pipeline, error) {
+	switch d {
+	case ReadOnly:
+		return buildReadOnly(k, src, fs, sink, opt)
+	case WriteOnly:
+		return buildWriteOnly(k, src, fs, sink, opt)
+	case Buffered:
+		return buildBuffered(k, src, fs, sink, opt)
+	default:
+		return nil, fmt.Errorf("transput: unknown discipline %v", d)
+	}
+}
+
+// buildReadOnly realises Figure 2: n+2 Ejects, data pulled end to end
+// by the sink; every inter-Eject link is a Transfer invocation.
+func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (*Pipeline, error) {
+	p := &Pipeline{K: k, Discipline: ReadOnly}
+	inCfg := InPortConfig{Batch: opt.Batch, Prefetch: opt.Prefetch}
+
+	// Source.
+	srcUID := k.NewUID()
+	srcStage := NewROStage(k, ROStageConfig{
+		Name:           "source",
+		Anticipation:   opt.Anticipation,
+		CapabilityMode: opt.CapabilityMode,
+		LazyStart:      opt.LazyStart,
+	}, func(_ []ItemReader, outs []ItemWriter) error {
+		return src(outs[0])
+	})
+	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
+		return nil, err
+	}
+	p.SourceUID = srcUID
+	p.allUIDs = append(p.allUIDs, srcUID)
+	p.stageErr = append(p.stageErr, srcStage.Err)
+	if !opt.LazyStart {
+		p.starters = append(p.starters, srcStage)
+	}
+
+	prevUID, prevChan := srcUID, srcStage.Writer(0).ID()
+
+	// Filters.
+	for i, f := range fs {
+		fUID := k.NewUID()
+		in := NewInPort(k, fUID, prevUID, prevChan, inCfg)
+		st := NewROStage(k, ROStageConfig{
+			Name:           f.Name,
+			Anticipation:   opt.Anticipation,
+			CapabilityMode: opt.CapabilityMode,
+			LazyStart:      opt.LazyStart,
+		}, f.Body, in)
+		if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
+			return nil, err
+		}
+		p.FilterUIDs = append(p.FilterUIDs, fUID)
+		p.allUIDs = append(p.allUIDs, fUID)
+		p.stageErr = append(p.stageErr, st.Err)
+		if !opt.LazyStart {
+			p.starters = append(p.starters, st)
+		}
+		prevUID, prevChan = fUID, st.Writer(0).ID()
+	}
+
+	// Sink.
+	sinkUID := k.NewUID()
+	in := NewInPort(k, sinkUID, prevUID, prevChan, inCfg)
+	se := NewSinkEject("sink", func(ins []ItemReader) error {
+		return sink(ins[0])
+	}, in)
+	if err := k.CreateWithUID(sinkUID, se, opt.node(RoleSink, 0)); err != nil {
+		return nil, err
+	}
+	p.SinkUID = sinkUID
+	p.allUIDs = append(p.allUIDs, sinkUID)
+	p.starters = append(p.starters, se)
+	p.sinkDone = se.Done()
+	p.sinkErr = se.Err
+	return p, nil
+}
+
+// buildWriteOnly realises the §5 dual: data pushed end to end by the
+// source; every link is a Deliver invocation.  Stages are wired tail
+// first because each needs its successor's UID (and, in capability
+// mode, channel UID).
+func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (*Pipeline, error) {
+	p := &Pipeline{K: k, Discipline: WriteOnly}
+	woCfg := WOStageConfig{Capacity: opt.Anticipation, CapabilityMode: opt.CapabilityMode}
+	pushCfg := PusherConfig{Batch: opt.Batch}
+
+	// Sink.
+	sinkUID := k.NewUID()
+	sinkCfg := woCfg
+	sinkCfg.Name = "sink"
+	sinkStage := NewWOStage(k, sinkCfg, func(ins []ItemReader, _ []ItemWriter) error {
+		return sink(ins[0])
+	})
+	if err := k.CreateWithUID(sinkUID, sinkStage, opt.node(RoleSink, 0)); err != nil {
+		return nil, err
+	}
+	p.SinkUID = sinkUID
+	p.allUIDs = append(p.allUIDs, sinkUID)
+	p.starters = append(p.starters, sinkStage)
+	p.sinkDone = sinkStage.Done()
+	p.sinkErr = sinkStage.Err
+
+	nextUID, nextChan := sinkUID, sinkStage.Reader(0).ID()
+
+	// Filters, tail to head.
+	for i := len(fs) - 1; i >= 0; i-- {
+		fUID := k.NewUID()
+		push := NewPusher(k, fUID, nextUID, nextChan, pushCfg)
+		fCfg := woCfg
+		fCfg.Name = fs[i].Name
+		st := NewWOStage(k, fCfg, fs[i].Body, push)
+		if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
+			return nil, err
+		}
+		p.FilterUIDs = append([]uid.UID{fUID}, p.FilterUIDs...)
+		p.allUIDs = append(p.allUIDs, fUID)
+		p.stageErr = append(p.stageErr, st.Err)
+		p.starters = append(p.starters, st)
+		nextUID, nextChan = fUID, st.Reader(0).ID()
+	}
+
+	// Source: an Eject with active output only.
+	srcUID := k.NewUID()
+	push := NewPusher(k, srcUID, nextUID, nextChan, pushCfg)
+	srcStage := NewConvStage("source", func(_ []ItemReader, outs []ItemWriter) error {
+		return src(outs[0])
+	}, nil, []ItemWriter{push})
+	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
+		return nil, err
+	}
+	p.SourceUID = srcUID
+	p.allUIDs = append(p.allUIDs, srcUID)
+	p.stageErr = append(p.stageErr, srcStage.Err)
+	p.starters = append(p.starters, srcStage)
+	return p, nil
+}
+
+// buildBuffered realises Figure 1 inside Eden: every stage performs
+// active input and active output, with a PassiveBuffer Eject between
+// each pair — 2n+3 Ejects, 2n+2 invocations per datum.
+func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (*Pipeline, error) {
+	p := &Pipeline{K: k, Discipline: Buffered}
+	inCfg := InPortConfig{Batch: opt.Batch, Prefetch: opt.Prefetch}
+	pushCfg := PusherConfig{Batch: opt.Batch}
+
+	// n+1 passive buffers.
+	n := len(fs)
+	bufUIDs := make([]uid.UID, n+1)
+	for i := range bufUIDs {
+		b := NewPassiveBuffer(k, PassiveBufferConfig{
+			Name:     fmt.Sprintf("pipe%d", i),
+			Capacity: opt.BufferCapacity,
+		})
+		id, err := k.Create(b, opt.node(RoleBuffer, i))
+		if err != nil {
+			return nil, err
+		}
+		bufUIDs[i] = id
+	}
+	p.BufferUIDs = bufUIDs
+	p.allUIDs = append(p.allUIDs, bufUIDs...)
+
+	// Source pushes into buffer 0.
+	srcUID := k.NewUID()
+	srcPush := NewPusher(k, srcUID, bufUIDs[0], Chan(0), pushCfg)
+	srcStage := NewConvStage("source", func(_ []ItemReader, outs []ItemWriter) error {
+		return src(outs[0])
+	}, nil, []ItemWriter{srcPush})
+	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
+		return nil, err
+	}
+	p.SourceUID = srcUID
+	p.allUIDs = append(p.allUIDs, srcUID)
+	p.stageErr = append(p.stageErr, srcStage.Err)
+	p.starters = append(p.starters, srcStage)
+
+	// Filters: active input from buffer i, active output to buffer
+	// i+1.
+	for i, f := range fs {
+		fUID := k.NewUID()
+		in := NewInPort(k, fUID, bufUIDs[i], Chan(0), inCfg)
+		push := NewPusher(k, fUID, bufUIDs[i+1], Chan(0), pushCfg)
+		st := NewConvStage(f.Name, f.Body, []ItemReader{in}, []ItemWriter{push})
+		if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
+			return nil, err
+		}
+		p.FilterUIDs = append(p.FilterUIDs, fUID)
+		p.allUIDs = append(p.allUIDs, fUID)
+		p.stageErr = append(p.stageErr, st.Err)
+		p.starters = append(p.starters, st)
+	}
+
+	// Sink pulls from the last buffer.
+	sinkUID := k.NewUID()
+	in := NewInPort(k, sinkUID, bufUIDs[n], Chan(0), inCfg)
+	se := NewSinkEject("sink", func(ins []ItemReader) error {
+		return sink(ins[0])
+	}, in)
+	if err := k.CreateWithUID(sinkUID, se, opt.node(RoleSink, 0)); err != nil {
+		return nil, err
+	}
+	p.SinkUID = sinkUID
+	p.allUIDs = append(p.allUIDs, sinkUID)
+	p.starters = append(p.starters, se)
+	p.sinkDone = se.Done()
+	p.sinkErr = se.Err
+	return p, nil
+}

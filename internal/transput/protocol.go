@@ -1,0 +1,284 @@
+// Package transput implements the paper's contribution: an asymmetric
+// stream communication system for an object-oriented operating system.
+//
+// The paper identifies four primitive transput operations — active
+// input, passive output, active output, passive input — of which only
+// a *corresponding pair* is needed to move data:
+//
+//   - The "read only" discipline uses active input + passive output.
+//     A consumer invokes Transfer on its source; the source responds
+//     with data.  There is no Write invocation anywhere at the
+//     inter-Eject level.  Types: InPort (active input) and OutPort
+//     (passive output).
+//
+//   - The "write only" discipline is the exact dual: active output +
+//     passive input.  A producer invokes Deliver on its sink; the sink
+//     responds by accepting the data.  Types: WOOutPort (active
+//     output) and WOInPort (passive input).
+//
+//   - The conventional discipline (the Unix model transliterated into
+//     Eden, the paper's baseline) uses both active operations with a
+//     PassiveBuffer Eject interposed between every pair of stages.
+//
+// Channels (§5): every Transfer and Deliver is qualified by a channel
+// identifier, so one Eject can expose several independent streams
+// (Output, Report, ...).  Identifiers are small integers by default;
+// in capability mode they are UIDs, which makes them unforgeable — the
+// only Ejects able to read channel 2 are those explicitly given its
+// capability.
+//
+// This file defines the wire protocol: operation names, request/reply
+// records, status codes, and channel identifiers.  The records are
+// plain gob-encodable structs because they cross simulated node
+// boundaries.
+package transput
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"asymstream/internal/uid"
+)
+
+// Operation names in the Eden invocation namespace.
+const (
+	// OpTransfer is the read-only discipline's single data-plane
+	// operation (§7 calls it Transfer): "give me up to Max items from
+	// channel C".  Invoking it is active input; responding is passive
+	// output.
+	OpTransfer = "Transput.Transfer"
+	// OpDeliver is the write-only dual: "accept these items on channel
+	// C".  Invoking it is active output; responding is passive input.
+	OpDeliver = "Transput.Deliver"
+	// OpChannels asks an Eject to advertise its channels: name →
+	// ChannelID.  Whoever sets up a pipeline "must ask each filter for
+	// the UIDs of its channels, and then pass them on" (§5).
+	OpChannels = "Transput.Channels"
+	// OpAbort tears a stream down out-of-band (not in the paper, but
+	// any real deployment needs it; the paper's streams only end
+	// normally).
+	OpAbort = "Transput.Abort"
+)
+
+// ChannelNum identifies a channel in integer mode.  Channel 0 is the
+// primary output by convention; reports use channel 1.
+type ChannelNum int
+
+// Conventional channel numbers used throughout the filter library.
+const (
+	ChannelOutput ChannelNum = 0
+	ChannelReport ChannelNum = 1
+)
+
+// ChannelID qualifies a Transfer or Deliver.  Exactly one addressing
+// mode is used per channel:
+//
+//   - integer mode: Num is meaningful, Cap is uid.Nil.  Simple, but "if
+//     E is told to read from F's channel 1, nothing prevents it from
+//     reading from F's channel 2 as well" (§5).
+//   - capability mode: Cap is a UID minted for the channel; Num is
+//     ignored by the server.  Unforgeable.
+type ChannelID struct {
+	Num ChannelNum
+	Cap uid.UID
+}
+
+// Chan is shorthand for an integer-mode ChannelID.
+func Chan(n ChannelNum) ChannelID { return ChannelID{Num: n} }
+
+// CapChan is shorthand for a capability-mode ChannelID.
+func CapChan(c uid.UID) ChannelID { return ChannelID{Cap: c} }
+
+// IsCap reports whether the identifier is in capability mode.
+func (c ChannelID) IsCap() bool { return !c.Cap.IsNil() }
+
+// String renders the identifier for logs.
+func (c ChannelID) String() string {
+	if c.IsCap() {
+		return "cap:" + c.Cap.String()
+	}
+	return fmt.Sprintf("ch:%d", int(c.Num))
+}
+
+// Status is the stream-level result of a Transfer or Deliver.
+type Status int
+
+const (
+	// StatusOK: data accompanies the reply (Transfer) or was accepted
+	// (Deliver).
+	StatusOK Status = iota
+	// StatusEnd: the stream has ended; no more data will ever flow.
+	// "A file opened for input would respond to read invocations with
+	// the appropriate data, and eventually with an indication that the
+	// end of the file had been reached" (§4).
+	StatusEnd
+	// StatusNoSuchChannel: the channel identifier matches nothing.
+	StatusNoSuchChannel
+	// StatusNotPermitted: capability check failed.
+	StatusNotPermitted
+	// StatusAborted: the stream was torn down with an error.
+	StatusAborted
+)
+
+// String names the status for logs.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusEnd:
+		return "end"
+	case StatusNoSuchChannel:
+		return "no-such-channel"
+	case StatusNotPermitted:
+		return "not-permitted"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Errors surfaced by the port APIs.
+var (
+	// ErrNoSuchChannel corresponds to StatusNoSuchChannel.
+	ErrNoSuchChannel = errors.New("transput: no such channel")
+	// ErrNotPermitted corresponds to StatusNotPermitted.
+	ErrNotPermitted = errors.New("transput: channel access not permitted")
+	// ErrAborted corresponds to StatusAborted; Abort's message rides
+	// along in AbortedError.
+	ErrAborted = errors.New("transput: stream aborted")
+	// ErrClosed is returned by writes to a closed channel writer.
+	ErrClosed = errors.New("transput: channel closed")
+)
+
+// AbortedError carries the abort reason downstream.
+type AbortedError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *AbortedError) Error() string {
+	if e.Msg == "" {
+		return ErrAborted.Error()
+	}
+	return "transput: stream aborted: " + e.Msg
+}
+
+// Unwrap makes errors.Is(err, ErrAborted) work.
+func (e *AbortedError) Unwrap() error { return ErrAborted }
+
+// TransferRequest asks a source for data (active input).
+type TransferRequest struct {
+	Channel ChannelID
+	// Max bounds the items returned.  Max=1 reproduces the paper's
+	// one-datum-per-invocation accounting; larger values are the A1
+	// batching ablation.  Max<=0 means 1.
+	Max int
+}
+
+// TransferReply carries data back (passive output).
+type TransferReply struct {
+	// Items holds between 0 and Max items.  Items may accompany
+	// StatusEnd when the final batch and the end indication coincide;
+	// Items is empty only on a non-OK status.
+	Items  [][]byte
+	Status Status
+	// AbortMsg holds the reason when Status is StatusAborted.
+	AbortMsg string
+}
+
+// DeliverRequest pushes data at a sink (active output).
+type DeliverRequest struct {
+	Channel ChannelID
+	Items   [][]byte
+	// End marks this writer's final delivery.  Items may accompany it.
+	End bool
+}
+
+// DeliverReply acknowledges a delivery (passive input).  The reply is
+// withheld until the sink has buffered every item, which is how back
+// pressure propagates upstream in the write-only discipline.
+type DeliverReply struct {
+	Status   Status
+	AbortMsg string
+}
+
+// ChannelsRequest asks an Eject to advertise its channels.
+type ChannelsRequest struct{}
+
+// ChannelAdvert describes one advertised channel.
+type ChannelAdvert struct {
+	Name string // e.g. "Output", "Report"
+	ID   ChannelID
+	// Dir is "out" for channels served by Transfer (the Eject is a
+	// source on it) and "in" for channels accepting Deliver.
+	Dir string
+}
+
+// ChannelsReply lists an Eject's channels.
+type ChannelsReply struct {
+	Channels []ChannelAdvert
+}
+
+// AbortRequest tears down one channel (or all, when Channel is the
+// zero ChannelID and All is set).
+type AbortRequest struct {
+	Channel ChannelID
+	All     bool
+	Msg     string
+}
+
+// AbortReply acknowledges an abort.
+type AbortReply struct{}
+
+// PayloadSize implementations let the kernel meter BytesMoved without
+// reflection.  Sizes count data bytes plus a small fixed header charge
+// per item and per message, approximating a wire format.
+const (
+	msgHeaderBytes  = 16
+	itemHeaderBytes = 4
+)
+
+func itemsSize(items [][]byte) int {
+	n := msgHeaderBytes
+	for _, it := range items {
+		n += itemHeaderBytes + len(it)
+	}
+	return n
+}
+
+// PayloadSize reports the metered size of the request.
+func (r *TransferRequest) PayloadSize() int { return msgHeaderBytes }
+
+// PayloadSize reports the metered size of the reply.
+func (r *TransferReply) PayloadSize() int { return itemsSize(r.Items) }
+
+// PayloadSize reports the metered size of the request.
+func (r *DeliverRequest) PayloadSize() int { return itemsSize(r.Items) }
+
+// PayloadSize reports the metered size of the reply.
+func (r *DeliverReply) PayloadSize() int { return msgHeaderBytes }
+
+func init() {
+	gob.Register(&TransferRequest{})
+	gob.Register(&TransferReply{})
+	gob.Register(&DeliverRequest{})
+	gob.Register(&DeliverReply{})
+	gob.Register(&ChannelsRequest{})
+	gob.Register(&ChannelsReply{})
+	gob.Register(&AbortRequest{})
+	gob.Register(&AbortReply{})
+}
+
+// statusErr maps a non-OK status to a port-level error.
+func statusErr(s Status, abortMsg string) error {
+	switch s {
+	case StatusNoSuchChannel:
+		return ErrNoSuchChannel
+	case StatusNotPermitted:
+		return ErrNotPermitted
+	case StatusAborted:
+		return &AbortedError{Msg: abortMsg}
+	default:
+		return fmt.Errorf("transput: unexpected status %v", s)
+	}
+}

@@ -1,0 +1,97 @@
+package transput
+
+import (
+	"asymstream/internal/uid"
+)
+
+// Dynamic stream redirection — §8: "Redirection of input and output
+// can be provided very naturally in a system where each entity is
+// referred to by means of a unique identifier.  Special file or stream
+// descriptors are not needed."
+//
+// Because an InPort's source is nothing but a (UID, channel) pair,
+// retargeting a *live* stream is a local operation: abort the old
+// source's channel (releasing any producer parked on a full buffer),
+// forget any stale end-of-stream state, and pull from the new pair.
+// Items already received are retained — redirection never loses data
+// that has arrived.  The paper contrasts this with Unix, "where the
+// shell uses different syntax and a different implementation" for
+// file vs program redirection; here both are the same two words.
+//
+// Redirect must not be called concurrently with Next: an InPort has a
+// single logical consumer (the paper's model too), and it is that
+// consumer who redirects itself between reads.
+
+// Redirect retargets the port at a new source/channel.  If the old
+// stream had already ended, redirection simply continues with the new
+// one (sequential concatenation); if it was still live, the old
+// channel is aborted with msg.  A cancelled port cannot be redirected.
+func (p *InPort) Redirect(source uid.UID, channel ChannelID, msg string) error {
+	p.mu.Lock()
+	if p.cancelled {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	oldSource, oldChannel := p.source, p.channel
+	oldDone := p.done
+	pullerWasOn := p.pullerOn
+	var oldAhead chan pulled
+	if pullerWasOn {
+		close(p.stopPull)
+		p.pullerOn = false
+		oldAhead = p.ahead
+		p.ahead = nil
+	}
+	p.mu.Unlock()
+
+	// Release anything parked at the old source (our own in-flight
+	// prefetch, or the producer blocked on a full buffer).  Skip the
+	// abort when the old stream already ended: there is nothing to
+	// release and the control invocation would distort the counts.
+	if !oldDone {
+		if msg == "" {
+			msg = "redirected"
+		}
+		_, _ = p.k.Invoke(p.self, oldSource, OpAbort, &AbortRequest{Channel: oldChannel, Msg: msg})
+	}
+	if pullerWasOn {
+		p.pullerWG.Wait()
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Salvage data the puller had already fetched before the abort
+	// reached the old source — arrived data is kept, per the contract.
+	if oldAhead != nil {
+		for res := range oldAhead {
+			if res.err == nil {
+				p.pending = append(p.pending, res.items...)
+			}
+		}
+	}
+	p.source = source
+	p.channel = channel
+	p.done = false
+	p.err = nil
+	return nil
+}
+
+// Redirect retargets a Pusher at a new sink/channel.  Any buffered
+// partial batch is flushed to the OLD target first (those items were
+// written before the redirection), and the old channel is left open —
+// in the write-only discipline a sink must expect its writers to come
+// and go; End is only sent by Close.  A closed pusher cannot be
+// redirected.
+func (w *Pusher) Redirect(target uid.UID, channel ChannelID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.flushLocked(false); err != nil {
+		return err
+	}
+	w.target = target
+	w.channel = channel
+	return nil
+}

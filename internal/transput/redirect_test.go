@@ -1,0 +1,205 @@
+package transput
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"asymstream/internal/uid"
+)
+
+func TestRedirectAfterEOFConcatenates(t *testing.T) {
+	k := testKernel(t)
+	a, _ := registerItems(t, k, [][]byte{[]byte("a1"), []byte("a2")}, ROStageConfig{})
+	b, _ := registerItems(t, k, [][]byte{[]byte("b1")}, ROStageConfig{})
+
+	in := NewInPort(k, uid.Nil, a, Chan(0), InPortConfig{})
+	var got []string
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(item))
+	}
+	if err := in.Redirect(b, Chan(0), ""); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(item))
+	}
+	want := []string{"a1", "a2", "b1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("concatenation = %v, want %v", got, want)
+	}
+}
+
+func TestRedirectMidStream(t *testing.T) {
+	k := testKernel(t)
+	// An endless source we will abandon mid-stream.
+	endless := NewROStage(k, ROStageConfig{Name: "endless", Anticipation: 4},
+		func(_ []ItemReader, outs []ItemWriter) error {
+			for i := 0; ; i++ {
+				if err := outs[0].Put([]byte(fmt.Sprintf("old%d", i))); err != nil {
+					return nil // aborted by the redirect: expected
+				}
+			}
+		})
+	endlessUID := k.NewUID()
+	if err := k.CreateWithUID(endlessUID, endless, 0); err != nil {
+		t.Fatal(err)
+	}
+	endless.Start()
+	replacement, _ := registerItems(t, k, [][]byte{[]byte("new0"), []byte("new1")}, ROStageConfig{})
+
+	in := NewInPort(k, uid.Nil, endlessUID, Chan(0), InPortConfig{})
+	for i := 0; i < 3; i++ {
+		item, err := in.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(item) != fmt.Sprintf("old%d", i) {
+			t.Fatalf("pre-redirect item %d = %q", i, item)
+		}
+	}
+	if err := in.Redirect(replacement, Chan(0), "switching inputs"); err != nil {
+		t.Fatal(err)
+	}
+	var tail []string
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, string(item))
+	}
+	if len(tail) != 2 || tail[0] != "new0" || tail[1] != "new1" {
+		t.Fatalf("post-redirect items = %v", tail)
+	}
+	// The abandoned producer must have been released (it returns when
+	// its Put fails); Err blocks until the body finished.
+	if err := endless.Err(); err != nil {
+		t.Fatalf("endless stage err: %v", err)
+	}
+}
+
+func TestRedirectWithPrefetchKeepsArrivedData(t *testing.T) {
+	k := testKernel(t)
+	a, _ := registerItems(t, k, numbered(20), ROStageConfig{})
+	b, _ := registerItems(t, k, [][]byte{[]byte("tail")}, ROStageConfig{})
+
+	in := NewInPort(k, uid.Nil, a, Chan(0), InPortConfig{Batch: 4, Prefetch: 2})
+	first, err := in.Next()
+	if err != nil || string(first) != "item-0" {
+		t.Fatalf("first = %q, %v", first, err)
+	}
+	if err := in.Redirect(b, Chan(0), "switch"); err != nil {
+		t.Fatal(err)
+	}
+	// Everything that physically arrived before the switch is
+	// delivered, in order, then the new stream follows.
+	var got []string
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(item))
+	}
+	if len(got) == 0 || got[len(got)-1] != "tail" {
+		t.Fatalf("post-redirect = %v", got)
+	}
+	// Prefix (if any) must be in-order items from A.
+	for i, s := range got[:len(got)-1] {
+		if s != fmt.Sprintf("item-%d", i+1) {
+			t.Fatalf("salvaged prefix broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestRedirectCancelledPortFails(t *testing.T) {
+	k := testKernel(t)
+	a, _ := registerItems(t, k, numbered(5), ROStageConfig{})
+	in := NewInPort(k, uid.Nil, a, Chan(0), InPortConfig{})
+	if _, err := in.Next(); err != nil {
+		t.Fatal(err)
+	}
+	in.Cancel("done")
+	if err := in.Redirect(a, Chan(0), ""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("redirect after cancel: %v", err)
+	}
+}
+
+func TestPusherRedirect(t *testing.T) {
+	k := testKernel(t)
+	var gotA, gotB [][]byte
+	var muA, muB sync.Mutex
+	sinkA, stA := registerWOSink(t, k, &gotA, &muA, WOStageConfig{Name: "A"})
+	sinkB, stB := registerWOSink(t, k, &gotB, &muB, WOStageConfig{Name: "B"})
+
+	p := NewPusher(k, uid.Nil, sinkA, Chan(0), PusherConfig{Batch: 2})
+	// Three items: two flush to A as a batch, the third is pending
+	// when we redirect — it must flush to A (it was written first).
+	for i := 0; i < 3; i++ {
+		if err := p.Put([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Redirect(sinkB, stB.Reader(0).ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put([]byte("b0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-stB.Done()
+	muA.Lock()
+	nA := len(gotA)
+	muA.Unlock()
+	if nA != 3 {
+		t.Fatalf("sink A got %d items, want 3", nA)
+	}
+	muB.Lock()
+	defer muB.Unlock()
+	if len(gotB) != 1 || string(gotB[0]) != "b0" {
+		t.Fatalf("sink B got %q", gotB)
+	}
+	// Sink A never received End; release it so the test harness can
+	// shut down cleanly.
+	stA.Reader(0).Cancel("test over")
+	_ = stA
+}
+
+func TestPusherRedirectClosedFails(t *testing.T) {
+	k := testKernel(t)
+	var got [][]byte
+	var mu sync.Mutex
+	sinkID, _ := registerWOSink(t, k, &got, &mu, WOStageConfig{})
+	p := NewPusher(k, uid.Nil, sinkID, Chan(0), PusherConfig{})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Redirect(sinkID, Chan(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("redirect after close: %v", err)
+	}
+}

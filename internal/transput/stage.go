@@ -1,0 +1,466 @@
+package transput
+
+import (
+	"fmt"
+	"sync"
+
+	"asymstream/internal/kernel"
+)
+
+// Body is the discipline-neutral code of a stage: it consumes items
+// from its input readers (ins[0] is the primary input) and produces
+// items on its output writers (outs[0] is the primary output).  The
+// same Body runs unchanged under all three disciplines, demonstrating
+// the paper's point that the discipline is a property of the
+// *inter-Eject interfaces*: "The filter process itself would be
+// programmed in the conventional way and make use of the Write
+// operations whenever necessary" (§4).
+//
+// A Body must return when its inputs are exhausted or its outputs
+// fail; it need not close its writers — the stage harness does that,
+// propagating errors as aborts.
+type Body func(ins []ItemReader, outs []ItemWriter) error
+
+// EdenType names used by the stage Ejects.
+const (
+	TypeROStage   = "transput.ROStage"
+	TypeWOStage   = "transput.WOStage"
+	TypeConvStage = "transput.ConvStage"
+	TypeSink      = "transput.Sink"
+)
+
+// ROStage is a source or filter Eject in the read-only discipline: it
+// performs active input on its InPorts and passive output on its
+// OutPort.  Compare Figure 2: "The filters F_i all perform active
+// input and passive output."
+type ROStage struct {
+	name string
+	out  *OutPort
+	ins  []ItemReader
+	body Body
+	outs []ItemWriter
+
+	lazy  bool
+	once  sync.Once
+	wg    sync.WaitGroup
+	errMu sync.Mutex
+	err   error
+}
+
+// ROStageConfig parameterises an ROStage.
+type ROStageConfig struct {
+	// Name is used in diagnostics.
+	Name string
+	// OutNames lists the output channels to declare; nil means
+	// {"Output"}.  Channel numbers are assigned by position.
+	OutNames []string
+	// Anticipation is the per-channel output buffer capacity: 0 means
+	// DefaultCapacity, negative means synchronous (pure laziness).
+	Anticipation int
+	// CapabilityMode mints UID channel identifiers.
+	CapabilityMode bool
+	// LazyStart delays running the body until the first invocation
+	// arrives (§4's "no computation need be done until the result is
+	// requested").  When false the body starts immediately and runs
+	// ahead until its output buffers fill (anticipatory computation).
+	LazyStart bool
+}
+
+// NewROStage builds a read-only stage.  ins are the stage's input
+// readers (typically InPorts pulling from upstream Ejects; empty for a
+// source).  The stage must then be registered with the kernel by the
+// caller; use Start (or the first incoming invocation, in lazy mode)
+// to run the body.
+func NewROStage(k *kernel.Kernel, cfg ROStageConfig, body Body, ins ...ItemReader) *ROStage {
+	outNames := cfg.OutNames
+	if len(outNames) == 0 {
+		outNames = []string{"Output"}
+	}
+	port := NewOutPort(k, OutPortConfig{CapabilityMode: cfg.CapabilityMode})
+	s := &ROStage{
+		name: cfg.Name,
+		out:  port,
+		ins:  ins,
+		body: body,
+		lazy: cfg.LazyStart,
+	}
+	for i, nm := range outNames {
+		w := port.Declare(nm, ChannelNum(i), cfg.Anticipation)
+		s.outs = append(s.outs, w)
+	}
+	return s
+}
+
+// EdenType implements kernel.Eject.
+func (s *ROStage) EdenType() string { return TypeROStage }
+
+// Out returns the stage's OutPort (for channel adverts and laziness
+// probes).
+func (s *ROStage) Out() *OutPort { return s.out }
+
+// Writer returns the i-th output channel writer (0 = primary); the
+// pipeline builder uses its ID to wire capability-mode consumers.
+func (s *ROStage) Writer(i int) *ChannelWriter { return s.outs[i].(*ChannelWriter) }
+
+// Start runs the body (idempotent).
+func (s *ROStage) Start() {
+	s.once.Do(func() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.run()
+		}()
+	})
+}
+
+func (s *ROStage) run() {
+	err := s.body(s.ins, s.outs)
+	s.errMu.Lock()
+	s.err = err
+	s.errMu.Unlock()
+	for _, w := range s.outs {
+		if err != nil {
+			_ = w.CloseWithError(err)
+		} else {
+			_ = w.Close()
+		}
+	}
+	// Release any upstream producer the body did not fully drain.
+	for _, in := range s.ins {
+		if p, ok := in.(*InPort); ok {
+			reason := "stage complete"
+			if err != nil {
+				reason = err.Error()
+			}
+			p.Cancel(reason)
+		}
+	}
+}
+
+// Err returns the body's result once it has finished.
+func (s *ROStage) Err() error {
+	s.wg.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Serve implements kernel.Eject: Transfer, Channels and Abort go to
+// the OutPort; in lazy mode the first invocation of any kind starts
+// the body.
+func (s *ROStage) Serve(inv *kernel.Invocation) {
+	if s.lazy {
+		s.Start()
+	}
+	if !s.out.Serve(inv) {
+		inv.Fail(fmt.Errorf("%w: %q on %s stage %q", kernel.ErrNoSuchOperation, inv.Op, "read-only", s.name))
+	}
+}
+
+// OnDeactivate releases upstream ports so the body can exit.
+func (s *ROStage) OnDeactivate() {
+	for _, in := range s.ins {
+		if p, ok := in.(*InPort); ok {
+			p.Cancel("stage deactivated")
+		}
+	}
+	for _, w := range s.outs {
+		_ = w.CloseWithError(&AbortedError{Msg: "stage deactivated"})
+	}
+}
+
+// WOStage is a filter or sink Eject in the write-only discipline: it
+// performs passive input on its WOInPort and active output on its
+// Pushers.
+type WOStage struct {
+	name    string
+	in      *WOInPort
+	readers []ItemReader
+	outs    []ItemWriter
+	body    Body
+
+	once  sync.Once
+	wg    sync.WaitGroup
+	errMu sync.Mutex
+	err   error
+	done  chan struct{}
+}
+
+// WOStageConfig parameterises a WOStage.
+type WOStageConfig struct {
+	Name string
+	// InNames lists input channels to declare; nil means {"Input"}.
+	InNames []string
+	// Capacity bounds each input buffer; 0 means DefaultCapacity.
+	Capacity int
+	// Writers is the expected fan-in degree per input channel
+	// (number of End marks that complete it); nil or missing entries
+	// mean 1.
+	Writers []int
+	// CapabilityMode mints UID channel identifiers.
+	CapabilityMode bool
+}
+
+// NewWOStage builds a write-only stage.  outs are the stage's output
+// writers (typically Pushers to downstream Ejects; empty for a final
+// sink that consumes in its body).
+func NewWOStage(k *kernel.Kernel, cfg WOStageConfig, body Body, outs ...ItemWriter) *WOStage {
+	inNames := cfg.InNames
+	if len(inNames) == 0 {
+		inNames = []string{"Input"}
+	}
+	port := NewWOInPort(k, WOInPortConfig{CapabilityMode: cfg.CapabilityMode})
+	s := &WOStage{
+		name: cfg.Name,
+		in:   port,
+		outs: outs,
+		body: body,
+		done: make(chan struct{}),
+	}
+	for i, nm := range inNames {
+		writers := 1
+		if i < len(cfg.Writers) && cfg.Writers[i] > 0 {
+			writers = cfg.Writers[i]
+		}
+		r := port.Declare(nm, ChannelNum(i), cfg.Capacity, writers)
+		s.readers = append(s.readers, r)
+	}
+	return s
+}
+
+// EdenType implements kernel.Eject.
+func (s *WOStage) EdenType() string { return TypeWOStage }
+
+// In returns the stage's passive-input port.
+func (s *WOStage) In() *WOInPort { return s.in }
+
+// Reader returns the i-th input channel reader; the builder uses its
+// ID to wire capability-mode producers.
+func (s *WOStage) Reader(i int) *ChannelReader { return s.readers[i].(*ChannelReader) }
+
+// Start runs the body (idempotent).  Write-only stages start eagerly:
+// in the push discipline the pipeline is driven by its source, and a
+// stage must already be consuming when data arrives.
+func (s *WOStage) Start() {
+	s.once.Do(func() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer close(s.done)
+			err := s.body(s.readers, s.outs)
+			s.errMu.Lock()
+			s.err = err
+			s.errMu.Unlock()
+			for _, w := range s.outs {
+				if err != nil {
+					_ = w.CloseWithError(err)
+				} else {
+					_ = w.Close()
+				}
+			}
+			if err != nil {
+				for _, r := range s.readers {
+					if cr, ok := r.(*ChannelReader); ok {
+						cr.Cancel(err.Error())
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Done is closed when the body has finished and outputs are closed.
+func (s *WOStage) Done() <-chan struct{} { return s.done }
+
+// Err returns the body's result once it has finished.
+func (s *WOStage) Err() error {
+	s.wg.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Serve implements kernel.Eject.
+func (s *WOStage) Serve(inv *kernel.Invocation) {
+	if !s.in.Serve(inv) {
+		inv.Fail(fmt.Errorf("%w: %q on %s stage %q", kernel.ErrNoSuchOperation, inv.Op, "write-only", s.name))
+	}
+}
+
+// OnDeactivate aborts the stage's streams.
+func (s *WOStage) OnDeactivate() {
+	for _, r := range s.readers {
+		if cr, ok := r.(*ChannelReader); ok {
+			cr.Cancel("stage deactivated")
+		}
+	}
+	for _, w := range s.outs {
+		_ = w.CloseWithError(&AbortedError{Msg: "stage deactivated"})
+	}
+}
+
+// ConvStage is a filter Eject in the conventional (buffered)
+// discipline: like a Unix process it performs active input *and*
+// active output, so it receives no stream invocations at all — both
+// its neighbours are PassiveBuffer Ejects it invokes.  It is
+// registered with the kernel because it is an Eject and must be
+// counted (Figure 1's 2n+3 Ejects), but its Serve only answers
+// OpChannels (with nothing) and rejects the rest.
+type ConvStage struct {
+	name string
+	ins  []ItemReader
+	outs []ItemWriter
+	body Body
+
+	once  sync.Once
+	wg    sync.WaitGroup
+	errMu sync.Mutex
+	err   error
+}
+
+// NewConvStage builds a conventional stage from its already-wired
+// active ports.
+func NewConvStage(name string, body Body, ins []ItemReader, outs []ItemWriter) *ConvStage {
+	return &ConvStage{name: name, ins: ins, outs: outs, body: body}
+}
+
+// EdenType implements kernel.Eject.
+func (s *ConvStage) EdenType() string { return TypeConvStage }
+
+// Start runs the body (idempotent).
+func (s *ConvStage) Start() {
+	s.once.Do(func() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			err := s.body(s.ins, s.outs)
+			s.errMu.Lock()
+			s.err = err
+			s.errMu.Unlock()
+			for _, w := range s.outs {
+				if err != nil {
+					_ = w.CloseWithError(err)
+				} else {
+					_ = w.Close()
+				}
+			}
+			for _, in := range s.ins {
+				if p, ok := in.(*InPort); ok {
+					reason := "stage complete"
+					if err != nil {
+						reason = err.Error()
+					}
+					p.Cancel(reason)
+				}
+			}
+		}()
+	})
+}
+
+// Err returns the body's result once it has finished.
+func (s *ConvStage) Err() error {
+	s.wg.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Serve implements kernel.Eject.
+func (s *ConvStage) Serve(inv *kernel.Invocation) {
+	if inv.Op == OpChannels {
+		inv.Reply(&ChannelsReply{})
+		return
+	}
+	inv.Fail(fmt.Errorf("%w: %q on conventional stage %q", kernel.ErrNoSuchOperation, inv.Op, s.name))
+}
+
+// OnDeactivate aborts the stage's streams.
+func (s *ConvStage) OnDeactivate() {
+	for _, in := range s.ins {
+		if p, ok := in.(*InPort); ok {
+			p.Cancel("stage deactivated")
+		}
+	}
+	for _, w := range s.outs {
+		_ = w.CloseWithError(&AbortedError{Msg: "stage deactivated"})
+	}
+}
+
+// SinkEject is a pure consumer in the read-only or conventional
+// discipline: "Output devices such as terminals and printers would
+// provide a potentially infinite supply of Read invocations" (§4).
+// Its pump goroutine owns the active input; it serves no stream
+// operations itself.
+type SinkEject struct {
+	name string
+	ins  []ItemReader
+	body func(ins []ItemReader) error
+
+	once  sync.Once
+	wg    sync.WaitGroup
+	errMu sync.Mutex
+	err   error
+	done  chan struct{}
+}
+
+// NewSinkEject builds a sink around a consumer function.
+func NewSinkEject(name string, body func(ins []ItemReader) error, ins ...ItemReader) *SinkEject {
+	return &SinkEject{name: name, ins: ins, body: body, done: make(chan struct{})}
+}
+
+// EdenType implements kernel.Eject.
+func (s *SinkEject) EdenType() string { return TypeSink }
+
+// Start begins pulling (idempotent).  "Connecting a terminal to a
+// filter Eject would be rather like starting a pump" (§4).
+func (s *SinkEject) Start() {
+	s.once.Do(func() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer close(s.done)
+			err := s.body(s.ins)
+			s.errMu.Lock()
+			s.err = err
+			s.errMu.Unlock()
+			for _, in := range s.ins {
+				if p, ok := in.(*InPort); ok {
+					reason := "sink complete"
+					if err != nil {
+						reason = err.Error()
+					}
+					p.Cancel(reason)
+				}
+			}
+		}()
+	})
+}
+
+// Done is closed when the sink's body finishes.
+func (s *SinkEject) Done() <-chan struct{} { return s.done }
+
+// Err returns the body's result once finished.
+func (s *SinkEject) Err() error {
+	s.wg.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Serve implements kernel.Eject; a sink advertises no channels.
+func (s *SinkEject) Serve(inv *kernel.Invocation) {
+	if inv.Op == OpChannels {
+		inv.Reply(&ChannelsReply{})
+		return
+	}
+	inv.Fail(fmt.Errorf("%w: %q on sink %q", kernel.ErrNoSuchOperation, inv.Op, s.name))
+}
+
+// OnDeactivate cancels the sink's inputs.
+func (s *SinkEject) OnDeactivate() {
+	for _, in := range s.ins {
+		if p, ok := in.(*InPort); ok {
+			p.Cancel("sink deactivated")
+		}
+	}
+}

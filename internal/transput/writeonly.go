@@ -1,0 +1,490 @@
+package transput
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/metrics"
+	"asymstream/internal/uid"
+)
+
+// This file implements the "write only" discipline of §5 — the exact
+// dual of read-only transput.  "Data sources would continually attempt
+// to perform write invocations, and sinks would always be ready to
+// accept them. ... Within an Eject, a conventional Read routine could
+// be implemented by extracting data from an internal buffer; another
+// process would respond to incoming Write invocations and use the data
+// thus obtained to fill the same buffer."
+//
+// WOInPort is that internal buffer plus the responder (passive input);
+// Pusher is the active-output client that issues Deliver invocations.
+//
+// The duality of fan-in/fan-out is visible directly in the code: a
+// WOInPort channel cannot tell its writers apart (deliveries merge
+// indistinguishably — "F cannot distinguish this from one Eject making
+// the same total number of invocations", dualised), while one Eject
+// may hold any number of Pushers (arbitrary fan-out).
+
+// WOInPort is the passive-input half: a registry of channels that
+// accept Deliver invocations into bounded buffers, read locally by the
+// owning Eject through ChannelReader.
+type WOInPort struct {
+	met     *metrics.Set
+	capMode bool
+	mintCap func() uid.UID
+
+	mu    sync.Mutex
+	chans []*woChannel
+	byNum map[ChannelNum]*woChannel
+	byCap map[uid.UID]*woChannel
+}
+
+// WOInPortConfig parameterises a WOInPort.
+type WOInPortConfig struct {
+	// Capacity bounds each channel's buffer in items; 0 means
+	// DefaultCapacity, negative means 1 (Deliver-at-a-time handoff —
+	// a zero-capacity passive input could never accept anything).
+	Capacity int
+	// CapabilityMode requires Deliver requests to quote a minted UID.
+	CapabilityMode bool
+}
+
+// NewWOInPort creates a passive-input port.  k may be nil in unit
+// tests.
+func NewWOInPort(k *kernel.Kernel, cfg WOInPortConfig) *WOInPort {
+	var met *metrics.Set
+	mint := uid.New
+	if k != nil {
+		met = k.Metrics()
+		mint = k.NewUID
+	} else {
+		met = &metrics.Set{}
+	}
+	return &WOInPort{
+		met:     met,
+		capMode: cfg.CapabilityMode,
+		mintCap: mint,
+		byNum:   make(map[ChannelNum]*woChannel),
+		byCap:   make(map[uid.UID]*woChannel),
+	}
+}
+
+type woChannel struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	name     string
+	id       ChannelID
+	capacity int
+
+	buf          [][]byte
+	expectedEnds int
+	ends         int
+	abortErr     *AbortedError
+
+	deliversServed int64
+	itemsIn        int64
+}
+
+func (c *woChannel) ended() bool { return c.ends >= c.expectedEnds }
+
+// Declare creates a channel accepting deliveries and returns the
+// reader the owning Eject uses to consume it.  writers is the number
+// of End marks that complete the stream (the fan-in degree; minimum
+// 1).  capacity <= -1 selects single-item handoff; 0 selects
+// DefaultCapacity.
+func (p *WOInPort) Declare(name string, num ChannelNum, capacity, writers int) *ChannelReader {
+	switch {
+	case capacity < 0:
+		capacity = 1
+	case capacity == 0:
+		capacity = DefaultCapacity
+	}
+	if writers < 1 {
+		writers = 1
+	}
+	id := ChannelID{Num: num}
+	if p.capMode {
+		id.Cap = p.mintCap()
+	}
+	ch := &woChannel{name: name, id: id, capacity: capacity, expectedEnds: writers}
+	ch.cond = sync.NewCond(&ch.mu)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.chans = append(p.chans, ch)
+	p.byNum[num] = ch
+	if p.capMode {
+		p.byCap[id.Cap] = ch
+	}
+	return &ChannelReader{ch: ch}
+}
+
+func (p *WOInPort) lookup(id ChannelID) (*woChannel, Status) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capMode {
+		if !id.IsCap() {
+			return nil, StatusNotPermitted
+		}
+		ch, ok := p.byCap[id.Cap]
+		if !ok {
+			return nil, StatusNotPermitted
+		}
+		return ch, StatusOK
+	}
+	ch, ok := p.byNum[id.Num]
+	if !ok {
+		return nil, StatusNoSuchChannel
+	}
+	return ch, StatusOK
+}
+
+// Adverts lists the port's channels for OpChannels.
+func (p *WOInPort) Adverts() []ChannelAdvert {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ads := make([]ChannelAdvert, 0, len(p.chans))
+	for _, ch := range p.chans {
+		ads = append(ads, ChannelAdvert{Name: ch.name, ID: ch.id, Dir: "in"})
+	}
+	return ads
+}
+
+// ServeDeliver handles one Deliver invocation.  The reply is withheld
+// until every item fits in the buffer — the blocking IS passive input,
+// and withholding the reply is how back pressure reaches the writer.
+func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
+	req, ok := inv.Payload.(*DeliverRequest)
+	if !ok {
+		inv.Fail(kernel.ErrNoSuchOperation)
+		return
+	}
+	p.met.DeliverInvocations.Inc()
+	ch, st := p.lookup(req.Channel)
+	if st != StatusOK {
+		inv.Reply(&DeliverReply{Status: st})
+		return
+	}
+
+	ch.mu.Lock()
+	for _, item := range req.Items {
+		for len(ch.buf) >= ch.capacity && ch.abortErr == nil {
+			ch.cond.Wait()
+		}
+		if ch.abortErr != nil {
+			break
+		}
+		ch.buf = append(ch.buf, append([]byte(nil), item...))
+		ch.cond.Broadcast()
+	}
+	if ch.abortErr != nil {
+		msg := ch.abortErr.Msg
+		ch.mu.Unlock()
+		inv.Reply(&DeliverReply{Status: StatusAborted, AbortMsg: msg})
+		return
+	}
+	if req.End {
+		ch.ends++
+		ch.cond.Broadcast()
+	}
+	ch.deliversServed++
+	ch.itemsIn += int64(len(req.Items))
+	ch.mu.Unlock()
+
+	p.met.ItemsMoved.Add(int64(len(req.Items)))
+	inv.Reply(&DeliverReply{Status: StatusOK})
+}
+
+// ServeAbort handles OpAbort against an input channel.
+func (p *WOInPort) ServeAbort(inv *kernel.Invocation) {
+	req, ok := inv.Payload.(*AbortRequest)
+	if !ok {
+		inv.Fail(kernel.ErrNoSuchOperation)
+		return
+	}
+	abortOne := func(ch *woChannel) {
+		ch.mu.Lock()
+		if ch.abortErr == nil {
+			ch.abortErr = &AbortedError{Msg: req.Msg}
+		}
+		ch.cond.Broadcast()
+		ch.mu.Unlock()
+	}
+	if req.All {
+		p.mu.Lock()
+		chans := append([]*woChannel(nil), p.chans...)
+		p.mu.Unlock()
+		for _, ch := range chans {
+			abortOne(ch)
+		}
+	} else if ch, st := p.lookup(req.Channel); st == StatusOK {
+		abortOne(ch)
+	}
+	inv.Reply(&AbortReply{})
+}
+
+// Serve dispatches the transput operations a WOInPort understands,
+// returning false for non-transput ops.
+func (p *WOInPort) Serve(inv *kernel.Invocation) bool {
+	switch inv.Op {
+	case OpDeliver:
+		p.ServeDeliver(inv)
+	case OpChannels:
+		inv.Reply(&ChannelsReply{Channels: p.Adverts()})
+	case OpAbort:
+		p.ServeAbort(inv)
+	default:
+		return false
+	}
+	return true
+}
+
+// DeliversServed reports total Deliver invocations accepted.
+func (p *WOInPort) DeliversServed() int64 {
+	p.mu.Lock()
+	chans := append([]*woChannel(nil), p.chans...)
+	p.mu.Unlock()
+	var n int64
+	for _, ch := range chans {
+		ch.mu.Lock()
+		n += ch.deliversServed
+		ch.mu.Unlock()
+	}
+	return n
+}
+
+// ChannelReader is the owning Eject's local consumer for one
+// passive-input channel: §5's "conventional Read routine ...
+// extracting data from an internal buffer".  It implements ItemReader.
+type ChannelReader struct {
+	ch *woChannel
+}
+
+// ID returns the channel's identifier.
+func (r *ChannelReader) ID() ChannelID { return r.ch.id }
+
+// Next returns the next delivered item, or io.EOF once every expected
+// writer has sent End and the buffer has drained.
+func (r *ChannelReader) Next() ([]byte, error) {
+	ch := r.ch
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	for len(ch.buf) == 0 && !ch.ended() && ch.abortErr == nil {
+		ch.cond.Wait()
+	}
+	if len(ch.buf) > 0 {
+		item := ch.buf[0]
+		ch.buf[0] = nil
+		ch.buf = ch.buf[1:]
+		ch.cond.Broadcast() // wake parked Deliver workers
+		return item, nil
+	}
+	if ch.abortErr != nil {
+		return nil, ch.abortErr
+	}
+	return nil, io.EOF
+}
+
+// Cancel aborts the channel locally (consumer going away), releasing
+// parked Deliver workers with StatusAborted.
+func (r *ChannelReader) Cancel(msg string) {
+	ch := r.ch
+	ch.mu.Lock()
+	if ch.abortErr == nil {
+		ch.abortErr = &AbortedError{Msg: msg}
+	}
+	ch.cond.Broadcast()
+	ch.mu.Unlock()
+}
+
+var _ ItemReader = (*ChannelReader)(nil)
+
+// Pusher is the active-output client: it issues Deliver invocations
+// against a target Eject's input channel.  It implements ItemWriter.
+// One Eject may hold many Pushers — that is the write-only
+// discipline's arbitrary fan-out (Figure 3).
+type Pusher struct {
+	k       *kernel.Kernel
+	met     *metrics.Set
+	self    uid.UID
+	target  uid.UID
+	channel ChannelID
+	batch   int
+
+	mu      sync.Mutex
+	pending [][]byte
+	closed  bool
+
+	deliversIssued int64
+	itemsOut       int64
+}
+
+// PusherConfig parameterises a Pusher.
+type PusherConfig struct {
+	// Batch is the number of items per Deliver; <=0 means 1 (the
+	// paper-faithful count of one datum per invocation).
+	Batch int
+}
+
+// NewPusher creates an active-output port pushing to target's channel.
+func NewPusher(k *kernel.Kernel, self, target uid.UID, channel ChannelID, cfg PusherConfig) *Pusher {
+	if k == nil {
+		panic("transput: NewPusher requires a kernel")
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	return &Pusher{
+		k:       k,
+		met:     k.Metrics(),
+		self:    self,
+		target:  target,
+		channel: channel,
+		batch:   batch,
+	}
+}
+
+// Target returns the UID this pusher delivers to.
+func (w *Pusher) Target() uid.UID { return w.target }
+
+// Channel returns the channel identifier this pusher delivers on.
+func (w *Pusher) Channel() ChannelID { return w.channel }
+
+// flushLocked sends pending items (and optionally End).  Caller holds
+// w.mu; the invocation itself runs without the lock is NOT needed —
+// blocking here is exactly the back pressure the protocol intends.
+func (w *Pusher) flushLocked(end bool) error {
+	if len(w.pending) == 0 && !end {
+		return nil
+	}
+	items := w.pending
+	w.pending = nil
+	w.deliversIssued++
+	w.itemsOut += int64(len(items))
+	raw, err := w.k.Invoke(w.self, w.target, OpDeliver, &DeliverRequest{
+		Channel: w.channel,
+		Items:   items,
+		End:     end,
+	})
+	if err != nil {
+		return err
+	}
+	rep, ok := raw.(*DeliverReply)
+	if !ok {
+		return fmt.Errorf("transput: bad Deliver reply type %T", raw)
+	}
+	if rep.Status != StatusOK {
+		return statusErr(rep.Status, rep.AbortMsg)
+	}
+	return nil
+}
+
+// Put queues one item, delivering when a full batch accumulates.  The
+// item is copied.
+func (w *Pusher) Put(item []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	w.pending = append(w.pending, append([]byte(nil), item...))
+	if len(w.pending) >= w.batch {
+		return w.flushLocked(false)
+	}
+	return nil
+}
+
+// Flush forces out any partial batch.
+func (w *Pusher) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.flushLocked(false)
+}
+
+// Close flushes and sends this writer's End mark.
+func (w *Pusher) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.flushLocked(true)
+}
+
+// CloseWithError aborts the target channel.
+func (w *Pusher) CloseWithError(err error) error {
+	if err == nil {
+		return w.Close()
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.pending = nil
+	w.mu.Unlock()
+	_, aerr := w.k.Invoke(w.self, w.target, OpAbort, &AbortRequest{Channel: w.channel, Msg: err.Error()})
+	return aerr
+}
+
+// DeliversIssued reports how many Deliver invocations this pusher has
+// sent.
+func (w *Pusher) DeliversIssued() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.deliversIssued
+}
+
+var _ ItemWriter = (*Pusher)(nil)
+
+// MultiWriter duplicates every item to all of ws; Close/CloseWithError
+// fan out likewise.  It is the simplest fan-out device for disciplines
+// that permit it.
+type MultiWriter struct {
+	ws []ItemWriter
+}
+
+// NewMultiWriter returns an ItemWriter that duplicates to all ws.
+func NewMultiWriter(ws ...ItemWriter) *MultiWriter { return &MultiWriter{ws: ws} }
+
+// Put fans the item out to every writer, stopping at the first error.
+func (m *MultiWriter) Put(item []byte) error {
+	for _, w := range m.ws {
+		if err := w.Put(item); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every writer, returning the first error.
+func (m *MultiWriter) Close() error {
+	var first error
+	for _, w := range m.ws {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CloseWithError aborts every writer, returning the first error.
+func (m *MultiWriter) CloseWithError(err error) error {
+	var first error
+	for _, w := range m.ws {
+		if e := w.CloseWithError(err); e != nil && first == nil {
+			first = e
+		}
+	}
+	return first
+}
+
+var _ ItemWriter = (*MultiWriter)(nil)

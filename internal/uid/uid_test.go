@@ -1,0 +1,152 @@
+package uid
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilUID(t *testing.T) {
+	var u UID
+	if !u.IsNil() {
+		t.Error("zero UID must be nil")
+	}
+	if !Nil.IsNil() {
+		t.Error("Nil must be nil")
+	}
+	if New().IsNil() {
+		t.Error("minted UID must not be nil")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		u := New()
+		s := u.String()
+		if len(s) != 33 {
+			t.Fatalf("String() length = %d, want 33 (%q)", len(s), s)
+		}
+		v, err := ParseUID(s)
+		if err != nil {
+			t.Fatalf("ParseUID(%q): %v", s, err)
+		}
+		if v != u {
+			t.Fatalf("round trip %v != %v", v, u)
+		}
+	}
+}
+
+func TestParseUIDErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"short",
+		"0000000000000000 0000000000000000",      // space, not dash
+		"zzzzzzzzzzzzzzzz-0000000000000000",      // bad hex
+		"0000000000000000-0000000000000000extra", // too long
+		"00000000000000000000000000000000",       // no dash
+		"0000000000000000-00000000000000",        // too short
+		"g000000000000000-0000000000000000"[:16] + "-" + "000000000000000000", // garbage
+	}
+	for _, c := range cases {
+		if _, err := ParseUID(c); err == nil {
+			t.Errorf("ParseUID(%q) accepted malformed input", c)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		u := UID{Hi: hi, Lo: lo}
+		return FromBytes(u.Bytes()) == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint64) bool {
+		a := UID{Hi: a1, Lo: a2}
+		b := UID{Hi: b1, Lo: b2}
+		c := a.Compare(b)
+		switch {
+		case a == b:
+			return c == 0
+		case c == -1:
+			return b.Compare(a) == 1 && a.Less(b)
+		case c == 1:
+			return b.Compare(a) == -1 && b.Less(a)
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalUniqueness(t *testing.T) {
+	const n = 10000
+	seen := make(map[UID]bool, n)
+	for i := 0; i < n; i++ {
+		u := New()
+		if seen[u] {
+			t.Fatalf("duplicate UID %v after %d mints", u, i)
+		}
+		seen[u] = true
+	}
+}
+
+func TestConcurrentUniqueness(t *testing.T) {
+	const workers = 8
+	const each = 2000
+	var mu sync.Mutex
+	seen := make(map[UID]bool, workers*each)
+	var wg sync.WaitGroup
+	g := NewGenerator()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]UID, 0, each)
+			for i := 0; i < each; i++ {
+				local = append(local, g.New())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, u := range local {
+				if seen[u] {
+					t.Errorf("duplicate UID %v", u)
+				}
+				seen[u] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDeterministicReproducible(t *testing.T) {
+	a := NewDeterministic(42)
+	b := NewDeterministic(42)
+	for i := 0; i < 100; i++ {
+		ua, ub := a.New(), b.New()
+		if ua != ub {
+			t.Fatalf("deterministic generators diverged at %d: %v vs %v", i, ua, ub)
+		}
+		if ua.IsNil() {
+			t.Fatal("deterministic generator minted Nil")
+		}
+	}
+	c := NewDeterministic(43)
+	if a.New() == c.New() {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestDeterministicZeroSeed(t *testing.T) {
+	g := NewDeterministic(0)
+	u1, u2 := g.New(), g.New()
+	if u1 == u2 || u1.IsNil() || u2.IsNil() {
+		t.Fatalf("zero-seed generator broken: %v %v", u1, u2)
+	}
+}

@@ -1,0 +1,245 @@
+// Package unixfs implements §7's bootstrap transput system: "Currently
+// most data of interest is in the Unix file system, so a bootstrap
+// Eden transput system has been constructed.  This consists of a 'Unix
+// File System' Eject for each physical machine, which responds to two
+// invocations, NewStream and UseStream."
+//
+// The 1983 substrate was a real Unix file system; per the reproduction
+// rules it is simulated by HostFS, an in-memory hierarchical path →
+// bytes store with Unix-flavoured semantics (absolute slash paths,
+// implicit parent directories are NOT created, open/write/remove
+// errors reported in errno style).  The bootstrap Ejects exercise the
+// identical code path the paper describes: NewStream wraps a host file
+// in a transient UnixFile Eject that answers Transfer; UseStream
+// creates a UnixFile Eject that pulls a stream to completion and then
+// writes the host file.
+package unixfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors in the style of Unix errno names.
+var (
+	ErrNotExist  = errors.New("unixfs: no such file or directory")
+	ErrIsDir     = errors.New("unixfs: is a directory")
+	ErrNotDir    = errors.New("unixfs: not a directory")
+	ErrExist     = errors.New("unixfs: file exists")
+	ErrBadPath   = errors.New("unixfs: bad path")
+	ErrDirNotEmp = errors.New("unixfs: directory not empty")
+)
+
+// node is one inode: a file (data) or directory (children).
+type node struct {
+	dir      bool
+	data     []byte
+	children map[string]*node
+}
+
+// HostFS is the simulated Unix file system: a tree of named nodes
+// under "/".  All methods are safe for concurrent use.
+type HostFS struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+// NewHostFS returns an empty file system containing only "/".
+func NewHostFS() *HostFS {
+	return &HostFS{root: &node{dir: true, children: make(map[string]*node)}}
+}
+
+// clean validates and canonicalises an absolute path, returning its
+// components ("/" yields an empty slice).
+func clean(p string) ([]string, error) {
+	if p == "" || p[0] != '/' {
+		return nil, fmt.Errorf("%w: %q (must be absolute)", ErrBadPath, p)
+	}
+	cp := path.Clean(p)
+	if cp == "/" {
+		return nil, nil
+	}
+	return strings.Split(cp[1:], "/"), nil
+}
+
+// walk resolves components to a node.
+func (fs *HostFS) walk(parts []string) (*node, error) {
+	n := fs.root
+	for _, part := range parts {
+		if !n.dir {
+			return nil, ErrNotDir
+		}
+		child, ok := n.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// Mkdir creates a directory; the parent must exist.
+func (fs *HostFS) Mkdir(p string) error {
+	parts, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: /", ErrExist)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, err := fs.walk(parts[:len(parts)-1])
+	if err != nil {
+		return fmt.Errorf("mkdir %s: %w", p, err)
+	}
+	if !parent.dir {
+		return fmt.Errorf("mkdir %s: %w", p, ErrNotDir)
+	}
+	name := parts[len(parts)-1]
+	if _, exists := parent.children[name]; exists {
+		return fmt.Errorf("mkdir %s: %w", p, ErrExist)
+	}
+	parent.children[name] = &node{dir: true, children: make(map[string]*node)}
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *HostFS) MkdirAll(p string) error {
+	parts, err := clean(p)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := fs.root
+	for _, part := range parts {
+		child, ok := n.children[part]
+		if !ok {
+			child = &node{dir: true, children: make(map[string]*node)}
+			n.children[part] = child
+		} else if !child.dir {
+			return fmt.Errorf("mkdir %s: %w", p, ErrNotDir)
+		}
+		n = child
+	}
+	return nil
+}
+
+// WriteFile creates or replaces a regular file; the parent directory
+// must exist.
+func (fs *HostFS) WriteFile(p string, data []byte) error {
+	parts, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("write /: %w", ErrIsDir)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, err := fs.walk(parts[:len(parts)-1])
+	if err != nil {
+		return fmt.Errorf("write %s: %w", p, err)
+	}
+	if !parent.dir {
+		return fmt.Errorf("write %s: %w", p, ErrNotDir)
+	}
+	name := parts[len(parts)-1]
+	if existing, ok := parent.children[name]; ok && existing.dir {
+		return fmt.Errorf("write %s: %w", p, ErrIsDir)
+	}
+	parent.children[name] = &node{data: append([]byte(nil), data...)}
+	return nil
+}
+
+// ReadFile returns a copy of a regular file's content.
+func (fs *HostFS) ReadFile(p string) ([]byte, error) {
+	parts, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(parts)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", p, err)
+	}
+	if n.dir {
+		return nil, fmt.Errorf("read %s: %w", p, ErrIsDir)
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Stat reports (isDir, size) for a path.
+func (fs *HostFS) Stat(p string) (bool, int, error) {
+	parts, err := clean(p)
+	if err != nil {
+		return false, 0, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(parts)
+	if err != nil {
+		return false, 0, fmt.Errorf("stat %s: %w", p, err)
+	}
+	return n.dir, len(n.data), nil
+}
+
+// ReadDir lists a directory's entry names in sorted order, with a
+// trailing slash on subdirectories.
+func (fs *HostFS) ReadDir(p string) ([]string, error) {
+	parts, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(parts)
+	if err != nil {
+		return nil, fmt.Errorf("readdir %s: %w", p, err)
+	}
+	if !n.dir {
+		return nil, fmt.Errorf("readdir %s: %w", p, ErrNotDir)
+	}
+	names := make([]string, 0, len(n.children))
+	for name, child := range n.children {
+		if child.dir {
+			name += "/"
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove deletes a file or an empty directory.
+func (fs *HostFS) Remove(p string) error {
+	parts, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("remove /: %w", ErrBadPath)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, err := fs.walk(parts[:len(parts)-1])
+	if err != nil {
+		return fmt.Errorf("remove %s: %w", p, err)
+	}
+	name := parts[len(parts)-1]
+	n, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("remove %s: %w", p, ErrNotExist)
+	}
+	if n.dir && len(n.children) > 0 {
+		return fmt.Errorf("remove %s: %w", p, ErrDirNotEmp)
+	}
+	delete(parent.children, name)
+	return nil
+}

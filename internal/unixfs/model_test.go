@@ -1,0 +1,180 @@
+package unixfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Model-based test for HostFS: a random schedule of operations runs
+// against both the real file system and a trivial map-based model;
+// results (success, failure kind, content, listings) must agree.
+func TestHostFSAgainstMapModel(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed * 131))
+			fs := NewHostFS()
+			model := newFSModel()
+
+			paths := []string{"/a", "/b", "/a/x", "/a/y", "/a/x/deep", "/b/z"}
+			for step := 0; step < 400; step++ {
+				p := paths[rng.Intn(len(paths))]
+				switch rng.Intn(6) {
+				case 0: // MkdirAll
+					realErr := fs.MkdirAll(p)
+					modelErr := model.mkdirAll(p)
+					agree(t, step, "mkdirall", p, realErr, modelErr)
+				case 1: // WriteFile
+					data := []byte(fmt.Sprintf("step %d", step))
+					realErr := fs.WriteFile(p, data)
+					modelErr := model.writeFile(p, data)
+					agree(t, step, "write", p, realErr, modelErr)
+				case 2: // ReadFile
+					realData, realErr := fs.ReadFile(p)
+					modelData, modelErr := model.readFile(p)
+					agree(t, step, "read", p, realErr, modelErr)
+					if realErr == nil && !bytes.Equal(realData, modelData) {
+						t.Fatalf("step %d: read %s: %q vs model %q", step, p, realData, modelData)
+					}
+				case 3: // Remove
+					realErr := fs.Remove(p)
+					modelErr := model.remove(p)
+					agree(t, step, "remove", p, realErr, modelErr)
+				case 4: // ReadDir
+					realNames, realErr := fs.ReadDir(p)
+					modelNames, modelErr := model.readDir(p)
+					agree(t, step, "readdir", p, realErr, modelErr)
+					if realErr == nil && strings.Join(realNames, ",") != strings.Join(modelNames, ",") {
+						t.Fatalf("step %d: readdir %s: %v vs model %v", step, p, realNames, modelNames)
+					}
+				case 5: // Stat
+					isDir, size, realErr := fs.Stat(p)
+					mIsDir, mSize, modelErr := model.stat(p)
+					agree(t, step, "stat", p, realErr, modelErr)
+					if realErr == nil && (isDir != mIsDir || size != mSize) {
+						t.Fatalf("step %d: stat %s: (%v,%d) vs model (%v,%d)", step, p, isDir, size, mIsDir, mSize)
+					}
+				}
+			}
+		})
+	}
+}
+
+// agree requires both systems to succeed or both to fail.  (Error
+// *kinds* are checked by the unit tests; the model tracks only
+// success/failure.)
+func agree(t *testing.T, step int, op, p string, realErr, modelErr error) {
+	t.Helper()
+	if (realErr == nil) != (modelErr == nil) {
+		t.Fatalf("step %d: %s %s: real=%v model=%v", step, op, p, realErr, modelErr)
+	}
+}
+
+// fsModel is the reference: dirs is a set of directories, files maps
+// path to content.
+type fsModel struct {
+	dirs  map[string]bool
+	files map[string][]byte
+}
+
+var errModel = errors.New("model: operation fails")
+
+func newFSModel() *fsModel {
+	return &fsModel{dirs: map[string]bool{"/": true}, files: map[string][]byte{}}
+}
+
+func (m *fsModel) mkdirAll(p string) error {
+	p = path.Clean(p)
+	// Fails if any prefix is a file.
+	for q := p; q != "/"; q = path.Dir(q) {
+		if _, isFile := m.files[q]; isFile {
+			return errModel
+		}
+	}
+	for q := p; q != "/"; q = path.Dir(q) {
+		m.dirs[q] = true
+	}
+	return nil
+}
+
+func (m *fsModel) writeFile(p string, data []byte) error {
+	p = path.Clean(p)
+	if m.dirs[p] {
+		return errModel
+	}
+	parent := path.Dir(p)
+	if !m.dirs[parent] {
+		return errModel
+	}
+	m.files[p] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *fsModel) readFile(p string) ([]byte, error) {
+	p = path.Clean(p)
+	if data, ok := m.files[p]; ok {
+		return data, nil
+	}
+	return nil, errModel
+}
+
+func (m *fsModel) remove(p string) error {
+	p = path.Clean(p)
+	if _, ok := m.files[p]; ok {
+		delete(m.files, p)
+		return nil
+	}
+	if m.dirs[p] && p != "/" {
+		// Fails if non-empty.
+		for q := range m.dirs {
+			if path.Dir(q) == p {
+				return errModel
+			}
+		}
+		for q := range m.files {
+			if path.Dir(q) == p {
+				return errModel
+			}
+		}
+		delete(m.dirs, p)
+		return nil
+	}
+	return errModel
+}
+
+func (m *fsModel) readDir(p string) ([]string, error) {
+	p = path.Clean(p)
+	if !m.dirs[p] {
+		return nil, errModel
+	}
+	var names []string
+	for q := range m.dirs {
+		if path.Dir(q) == p && q != p {
+			names = append(names, path.Base(q)+"/")
+		}
+	}
+	for q := range m.files {
+		if path.Dir(q) == p {
+			names = append(names, path.Base(q))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *fsModel) stat(p string) (bool, int, error) {
+	p = path.Clean(p)
+	if m.dirs[p] {
+		return true, 0, nil
+	}
+	if data, ok := m.files[p]; ok {
+		return false, len(data), nil
+	}
+	return false, 0, errModel
+}

@@ -1,0 +1,268 @@
+package unixfs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"asymstream/internal/fsys"
+	"asymstream/internal/kernel"
+	"asymstream/internal/netsim"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// Operation names served by the bootstrap Ejects.
+const (
+	// OpNewStream: "NewStream takes as input a Unix path name, and
+	// returns as its result an Eden stream, i.e. a Capability.  The
+	// Capability is actually the UID of a newly created Eject (of type
+	// UnixFile), whose purpose is to respond to Transfer invocations
+	// with the contents of the appropriate Unix file" (§7).
+	OpNewStream = "UnixFS.NewStream"
+	// OpUseStream: "UseStream does the opposite; it takes as input a
+	// Unix path name and a Capability for a stream, and creates a
+	// UnixFile Eject which repeatedly invokes Transfer on the
+	// capability and records the data it receives.  When an end of
+	// stream status is returned by Transfer, the appropriate Unix file
+	// is opened, written and closed" (§7).
+	OpUseStream = "UnixFS.UseStream"
+	// OpListDir streams a host directory listing (convenience beyond
+	// the paper's two operations, used by the shell).
+	OpListDir = "UnixFS.ListDir"
+)
+
+// NewStreamRequest asks for a read stream over a host file.
+type NewStreamRequest struct {
+	Path string
+	// Lines selects line framing (default true when ChunkSize is 0).
+	Lines     bool
+	ChunkSize int
+}
+
+// NewStreamReply carries the capability for the new UnixFile stream.
+type NewStreamReply struct {
+	Stream fsys.StreamRef
+}
+
+// UseStreamRequest asks for a host file to be written from a stream.
+type UseStreamRequest struct {
+	Path   string
+	Source fsys.StreamRef
+	// Batch/Prefetch tune the UnixFile's InPort.
+	Batch    int
+	Prefetch int
+}
+
+// UseStreamReply reports the completed recording.
+type UseStreamReply struct {
+	Items int64
+	Bytes int64
+}
+
+// ListDirRequest asks for a listing stream of a host directory.
+type ListDirRequest struct {
+	Path string
+}
+
+func init() {
+	gob.Register(&NewStreamRequest{})
+	gob.Register(&NewStreamReply{})
+	gob.Register(&UseStreamRequest{})
+	gob.Register(&UseStreamReply{})
+	gob.Register(&ListDirRequest{})
+}
+
+// UnixFS is the per-machine bootstrap Eject.  It holds the machine's
+// host file system and mints transient UnixFile Ejects on demand.
+type UnixFS struct {
+	k    *kernel.Kernel
+	self uid.UID
+	node netsim.NodeID
+	host *HostFS
+}
+
+// New creates and registers a UnixFS Eject for one simulated machine.
+func New(k *kernel.Kernel, node netsim.NodeID, host *HostFS) (*UnixFS, uid.UID, error) {
+	if host == nil {
+		host = NewHostFS()
+	}
+	u := &UnixFS{k: k, node: node, host: host}
+	id := k.NewUID()
+	u.self = id
+	if err := k.CreateWithUID(id, u, node); err != nil {
+		return nil, uid.Nil, err
+	}
+	return u, id, nil
+}
+
+// Host exposes the underlying host file system (for seeding and
+// assertions).
+func (u *UnixFS) Host() *HostFS { return u.host }
+
+// EdenType implements kernel.Eject.
+func (u *UnixFS) EdenType() string { return "unixfs.UnixFS" }
+
+// Serve implements kernel.Eject.
+func (u *UnixFS) Serve(inv *kernel.Invocation) {
+	switch inv.Op {
+	case OpNewStream:
+		req, ok := inv.Payload.(*NewStreamRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return
+		}
+		data, err := u.host.ReadFile(req.Path)
+		if err != nil {
+			inv.Fail(err)
+			return
+		}
+		var items [][]byte
+		if req.Lines || req.ChunkSize == 0 {
+			items = transput.SplitLines(data)
+		} else {
+			for len(data) > 0 {
+				n := req.ChunkSize
+				if n > len(data) {
+					n = len(data)
+				}
+				items = append(items, append([]byte(nil), data[:n]...))
+				data = data[n:]
+			}
+		}
+		// The transient stream Eject is the paper's read-side UnixFile:
+		// it serves Transfer invocations and disappears when closed.
+		ref, err := fsys.NewTransientStream(u.k, u.node, "unixfile:"+req.Path, items)
+		if err != nil {
+			inv.Fail(err)
+			return
+		}
+		inv.Reply(&NewStreamReply{Stream: ref})
+
+	case OpUseStream:
+		req, ok := inv.Payload.(*UseStreamRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return
+		}
+		uf := &unixFileWriter{k: u.k, host: u.host, path: req.Path}
+		ufUID := u.k.NewUID()
+		uf.self = ufUID
+		if err := u.k.CreateWithUID(ufUID, uf, u.node); err != nil {
+			inv.Fail(err)
+			return
+		}
+		// The UnixFile pulls the stream to completion, writes the host
+		// file, then (having never checkpointed) disappears.
+		items, bytes, err := uf.record(req)
+		_ = u.k.Deactivate(ufUID)
+		if err != nil {
+			inv.Fail(err)
+			return
+		}
+		inv.Reply(&UseStreamReply{Items: items, Bytes: bytes})
+
+	case OpListDir:
+		req, ok := inv.Payload.(*ListDirRequest)
+		if !ok {
+			inv.Fail(kernel.ErrNoSuchOperation)
+			return
+		}
+		names, err := u.host.ReadDir(req.Path)
+		if err != nil {
+			inv.Fail(err)
+			return
+		}
+		items := make([][]byte, len(names))
+		for i, n := range names {
+			items[i] = []byte(n + "\n")
+		}
+		ref, err := fsys.NewTransientStream(u.k, u.node, "unixdir:"+req.Path, items)
+		if err != nil {
+			inv.Fail(err)
+			return
+		}
+		inv.Reply(&fsys.ListReply{Stream: ref})
+
+	case transput.OpChannels:
+		inv.Reply(&transput.ChannelsReply{})
+
+	default:
+		inv.Fail(fmt.Errorf("%w: %q on UnixFS", kernel.ErrNoSuchOperation, inv.Op))
+	}
+}
+
+// unixFileWriter is the write-side UnixFile Eject of §7.  It exists as
+// a registered Eject (it is part of the Eject count and owns the
+// active input) for the duration of one recording.
+type unixFileWriter struct {
+	k    *kernel.Kernel
+	self uid.UID
+	host *HostFS
+	path string
+}
+
+// EdenType implements kernel.Eject.
+func (w *unixFileWriter) EdenType() string { return "unixfs.UnixFile" }
+
+// Serve implements kernel.Eject; a writing UnixFile serves nothing.
+func (w *unixFileWriter) Serve(inv *kernel.Invocation) {
+	if inv.Op == transput.OpChannels {
+		inv.Reply(&transput.ChannelsReply{})
+		return
+	}
+	inv.Fail(fmt.Errorf("%w: %q on UnixFile", kernel.ErrNoSuchOperation, inv.Op))
+}
+
+// record pulls the whole stream and writes the host file.
+func (w *unixFileWriter) record(req *UseStreamRequest) (int64, int64, error) {
+	in := transput.NewInPort(w.k, w.self, req.Source.UID, req.Source.Channel, transput.InPortConfig{
+		Batch:    req.Batch,
+		Prefetch: req.Prefetch,
+	})
+	var items int64
+	var data []byte
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return items, int64(len(data)), fmt.Errorf("unixfs: UseStream pull: %w", err)
+		}
+		items++
+		data = append(data, item...)
+	}
+	if err := w.host.WriteFile(w.path, data); err != nil {
+		return items, int64(len(data)), err
+	}
+	return items, int64(len(data)), nil
+}
+
+// Client-side helpers.
+
+// NewStream opens a host file as an Eden stream.
+func NewStream(k *kernel.Kernel, from, ufs uid.UID, path string) (fsys.StreamRef, error) {
+	raw, err := k.Invoke(from, ufs, OpNewStream, &NewStreamRequest{Path: path, Lines: true})
+	if err != nil {
+		return fsys.StreamRef{}, err
+	}
+	rep, ok := raw.(*NewStreamReply)
+	if !ok {
+		return fsys.StreamRef{}, fmt.Errorf("unixfs: bad NewStream reply %T", raw)
+	}
+	return rep.Stream, nil
+}
+
+// UseStream records an Eden stream into a host file.
+func UseStream(k *kernel.Kernel, from, ufs uid.UID, path string, src fsys.StreamRef) (*UseStreamReply, error) {
+	raw, err := k.Invoke(from, ufs, OpUseStream, &UseStreamRequest{Path: path, Source: src})
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := raw.(*UseStreamReply)
+	if !ok {
+		return nil, fmt.Errorf("unixfs: bad UseStream reply %T", raw)
+	}
+	return rep, nil
+}

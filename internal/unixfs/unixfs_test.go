@@ -1,0 +1,321 @@
+package unixfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"asymstream/internal/fsys"
+	"asymstream/internal/kernel"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// --- HostFS ---
+
+func TestHostFSBasics(t *testing.T) {
+	fs := NewHostFS()
+	if err := fs.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/b/f.txt", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/a/b/f.txt")
+	if err != nil || string(data) != "hi" {
+		t.Fatalf("read: %q %v", data, err)
+	}
+	isDir, size, err := fs.Stat("/a/b/f.txt")
+	if err != nil || isDir || size != 2 {
+		t.Fatalf("stat: %v %d %v", isDir, size, err)
+	}
+	isDir, _, err = fs.Stat("/a")
+	if err != nil || !isDir {
+		t.Fatalf("stat dir: %v %v", isDir, err)
+	}
+	names, err := fs.ReadDir("/a")
+	if err != nil || len(names) != 1 || names[0] != "b/" {
+		t.Fatalf("readdir: %v %v", names, err)
+	}
+}
+
+func TestHostFSErrors(t *testing.T) {
+	fs := NewHostFS()
+	if _, err := fs.ReadFile("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("read missing: %v", err)
+	}
+	if _, err := fs.ReadFile("relative"); !errors.Is(err, ErrBadPath) {
+		t.Errorf("relative path: %v", err)
+	}
+	if err := fs.WriteFile("/no/parent/file", nil); !errors.Is(err, ErrNotExist) {
+		t.Errorf("write without parent: %v", err)
+	}
+	if err := fs.Mkdir("/x/y"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("mkdir without parent: %v", err)
+	}
+	if err := fs.Mkdir("/"); !errors.Is(err, ErrExist) {
+		t.Errorf("mkdir root: %v", err)
+	}
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); !errors.Is(err, ErrExist) {
+		t.Errorf("mkdir existing: %v", err)
+	}
+	if _, err := fs.ReadFile("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("read dir: %v", err)
+	}
+	if err := fs.WriteFile("/d", nil); !errors.Is(err, ErrIsDir) {
+		t.Errorf("write over dir: %v", err)
+	}
+	if err := fs.WriteFile("/d/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/d/f/sub"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("mkdirall through file: %v", err)
+	}
+	if _, err := fs.ReadDir("/d/f"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("readdir file: %v", err)
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrDirNotEmp) {
+		t.Errorf("remove non-empty dir: %v", err)
+	}
+	if err := fs.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestHostFSPathCleaning(t *testing.T) {
+	fs := NewHostFS()
+	if err := fs.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/b/../b/./f", []byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/a/b/f")
+	if err != nil || string(data) != "clean" {
+		t.Fatalf("cleaned path: %q %v", data, err)
+	}
+}
+
+func TestHostFSDataCopied(t *testing.T) {
+	fs := NewHostFS()
+	buf := []byte("original")
+	if err := fs.WriteFile("/f", buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBER!")
+	data, _ := fs.ReadFile("/f")
+	if string(data) != "original" {
+		t.Fatal("WriteFile aliased caller buffer")
+	}
+	data[0] = 'X'
+	data2, _ := fs.ReadFile("/f")
+	if string(data2) != "original" {
+		t.Fatal("ReadFile returned aliasing slice")
+	}
+}
+
+// --- bootstrap Ejects ---
+
+func newUFS(t testing.TB) (*kernel.Kernel, *UnixFS, uid.UID) {
+	t.Helper()
+	k := kernel.New(kernel.Config{})
+	t.Cleanup(k.Shutdown)
+	u, id, err := New(k, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, u, id
+}
+
+func TestNewStreamServesFileContents(t *testing.T) {
+	k, u, ufsID := newUFS(t)
+	const text = "alpha\nbeta\ngamma\n"
+	if err := u.Host().WriteFile("/data.txt", []byte(text)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewStream(k, uid.Nil, ufsID, "/data.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadAll(k, uid.Nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != text {
+		t.Fatalf("streamed %q", data)
+	}
+}
+
+func TestNewStreamMissingFile(t *testing.T) {
+	k, _, ufsID := newUFS(t)
+	if _, err := NewStream(k, uid.Nil, ufsID, "/nope"); err == nil {
+		t.Fatal("NewStream of missing file succeeded")
+	}
+}
+
+func TestUseStreamRecordsToHostFile(t *testing.T) {
+	k, u, ufsID := newUFS(t)
+	// Source: a static Eden stream.
+	items := transput.SplitLines([]byte("recorded line 1\nrecorded line 2\n"))
+	ref, err := fsys.NewTransientStream(k, 0, "src", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := UseStream(k, uid.Nil, ufsID, "/out.txt", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 2 {
+		t.Fatalf("recorded %d items", rep.Items)
+	}
+	data, err := u.Host().ReadFile("/out.txt")
+	if err != nil || string(data) != "recorded line 1\nrecorded line 2\n" {
+		t.Fatalf("host file %q %v", data, err)
+	}
+}
+
+func TestUseStreamBadPathSurfaces(t *testing.T) {
+	k, _, ufsID := newUFS(t)
+	ref, err := fsys.NewTransientStream(k, 0, "src", transput.SplitLines([]byte("x\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UseStream(k, uid.Nil, ufsID, "/no/parent/out", ref); err == nil {
+		t.Fatal("UseStream to missing directory succeeded")
+	}
+}
+
+func TestRoundTripThroughFilter(t *testing.T) {
+	// The §7 workflow: Unix file -> Eden stream -> filter -> Unix file.
+	k, u, ufsID := newUFS(t)
+	if err := u.Host().WriteFile("/in.f", []byte("C strip me\nkeep me\n")); err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewStream(k, uid.Nil, ufsID, "/in.f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fUID := k.NewUID()
+	fIn := transput.NewInPort(k, fUID, in.UID, in.Channel, transput.InPortConfig{})
+	stage := transput.NewROStage(k, transput.ROStageConfig{Name: "strip"},
+		func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+			for {
+				item, err := ins[0].Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if !bytes.HasPrefix(item, []byte("C")) {
+					if err := outs[0].Put(item); err != nil {
+						return err
+					}
+				}
+			}
+		}, fIn)
+	if err := k.CreateWithUID(fUID, stage, 0); err != nil {
+		t.Fatal(err)
+	}
+	stage.Start()
+	rep, err := UseStream(k, uid.Nil, ufsID, "/out.f",
+		fsys.StreamRef{UID: fUID, Channel: stage.Writer(0).ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 1 {
+		t.Fatalf("items = %d", rep.Items)
+	}
+	data, _ := u.Host().ReadFile("/out.f")
+	if string(data) != "keep me\n" {
+		t.Fatalf("filtered output %q", data)
+	}
+}
+
+func TestListDirStream(t *testing.T) {
+	k, u, ufsID := newUFS(t)
+	if err := u.Host().MkdirAll("/dir/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Host().WriteFile("/dir/b.txt", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Host().WriteFile("/dir/a.txt", nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := k.Invoke(uid.Nil, ufsID, OpListDir, &ListDirRequest{Path: "/dir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := raw.(*fsys.ListReply).Stream
+	data, err := fsys.ReadAll(k, uid.Nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a.txt\nb.txt\nsub/\n" {
+		t.Fatalf("listing %q", data)
+	}
+}
+
+func TestUseStreamWriterEjectDisappears(t *testing.T) {
+	k, _, ufsID := newUFS(t)
+	before := k.ActiveCount()
+	ref, err := fsys.NewTransientStream(k, 0, "src", transput.SplitLines([]byte("x\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UseStream(k, uid.Nil, ufsID, "/f", ref); err != nil {
+		t.Fatal(err)
+	}
+	// The write-side UnixFile deactivated itself; only the transient
+	// read stream may remain.
+	after := k.ActiveCount()
+	if after > before+1 {
+		t.Fatalf("active ejects grew from %d to %d", before, after)
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	k, u, ufsID := newUFS(t)
+	for i := 0; i < 5; i++ {
+		if err := u.Host().WriteFile(fmt.Sprintf("/f%d", i), []byte(fmt.Sprintf("content %d\n", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 5)
+	for i := 0; i < 5; i++ {
+		go func(i int) {
+			ref, err := NewStream(k, uid.Nil, ufsID, fmt.Sprintf("/f%d", i))
+			if err != nil {
+				done <- err
+				return
+			}
+			data, err := fsys.ReadAll(k, uid.Nil, ref)
+			if err != nil {
+				done <- err
+				return
+			}
+			if string(data) != fmt.Sprintf("content %d\n", i) {
+				done <- fmt.Errorf("stream %d got %q", i, data)
+				return
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 5; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

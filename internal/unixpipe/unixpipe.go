@@ -1,0 +1,278 @@
+// Package unixpipe simulates the conventional operating system of
+// Figure 1: filter *processes* that perform active input and active
+// output through *system calls*, connected by kernel *pipes* that
+// perform the passive transput.
+//
+// "The function of a pipe is to perform passive transput in response
+// to the active transput operations of the filters.  When F_i performs
+// a Write operation, the pipe to which it is connected responds by
+// accepting the data ... When F_{i+1} performs a Read operation, the
+// pipe responds by supplying data it has previously received" (§3).
+//
+// The simulation is deliberately minimal — processes are goroutines,
+// system calls are metered method calls — because the experiment E1
+// only needs the *counts*: an n-filter Unix pipeline costs 2n+2
+// system calls per datum and needs n+1 pipes, against which Figure 2's
+// n+1 invocations and zero buffers are compared.  Items rather than
+// bytes flow through the pipes so that the identical filter bodies
+// (and therefore identical workloads) run on both substrates.
+package unixpipe
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"asymstream/internal/metrics"
+	"asymstream/internal/transput"
+)
+
+// ErrClosedPipe is returned when writing to a pipe whose read end is
+// gone — the simulation's SIGPIPE.
+var ErrClosedPipe = errors.New("unixpipe: write on closed pipe")
+
+// System is one simulated Unix kernel: a syscall meter plus pipe
+// bookkeeping.
+type System struct {
+	met *metrics.Set
+
+	mu        sync.Mutex
+	pipes     int
+	processes int
+}
+
+// NewSystem creates a simulated kernel.  met may be nil for a private
+// meter.
+func NewSystem(met *metrics.Set) *System {
+	if met == nil {
+		met = &metrics.Set{}
+	}
+	return &System{met: met}
+}
+
+// Metrics returns the system's meter (Syscalls is the headline
+// counter).
+func (s *System) Metrics() *metrics.Set { return s.met }
+
+// Pipes reports how many pipes have been created.
+func (s *System) Pipes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipes
+}
+
+// Processes reports how many processes have been spawned.
+func (s *System) Processes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.processes
+}
+
+// Pipe is a kernel pipe: a bounded FIFO of items with blocking,
+// metered Read/Write "system calls".
+type Pipe struct {
+	sys *System
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	buf      [][]byte
+	capacity int
+	closed   bool // write end closed: EOF after drain
+	broken   bool // read end closed: writes fail
+}
+
+// NewPipe creates a pipe with the given capacity in items (<=0 means
+// 64, mimicking a pipe buffer of a few kilobytes).
+func (s *System) NewPipe(capacity int) *Pipe {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	p := &Pipe{sys: s, capacity: capacity}
+	p.cond = sync.NewCond(&p.mu)
+	s.mu.Lock()
+	s.pipes++
+	s.mu.Unlock()
+	return p
+}
+
+// WriteItem is the write(2) system call: it blocks while the pipe is
+// full and fails with ErrClosedPipe if the read end is gone.
+func (p *Pipe) WriteItem(item []byte) error {
+	p.sys.met.Syscalls.Inc()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) >= p.capacity && !p.broken && !p.closed {
+		p.cond.Wait()
+	}
+	if p.broken || p.closed {
+		return ErrClosedPipe
+	}
+	p.buf = append(p.buf, append([]byte(nil), item...))
+	p.cond.Broadcast()
+	return nil
+}
+
+// ReadItem is the read(2) system call: it blocks while the pipe is
+// empty and returns io.EOF once the write end is closed and the pipe
+// has drained.
+func (p *Pipe) ReadItem() ([]byte, error) {
+	p.sys.met.Syscalls.Inc()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 && !p.closed && !p.broken {
+		p.cond.Wait()
+	}
+	if len(p.buf) > 0 {
+		item := p.buf[0]
+		p.buf[0] = nil
+		p.buf = p.buf[1:]
+		p.cond.Broadcast()
+		return item, nil
+	}
+	if p.broken {
+		return nil, ErrClosedPipe
+	}
+	return nil, io.EOF
+}
+
+// CloseWrite closes the write end (close(2)); readers see EOF after
+// draining.
+func (p *Pipe) CloseWrite() {
+	p.sys.met.Syscalls.Inc()
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// CloseRead closes the read end; writers get ErrClosedPipe.
+func (p *Pipe) CloseRead() {
+	p.sys.met.Syscalls.Inc()
+	p.mu.Lock()
+	p.broken = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// reader/writer adapters so the transput filter bodies run unchanged
+// on the Unix substrate.
+
+type pipeReader struct{ p *Pipe }
+
+func (r pipeReader) Next() ([]byte, error) { return r.p.ReadItem() }
+
+type pipeWriter struct{ p *Pipe }
+
+func (w pipeWriter) Put(item []byte) error { return w.p.WriteItem(item) }
+func (w pipeWriter) Close() error          { w.p.CloseWrite(); return nil }
+func (w pipeWriter) CloseWithError(err error) error {
+	// A dying Unix process just closes its descriptors; there is no
+	// abort message on a pipe.
+	w.p.CloseWrite()
+	return nil
+}
+
+// Reader exposes a pipe's read end as a transput.ItemReader.
+func (p *Pipe) Reader() transput.ItemReader { return pipeReader{p} }
+
+// Writer exposes a pipe's write end as a transput.ItemWriter.
+func (p *Pipe) Writer() transput.ItemWriter { return pipeWriter{p} }
+
+// Pipeline is a built Unix pipeline: source | f1 | ... | fn | sink.
+type Pipeline struct {
+	sys   *System
+	pipes []*Pipe
+
+	src  transput.SourceFunc
+	fs   []transput.Filter
+	sink transput.SinkFunc
+
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	errs    []error
+	sinkErr error
+}
+
+// Build assembles the Figure 1 topology: n filters need n+1 pipes.
+func (s *System) Build(src transput.SourceFunc, fs []transput.Filter, sink transput.SinkFunc, pipeCapacity int) *Pipeline {
+	pl := &Pipeline{sys: s, src: src, fs: fs, sink: sink}
+	for i := 0; i <= len(fs); i++ {
+		pl.pipes = append(pl.pipes, s.NewPipe(pipeCapacity))
+	}
+	return pl
+}
+
+// Pipes reports the number of kernel pipes in the pipeline (n+1).
+func (pl *Pipeline) Pipes() int { return len(pl.pipes) }
+
+// spawn runs fn as a simulated process.
+func (pl *Pipeline) spawn(fn func() error) {
+	pl.sys.mu.Lock()
+	pl.sys.processes++
+	pl.sys.mu.Unlock()
+	pl.wg.Add(1)
+	go func() {
+		defer pl.wg.Done()
+		if err := fn(); err != nil {
+			pl.errMu.Lock()
+			pl.errs = append(pl.errs, err)
+			pl.errMu.Unlock()
+		}
+	}()
+}
+
+// Run executes the pipeline to completion and returns the sink's
+// error (or the first process error).
+func (pl *Pipeline) Run() error {
+	// Source process: active output only.
+	pl.spawn(func() error {
+		w := pl.pipes[0].Writer()
+		err := pl.src(w)
+		if err != nil {
+			_ = w.CloseWithError(err)
+			return err
+		}
+		return w.Close()
+	})
+	// Filter processes: active input + active output — each is also a
+	// data pump (§3).  When a Unix process exits the kernel closes all
+	// its descriptors, so each wrapper closes the read end of its
+	// input and the write end of its output on the way out; an
+	// upstream writer blocked on a full pipe then gets the simulated
+	// SIGPIPE instead of hanging.
+	for i, f := range pl.fs {
+		inPipe := pl.pipes[i]
+		out := pl.pipes[i+1].Writer()
+		body := f.Body
+		pl.spawn(func() error {
+			defer inPipe.CloseRead()
+			err := body([]transput.ItemReader{inPipe.Reader()}, []transput.ItemWriter{out})
+			if err != nil {
+				_ = out.CloseWithError(err)
+				return err
+			}
+			return out.Close()
+		})
+	}
+	// Sink process: active input only.
+	last := pl.pipes[len(pl.pipes)-1]
+	pl.spawn(func() error {
+		defer last.CloseRead()
+		err := pl.sink(last.Reader())
+		pl.errMu.Lock()
+		pl.sinkErr = err
+		pl.errMu.Unlock()
+		return err
+	})
+	pl.wg.Wait()
+	pl.errMu.Lock()
+	defer pl.errMu.Unlock()
+	if pl.sinkErr != nil {
+		return pl.sinkErr
+	}
+	if len(pl.errs) > 0 {
+		return pl.errs[0]
+	}
+	return nil
+}
