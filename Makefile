@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race bench json
+
+## check: the pre-merge gate — vet, build, full tests, and the race
+## detector over the concurrency-heavy packages.  CI and contributors
+## run this before merging.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/kernel/... ./internal/transput/...
+
+## bench: the per-hop micro-benchmarks the fast-path work is gated on.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkTransferHop|BenchmarkDeliverHop|BenchmarkInvoke' -benchmem ./internal/kernel/ ./internal/transput/
+
+## json: machine-readable pipeline costs for the four Figure 1/2 shapes.
+json:
+	$(GO) run ./cmd/transput-bench -json -quick

@@ -10,6 +10,8 @@
 //	transput-bench -exp e2,e3      # selected experiments
 //	transput-bench -list           # list experiment ids
 //	transput-bench -check          # verify the paper's counting claims; exit 1 on violation
+//	transput-bench -json           # write BENCH_kernel.json (ns/op, allocs/op, inv/datum
+//	                               # for the four Figure 1/2 pipeline shapes)
 package main
 
 import (
@@ -28,8 +30,24 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		items = flag.Int("items", 0, "override stream length per run")
 		check = flag.Bool("check", false, "verify the paper's counting claims and exit")
+		jsonl = flag.Bool("json", false, "write machine-readable pipeline costs to -json-out and exit")
+		jout  = flag.String("json-out", "BENCH_kernel.json", "output path for -json")
+		jn    = flag.Int("json-n", 4, "filter count for the -json pipelines")
 	)
 	flag.Parse()
+
+	if *jsonl {
+		p := experiments.DefaultParams(*quick)
+		if *items > 0 {
+			p.Items = *items
+		}
+		if err := experiments.WriteBenchJSON(*jout, *jn, p.Items); err != nil {
+			fmt.Fprintln(os.Stderr, "transput-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (n=%d, items=%d)\n", *jout, *jn, p.Items)
+		return
+	}
 
 	if *check {
 		p := experiments.DefaultParams(*quick)

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"asymstream/internal/transput"
+)
+
+// BenchRecord is one machine-readable pipeline measurement: the
+// wall-clock and allocation cost of moving one datum end to end,
+// alongside the paper-facing invocations-per-datum count.  ns/op and
+// allocs/op are whole-pipeline figures (every stage, every kernel
+// worker), not single-hop micro-benchmarks; the per-hop numbers live
+// in the testing benchmarks.
+type BenchRecord struct {
+	Pipeline            string  `json:"pipeline"`
+	Discipline          string  `json:"discipline"`
+	Filters             int     `json:"filters"`
+	Items               int64   `json:"items"`
+	NsPerOp             float64 `json:"ns_per_op"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	InvocationsPerDatum float64 `json:"invocations_per_datum"`
+	ItemsPerSecond      float64 `json:"items_per_second"`
+}
+
+// BenchReport is the document transput-bench -json emits.
+type BenchReport struct {
+	Filters int           `json:"filters"`
+	Items   int           `json:"items"`
+	Records []BenchRecord `json:"records"`
+}
+
+// mallocs reads the process-wide allocation count after settling the
+// collector, so successive readings bracket a run's allocations.
+func mallocs() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// RunBenchJSON measures the four Figure 1/2 pipeline shapes — the Unix
+// baseline and the buffered, read-only and write-only Eden disciplines
+// — at a fixed filter count and stream length.
+func RunBenchJSON(n, items int) (BenchReport, error) {
+	rep := BenchReport{Filters: n, Items: items}
+
+	add := func(name, disc string, res LinearResult, perDatum float64) {
+		rec := BenchRecord{
+			Pipeline:            name,
+			Discipline:          disc,
+			Filters:             n,
+			Items:               res.Items,
+			InvocationsPerDatum: perDatum,
+			ItemsPerSecond:      res.Throughput(),
+		}
+		if res.Items > 0 {
+			rec.NsPerOp = float64(res.Elapsed.Nanoseconds()) / float64(res.Items)
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+
+	before := mallocs()
+	ures, _, _, err := RunUnix(n, items, 64)
+	if err != nil {
+		return rep, fmt.Errorf("bench unix: %w", err)
+	}
+	uAllocs := mallocs() - before
+	// Subtract the constant close() calls, as E1 does, so the figure
+	// matches the paper's 2n+2 prediction.
+	uSys := ures.DataInvocations - int64(2*(n+1))
+	add("E1-unix", "unix", ures, float64(uSys)/float64(ures.Items))
+	rep.Records[len(rep.Records)-1].AllocsPerOp = float64(uAllocs) / float64(ures.Items)
+
+	for _, d := range []struct {
+		name string
+		disc transput.Discipline
+	}{
+		{"E2-readonly", transput.ReadOnly},
+		{"E3-buffered", transput.Buffered},
+		{"E4-writeonly", transput.WriteOnly},
+	} {
+		before := mallocs()
+		res, err := RunLinear(d.disc, n, items, transput.Options{})
+		if err != nil {
+			return rep, fmt.Errorf("bench %s: %w", d.name, err)
+		}
+		allocs := mallocs() - before
+		add(d.name, d.disc.String(), res, res.PerDatum())
+		rep.Records[len(rep.Records)-1].AllocsPerOp = float64(allocs) / float64(res.Items)
+	}
+	return rep, nil
+}
+
+// WriteBenchJSON runs RunBenchJSON and writes the report to path as
+// indented JSON.
+func WriteBenchJSON(path string, n, items int) error {
+	rep, err := RunBenchJSON(n, items)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,70 @@
+package kernel
+
+import (
+	"testing"
+
+	"asymstream/internal/uid"
+)
+
+// Allocation-regression ceilings for the invocation fast path.  The
+// pooled-worker / pooled-record machinery exists so that a warm local
+// hop performs near-zero allocation; these tests fail if a change
+// quietly reintroduces per-hop garbage (the previous design spent ten
+// allocations per hop on the goroutine spawn, the Invocation, the Call
+// and its channels).
+//
+// Ceilings are set one above the measured steady state (pingRep reply
+// plus sync.Pool jitter) so legitimate churn does not flake the suite.
+
+const warmup = 256
+
+// TestInvokeLocalAllocs pins the warm synchronous local hop.
+func TestInvokeLocalAllocs(t *testing.T) {
+	k := New(Config{})
+	defer k.Shutdown()
+	id, err := k.Create(&pinger{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := k.Caller(uid.Nil)
+	req := &pingReq{N: 1}
+	hop := func() {
+		if _, err := caller.Invoke(id, "ping", req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		hop()
+	}
+	// Steady state: the pinger's reply record, its boxed field, and
+	// occasional pool refills.
+	const ceiling = 4
+	if n := testing.AllocsPerRun(200, hop); n > ceiling {
+		t.Errorf("warm local Invoke: %.1f allocs/op, ceiling %d", n, ceiling)
+	}
+}
+
+// TestInvokeDirectDispatchAllocs pins the DirectDispatch ablation,
+// which should allocate no more than the queued path.
+func TestInvokeDirectDispatchAllocs(t *testing.T) {
+	k := New(Config{DirectDispatch: true})
+	defer k.Shutdown()
+	id, err := k.Create(&pinger{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := k.Caller(uid.Nil)
+	req := &pingReq{N: 1}
+	hop := func() {
+		if _, err := caller.Invoke(id, "ping", req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		hop()
+	}
+	const ceiling = 4
+	if n := testing.AllocsPerRun(200, hop); n > ceiling {
+		t.Errorf("warm DirectDispatch Invoke: %.1f allocs/op, ceiling %d", n, ceiling)
+	}
+}

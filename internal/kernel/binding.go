@@ -36,35 +36,86 @@ func (s ejectState) String() string {
 
 // binding is the kernel's record for one UID: its home node, lifecycle
 // state and, when active, the running Eject with its mailbox and
-// worker pool.  The mailbox is unbounded (slice + condition variable)
-// so that enqueueing never blocks the invoker's goroutine: back
-// pressure in the transput system is the protocol's job (bounded
-// anticipatory buffers), not the kernel's.
+// worker pool.  The mailbox is an unbounded ring buffer so that
+// enqueueing never blocks the invoker's goroutine: back pressure in
+// the transput system is the protocol's job (bounded anticipatory
+// buffers), not the kernel's.
+//
+// Workers are persistent goroutines that pull from the mailbox
+// directly — the paper's "coordinator process that receives incoming
+// invocations, and a number of worker processes" (§4 footnote), with
+// the coordinator's hand-off folded into the mailbox itself.  They are
+// spawned lazily, one per enqueue that finds no idle worker, up to the
+// configured cap; a warm invocation therefore costs one ring push and
+// one cond signal, never a goroutine creation.
+//
+// The ring buffer also closes a leak the previous slice-based mailbox
+// had: popping with `queue = queue[1:]` kept every consumed
+// *Invocation reachable through the backing array until the slice was
+// reallocated.  Ring slots are nilled on pop.
 type binding struct {
 	id   uid.UID
 	node netsim.NodeID
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	state   ejectState
-	eject   Eject
-	queue   []*Invocation
-	quit    bool // tells the dispatcher to drain and exit
-	epoch   uint64
-	workers chan struct{} // counting semaphore for Serve goroutines
-	wg      sync.WaitGroup
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state ejectState
+	eject Eject
+
+	// ring is the mailbox: count invocations starting at head.
+	ring  []*Invocation
+	head  int
+	count int
+
+	quit  bool // tells workers to drain and exit
+	epoch uint64
+
+	maxWorkers int
+	workers    int // live workers in the current epoch
+	idle       int // workers parked in cond.Wait in the current epoch
 }
+
+// ringMinCap is the initial mailbox capacity; it grows by doubling.
+const ringMinCap = 8
 
 func newBinding(id uid.UID, node netsim.NodeID, e Eject, workers int) *binding {
 	b := &binding{
-		id:      id,
-		node:    node,
-		state:   stateActive,
-		eject:   e,
-		workers: make(chan struct{}, workers),
+		id:         id,
+		node:       node,
+		state:      stateActive,
+		eject:      e,
+		maxWorkers: workers,
 	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// push appends to the ring, growing it when full.  Caller holds b.mu.
+func (b *binding) push(inv *Invocation) {
+	if b.count == len(b.ring) {
+		newCap := len(b.ring) * 2
+		if newCap < ringMinCap {
+			newCap = ringMinCap
+		}
+		grown := make([]*Invocation, newCap)
+		n := copy(grown, b.ring[b.head:])
+		copy(grown[n:], b.ring[:b.head])
+		b.ring = grown
+		b.head = 0
+	}
+	b.ring[(b.head+b.count)%len(b.ring)] = inv
+	b.count++
+}
+
+// pop removes the oldest invocation, nilling the slot so the consumed
+// *Invocation is not retained by the ring.  Caller holds b.mu and has
+// checked count > 0.
+func (b *binding) pop() *Invocation {
+	inv := b.ring[b.head]
+	b.ring[b.head] = nil
+	b.head = (b.head + 1) % len(b.ring)
+	b.count--
+	return inv
 }
 
 // enqueue appends an invocation for dispatch.  It returns false if the
@@ -72,67 +123,88 @@ func newBinding(id uid.UID, node netsim.NodeID, e Eject, workers int) *binding {
 // re-activate the Eject).
 func (b *binding) enqueue(inv *Invocation) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.state != stateActive || b.quit {
+		b.mu.Unlock()
 		return false
 	}
-	// Broadcast rather than Signal: around a deactivate/re-activate
-	// cycle a stale dispatcher goroutine may still be waiting, and a
-	// single Signal could wake only that one (which exits without
-	// consuming), losing the wakeup.
-	b.queue = append(b.queue, inv)
-	b.cond.Broadcast()
+	b.push(inv)
+	switch {
+	case b.idle > 0:
+		// A parked worker will take it.  The signaler decrements idle
+		// (ownership transfer): a signaled worker leaves the cond's
+		// notify list immediately but may not resume for a while, and
+		// if it were still counted idle a second enqueue in that window
+		// would Signal an empty list — a lost wakeup that strands the
+		// invocation in the mailbox.  Signal, not Broadcast, is safe
+		// because enqueue only runs on an active binding, where every
+		// waiter is current-epoch (stop's Broadcast flushed the rest).
+		b.idle--
+		b.cond.Signal()
+	case b.workers < b.maxWorkers:
+		b.workers++
+		go b.worker(b.epoch)
+	}
+	// Otherwise every worker is busy; one of them will pull this
+	// invocation from the ring when its current Serve returns.
+	b.mu.Unlock()
 	return true
 }
 
-// dispatch is the binding's coordinator goroutine: it pulls queued
-// invocations and hands each to a worker goroutine, bounded by the
-// worker semaphore.  This is the paper's "coordinator process that
-// receives incoming invocations, and a number of worker processes"
-// (§4 footnote), realised with goroutines.
-func (b *binding) dispatch(epoch uint64) {
+// worker is one persistent member of the binding's pool.  It pulls
+// invocations from the mailbox until the binding deactivates (quit) or
+// is superseded by a newer activation (epoch change).
+func (b *binding) worker(epoch uint64) {
+	b.mu.Lock()
 	for {
-		b.mu.Lock()
-		for len(b.queue) == 0 && !b.quit {
+		for b.count == 0 && !b.quit && b.epoch == epoch {
+			b.idle++
 			b.cond.Wait()
-		}
-		if b.quit && b.epoch == epoch {
-			// Fail everything still queued, then exit.
-			pending := b.queue
-			b.queue = nil
-			b.mu.Unlock()
-			for _, inv := range pending {
-				inv.Fail(ErrDeactivated)
-			}
-			return
+			// idle is decremented by whoever woke us: enqueue's Signal
+			// transfers ownership of one queued invocation, and the
+			// Broadcast paths (stop, then reactivate) reset the counter
+			// for the next epoch themselves.
 		}
 		if b.epoch != epoch {
-			// A newer activation owns the queue now.
 			b.mu.Unlock()
 			return
 		}
-		inv := b.queue[0]
-		b.queue = b.queue[1:]
+		if b.quit {
+			// Fail everything still queued, then exit.  Several
+			// workers may drain concurrently; pop is under b.mu.
+			for b.count > 0 {
+				inv := b.pop()
+				b.mu.Unlock()
+				inv.Fail(ErrDeactivated)
+				releaseInvocation(inv)
+				b.mu.Lock()
+			}
+			b.workers--
+			b.mu.Unlock()
+			return
+		}
+		inv := b.pop()
 		e := b.eject
 		b.mu.Unlock()
+		serveInvocation(e, inv)
+		b.mu.Lock()
+	}
+}
 
-		b.workers <- struct{}{}
-		b.wg.Add(1)
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if !inv.Replied() {
-						inv.Fail(fmt.Errorf("kernel: Eject panicked serving %q: %v", inv.Op, r))
-					}
-				}
-				<-b.workers
-				b.wg.Done()
-			}()
-			e.Serve(inv)
-			if !inv.Replied() {
-				inv.Fail(fmt.Errorf("%w: op %q", ErrNoReply, inv.Op))
-			}
-		}()
+// serveInvocation runs one Serve call with the kernel's panic and
+// no-reply guarantees, then recycles the Invocation.  The recycling is
+// safe because the Eject contract requires Reply/Fail before Serve
+// returns (a Serve that returns unreplied is failed here, and a later
+// reply would have panicked as a double reply under the old code too).
+func serveInvocation(e Eject, inv *Invocation) {
+	defer func() {
+		if r := recover(); r != nil && !inv.Replied() {
+			inv.Fail(fmt.Errorf("kernel: Eject panicked serving %q: %v", inv.Op, r))
+		}
+		releaseInvocation(inv)
+	}()
+	e.Serve(inv)
+	if !inv.Replied() {
+		inv.Fail(fmt.Errorf("%w: op %q", ErrNoReply, inv.Op))
 	}
 }
 
@@ -155,7 +227,8 @@ func (b *binding) stop(next ejectState) (Eject, bool) {
 	return e, true
 }
 
-// reactivate installs a fresh Eject instance and restarts dispatch.
+// reactivate installs a fresh Eject instance and a fresh worker pool
+// epoch.  Workers of the old epoch exit on their next mailbox visit.
 func (b *binding) reactivate(e Eject) uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -163,5 +236,7 @@ func (b *binding) reactivate(e Eject) uint64 {
 	b.eject = e
 	b.quit = false
 	b.epoch++
+	b.workers = 0
+	b.idle = 0
 	return b.epoch
 }

@@ -14,10 +14,18 @@ import (
 // thought of as a kind of remote procedure call".
 //
 // The Eject's Serve method receives the Invocation on a worker
-// goroutine and must complete it exactly once, with Reply or Fail.
-// Serve is free to block first — that is how "passive output" parks an
-// incoming Read until data is available (§4) — because each Eject has
-// a pool of worker processes, mirroring Eden's multi-process Ejects.
+// goroutine and must complete it exactly once, with Reply or Fail,
+// before Serve returns.  Serve is free to block first — that is how
+// "passive output" parks an incoming Read until data is available (§4)
+// — because each Eject has a pool of worker processes, mirroring
+// Eden's multi-process Ejects.
+//
+// Invocations are pooled: the kernel recycles them once Serve has
+// returned and the reply has been handed off, so a warm hop performs
+// no Invocation allocation.  Ejects must not retain the *Invocation
+// beyond Serve (retaining it was already unsound: the worker fails
+// unreplied invocations when Serve returns, and a late Reply panicked
+// as a double reply).
 type Invocation struct {
 	// MsgID is unique per kernel, for tracing.
 	MsgID uint64
@@ -46,6 +54,27 @@ type Invocation struct {
 type reply struct {
 	payload any
 	err     error
+}
+
+var invocationPool = sync.Pool{New: func() any { return new(Invocation) }}
+
+// acquireInvocation takes a recycled (or fresh) Invocation.
+func acquireInvocation() *Invocation {
+	return invocationPool.Get().(*Invocation)
+}
+
+// releaseInvocation recycles an Invocation whose reply has been sent.
+func releaseInvocation(inv *Invocation) {
+	inv.MsgID = 0
+	inv.From = uid.Nil
+	inv.Target = uid.Nil
+	inv.Op = ""
+	inv.Payload = nil
+	inv.fromNode = 0
+	inv.toNode = 0
+	inv.replyc = nil
+	inv.replied.Store(false)
+	invocationPool.Put(inv)
 }
 
 // Reply completes the invocation successfully with the given result
@@ -78,6 +107,13 @@ func (inv *Invocation) Replied() bool { return inv.replied.Load() }
 // that freedom: the invoker may Wait immediately (synchronous style)
 // or keep the Call and collect the reply later, possibly selecting on
 // Done.
+//
+// Calls are pooled on the synchronous Invoke path (where the caller
+// provably drops the handle before it is recycled); AsyncInvoke
+// returns an unpooled view of the same machinery.  The done channel is
+// allocated lazily — only when Done is used or a second goroutine
+// Waits concurrently — so a plain Invoke round trip allocates nothing
+// for its Call.
 type Call struct {
 	k        *Kernel
 	op       string
@@ -85,10 +121,12 @@ type Call struct {
 	fromNode netsim.NodeID
 	toNode   netsim.NodeID
 
-	replyc chan reply
-	start  sync.Once
-	done   chan struct{}
-	res    reply
+	replyc chan reply // capacity 1, reused across pooled lives
+
+	mu    sync.Mutex
+	state callState
+	done  chan struct{} // lazily allocated
+	res   reply
 
 	// tracing (set only when the kernel's Trace hook is installed)
 	traced     bool
@@ -97,22 +135,53 @@ type Call struct {
 	traceStart time.Time
 }
 
+type callState uint8
+
+const (
+	callPending    callState = iota // reply not yet collected
+	callCollecting                  // one goroutine is in finish
+	callDone                        // res is valid
+)
+
+var callPool = sync.Pool{New: func() any {
+	return &Call{replyc: make(chan reply, 1)}
+}}
+
+// newCall takes a recycled (or fresh) Call and arms it.
 func newCall(k *Kernel, op string, target uid.UID, from, to netsim.NodeID) *Call {
-	return &Call{
-		k:        k,
-		op:       op,
-		target:   target,
-		fromNode: from,
-		toNode:   to,
-		replyc:   make(chan reply, 1),
-		done:     make(chan struct{}),
-	}
+	c := callPool.Get().(*Call)
+	c.k = k
+	c.op = op
+	c.target = target
+	c.fromNode = from
+	c.toNode = to
+	return c
 }
 
-// finish runs the reply path: the reply payload crosses the network
+// release recycles a Call.  Only the synchronous Invoke path calls it,
+// after Wait has returned and before the Call could escape; the reply
+// channel is empty again at that point (Wait consumed the single
+// send), so the channel itself is reused.
+func (c *Call) release() {
+	c.k = nil
+	c.op = ""
+	c.target = uid.Nil
+	c.fromNode = 0
+	c.toNode = 0
+	c.state = callPending
+	c.done = nil
+	c.res = reply{}
+	c.traced = false
+	c.traceFrom = uid.Nil
+	c.traceMsgID = 0
+	c.traceStart = time.Time{}
+	callPool.Put(c)
+}
+
+// settle runs the reply path: the reply payload crosses the network
 // from the target's node back to the invoker's node, and the reply
-// meters tick.
-func (c *Call) finish(r reply) {
+// meters tick.  It returns the settled reply.
+func (c *Call) settle(r reply) reply {
 	k := c.k
 	if r.err == nil {
 		payload, _, terr := k.net.Transmit(c.toNode, c.fromNode, r.payload)
@@ -129,25 +198,76 @@ func (c *Call) finish(r reply) {
 			k.met.BytesMoved.Add(int64(sz.PayloadSize()))
 		}
 	}
-	c.res = r
 	c.traceFinish(r)
-	close(c.done)
+	return r
+}
+
+// finish settles the reply and publishes it to Wait/Done observers.
+func (c *Call) finish(r reply) {
+	r = c.settle(r)
+	c.mu.Lock()
+	c.res = r
+	c.state = callDone
+	if c.done != nil {
+		close(c.done)
+	}
+	c.mu.Unlock()
+}
+
+// waitSync collects the reply without touching the Call's mutex or
+// publishing state.  Only the synchronous Invoke path may use it: there
+// the handle never escapes the calling goroutine before release, so no
+// Wait or Done can race with the collection.
+func (c *Call) waitSync() (any, error) {
+	r := c.settle(<-c.replyc)
+	if r.err != nil {
+		return nil, &OpError{Op: c.op, Target: c.target.String(), Err: r.err}
+	}
+	return r.payload, nil
+}
+
+// doneChanLocked returns the done channel, allocating it on first use.
+// Caller holds c.mu.
+func (c *Call) doneChanLocked() chan struct{} {
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.state == callDone {
+			close(c.done)
+		}
+	}
+	return c.done
 }
 
 // Done returns a channel that is closed when the reply is available.
 // The first call arms a background collector.
 func (c *Call) Done() <-chan struct{} {
-	c.start.Do(func() {
+	c.mu.Lock()
+	d := c.doneChanLocked()
+	if c.state == callPending {
+		c.state = callCollecting
 		go func() { c.finish(<-c.replyc) }()
-	})
-	return c.done
+	}
+	c.mu.Unlock()
+	return d
 }
 
 // Wait blocks until the reply arrives and returns it.  Safe to call
 // from multiple goroutines; all observe the same result.
 func (c *Call) Wait() (any, error) {
-	c.start.Do(func() { c.finish(<-c.replyc) })
-	<-c.done
+	c.mu.Lock()
+	switch c.state {
+	case callPending:
+		// Collect inline: no collector goroutine, no done channel.
+		c.state = callCollecting
+		c.mu.Unlock()
+		c.finish(<-c.replyc)
+	case callCollecting:
+		d := c.doneChanLocked()
+		c.mu.Unlock()
+		<-d
+	case callDone:
+		c.mu.Unlock()
+	}
 	if c.res.err != nil {
 		return nil, &OpError{Op: c.op, Target: c.target.String(), Err: c.res.err}
 	}

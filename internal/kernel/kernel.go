@@ -22,6 +22,7 @@ package kernel
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"asymstream/internal/metrics"
 	"asymstream/internal/netsim"
@@ -106,10 +107,11 @@ type Kernel struct {
 	store *storage.Store
 	gen   *uid.Generator
 
+	msgID atomic.Uint64
+
 	mu       sync.RWMutex
 	bindings map[uid.UID]*binding
 	types    map[string]ActivateFunc
-	msgID    uint64
 	down     bool
 }
 
@@ -195,9 +197,6 @@ func (k *Kernel) CreateWithUID(id uid.UID, e Eject, node netsim.NodeID) error {
 	b := newBinding(id, node, e, k.cfg.WorkersPerEject)
 	k.bindings[id] = b
 	k.met.EjectsCreated.Inc()
-	if !k.cfg.DirectDispatch {
-		go b.dispatch(b.epoch)
-	}
 	return nil
 }
 
@@ -339,37 +338,100 @@ func (k *Kernel) activate(target uid.UID) (*binding, error) {
 		return b, nil
 	}
 	b.mu.Unlock()
-	epoch := b.reactivate(e)
+	b.reactivate(e)
 	k.met.Activations.Inc()
-	if !k.cfg.DirectDispatch {
-		go b.dispatch(epoch)
-	}
 	return b, nil
+}
+
+// lookupNode reports the home node of id and whether it is currently
+// bound.  uid.Nil (external callers) is always node 0.
+func (k *Kernel) lookupNode(id uid.UID) (netsim.NodeID, bool) {
+	if id.IsNil() {
+		return 0, true
+	}
+	k.mu.RLock()
+	b, ok := k.bindings[id]
+	k.mu.RUnlock()
+	if ok {
+		return b.node, true
+	}
+	return 0, false
 }
 
 // nodeOf returns the home node of id, or node 0 for external callers
 // (uid.Nil or unknown UIDs).
 func (k *Kernel) nodeOf(id uid.UID) netsim.NodeID {
-	if id.IsNil() {
-		return 0
+	node, _ := k.lookupNode(id)
+	return node
+}
+
+// Caller is a reusable invoker handle for one Eject (or external
+// driver).  It caches the invoker's home node after the first
+// successful lookup, so a warm invocation skips the kernel-wide
+// binding-map lock that nodeOf would otherwise take on every hop.
+// Caching is sound because an Eject's home node is fixed for the life
+// of the kernel: bindings are never rehomed, and re-activation reuses
+// the existing binding's node.
+type Caller struct {
+	k    *Kernel
+	from uid.UID
+	// cache is 0 when unresolved, else home node + 1.  Unknown UIDs
+	// are not cached (the Eject may be created later, on any node).
+	cache atomic.Uint64
+}
+
+// Caller returns an invoker handle for from.  Ports that invoke
+// repeatedly should hold one for the lifetime of the port.
+func (k *Kernel) Caller(from uid.UID) *Caller {
+	return &Caller{k: k, from: from}
+}
+
+// fromNode resolves (and caches) the invoker's home node.
+func (c *Caller) fromNode() netsim.NodeID {
+	if s := c.cache.Load(); s != 0 {
+		return netsim.NodeID(s - 1)
 	}
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	if b, ok := k.bindings[id]; ok {
-		return b.node
+	node, ok := c.k.lookupNode(c.from)
+	if ok {
+		c.cache.Store(uint64(node) + 1)
 	}
-	return 0
+	return node
+}
+
+// AsyncInvoke sends an invocation from the handle's Eject.
+func (c *Caller) AsyncInvoke(target uid.UID, op string, payload any) *Call {
+	return c.k.asyncInvoke(c.from, c.fromNode(), target, op, payload)
+}
+
+// Invoke performs a synchronous invocation from the handle's Eject.
+func (c *Caller) Invoke(target uid.UID, op string, payload any) (any, error) {
+	call := c.k.asyncInvoke(c.from, c.fromNode(), target, op, payload)
+	res, err := call.waitSync()
+	call.release()
+	return res, err
 }
 
 // AsyncInvoke sends an invocation and returns immediately with a Call
 // handle.  This is Eden's native style: "the sender is free to perform
 // other tasks".
 func (k *Kernel) AsyncInvoke(from, target uid.UID, op string, payload any) *Call {
-	fromNode := k.nodeOf(from)
+	return k.asyncInvoke(from, k.nodeOf(from), target, op, payload)
+}
 
+// asyncInvoke is the invocation hot path.  fromNode is the invoker's
+// already-resolved home node (cached by Caller, or looked up once by
+// the public wrappers).  A warm local hop takes no kernel-wide lock
+// beyond resolve's map read and allocates nothing beyond what the
+// payload itself requires: the Call and Invocation come from pools and
+// the mailbox hand-off reuses a persistent worker.
+func (k *Kernel) asyncInvoke(from uid.UID, fromNode netsim.NodeID, target uid.UID, op string, payload any) *Call {
+	var inv *Invocation
 	for attempt := 0; ; attempt++ {
 		b, err := k.resolve(target)
 		if err != nil {
+			if inv != nil {
+				releaseInvocation(inv)
+			}
 			c := newCall(k, op, target, fromNode, fromNode)
 			k.traceStart(c, from, 0)
 			c.replyc <- reply{err: toWire(err)}
@@ -379,29 +441,30 @@ func (k *Kernel) AsyncInvoke(from, target uid.UID, op string, payload any) *Call
 		// The request payload crosses the network to the target node.
 		sent, _, terr := k.net.Transmit(fromNode, b.node, payload)
 		if terr != nil {
+			if inv != nil {
+				releaseInvocation(inv)
+			}
 			c := newCall(k, op, target, fromNode, b.node)
 			k.traceStart(c, from, 0)
 			c.replyc <- reply{err: toWire(terr)}
 			return c
 		}
 
-		k.mu.Lock()
-		k.msgID++
-		id := k.msgID
-		k.mu.Unlock()
+		id := k.msgID.Add(1)
 
 		c := newCall(k, op, target, fromNode, b.node)
 		k.traceStart(c, from, id)
-		inv := &Invocation{
-			MsgID:    id,
-			From:     from,
-			Target:   target,
-			Op:       op,
-			Payload:  sent,
-			fromNode: fromNode,
-			toNode:   b.node,
-			replyc:   c.replyc,
+		if inv == nil {
+			inv = acquireInvocation()
 		}
+		inv.MsgID = id
+		inv.From = from
+		inv.Target = target
+		inv.Op = op
+		inv.Payload = sent
+		inv.fromNode = fromNode
+		inv.toNode = b.node
+		inv.replyc = c.replyc
 
 		k.met.Invocations.Inc()
 		k.met.ProcessSwitches.Inc()
@@ -423,8 +486,12 @@ func (k *Kernel) AsyncInvoke(from, target uid.UID, op string, payload any) *Call
 		}
 		// The binding deactivated between resolve and enqueue; retry,
 		// which re-activates.  Bound the retries to avoid spinning on
-		// an Eject that deactivates in a tight loop.
+		// an Eject that deactivates in a tight loop.  The invocation
+		// is reused across attempts (enqueue did not take it); the
+		// attempt's Call is recycled (nothing was sent on its channel).
+		c.release()
 		if attempt >= 3 {
+			releaseInvocation(inv)
 			c := newCall(k, op, target, fromNode, b.node)
 			k.traceStart(c, from, 0)
 			c.replyc <- reply{err: toWire(ErrDeactivated)}
@@ -441,23 +508,19 @@ func (k *Kernel) serveDirect(b *binding, inv *Invocation) {
 	b.mu.Unlock()
 	if st != stateActive || e == nil {
 		inv.Fail(ErrDeactivated)
+		releaseInvocation(inv)
 		return
 	}
-	defer func() {
-		if r := recover(); r != nil && !inv.Replied() {
-			inv.Fail(fmt.Errorf("kernel: Eject panicked serving %q: %v", inv.Op, r))
-		}
-	}()
-	e.Serve(inv)
-	if !inv.Replied() {
-		inv.Fail(fmt.Errorf("%w: op %q", ErrNoReply, inv.Op))
-	}
+	serveInvocation(e, inv)
 }
 
 // Invoke performs a synchronous invocation: send, then wait for the
 // reply.
 func (k *Kernel) Invoke(from, target uid.UID, op string, payload any) (any, error) {
-	return k.AsyncInvoke(from, target, op, payload).Wait()
+	c := k.asyncInvoke(from, k.nodeOf(from), target, op, payload)
+	res, err := c.waitSync()
+	c.release()
+	return res, err
 }
 
 // Checkpoint creates a new passive representation for the Eject (§1).

@@ -85,37 +85,34 @@ type Snapshot struct {
 	Values map[string]int64
 }
 
-// fields enumerates the counters of a Set by name, in a fixed order.
-func (s *Set) fields() []struct {
+// fieldTable enumerates the counters of a Set by name, in a fixed
+// order.  It is built once at package init; Snapshot walks it instead
+// of assembling a fresh descriptor slice per call.
+var fieldTable = []struct {
 	name string
-	c    *Counter
-} {
-	return []struct {
-		name string
-		c    *Counter
-	}{
-		{"invocations", &s.Invocations},
-		{"local_invocations", &s.LocalInvocations},
-		{"cross_node_invocations", &s.CrossNodeInvocations},
-		{"replies", &s.Replies},
-		{"process_switches", &s.ProcessSwitches},
-		{"bytes_moved", &s.BytesMoved},
-		{"wire_bytes", &s.WireBytes},
-		{"activations", &s.Activations},
-		{"checkpoints", &s.Checkpoints},
-		{"syscalls", &s.Syscalls},
-		{"ejects_created", &s.EjectsCreated},
-		{"transfer_invocations", &s.TransferInvocations},
-		{"deliver_invocations", &s.DeliverInvocations},
-		{"items_moved", &s.ItemsMoved},
-	}
+	get  func(*Set) *Counter
+}{
+	{"invocations", func(s *Set) *Counter { return &s.Invocations }},
+	{"local_invocations", func(s *Set) *Counter { return &s.LocalInvocations }},
+	{"cross_node_invocations", func(s *Set) *Counter { return &s.CrossNodeInvocations }},
+	{"replies", func(s *Set) *Counter { return &s.Replies }},
+	{"process_switches", func(s *Set) *Counter { return &s.ProcessSwitches }},
+	{"bytes_moved", func(s *Set) *Counter { return &s.BytesMoved }},
+	{"wire_bytes", func(s *Set) *Counter { return &s.WireBytes }},
+	{"activations", func(s *Set) *Counter { return &s.Activations }},
+	{"checkpoints", func(s *Set) *Counter { return &s.Checkpoints }},
+	{"syscalls", func(s *Set) *Counter { return &s.Syscalls }},
+	{"ejects_created", func(s *Set) *Counter { return &s.EjectsCreated }},
+	{"transfer_invocations", func(s *Set) *Counter { return &s.TransferInvocations }},
+	{"deliver_invocations", func(s *Set) *Counter { return &s.DeliverInvocations }},
+	{"items_moved", func(s *Set) *Counter { return &s.ItemsMoved }},
 }
 
 // Snapshot captures the current value of every counter.
 func (s *Set) Snapshot() Snapshot {
-	snap := Snapshot{Values: make(map[string]int64, 16)}
-	for _, f := range s.fields() {
-		snap.Values[f.name] = f.c.Value()
+	snap := Snapshot{Values: make(map[string]int64, len(fieldTable))}
+	for _, f := range fieldTable {
+		snap.Values[f.name] = f.get(s).Value()
 	}
 	return snap
 }

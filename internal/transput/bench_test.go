@@ -103,6 +103,81 @@ func BenchmarkChannelWriterPut(b *testing.B) {
 	}
 }
 
+// Allocation-regression ceilings for the warm stream hops.  The fast
+// path work (pooled invocations and calls, reused request records, the
+// ring mailbox) holds a batch-1 hop to a handful of allocations; these
+// tests fail if a change quietly reintroduces per-item garbage.
+// Ceilings sit one above the measured steady state to absorb
+// sync.Pool and buffer-growth jitter.
+
+const allocWarmup = 512
+
+// TestTransferHopAllocs pins the warm demand-driven pull: item copy at
+// Put, reply record + items slice at ServeTransfer, pending growth.
+func TestTransferHopAllocs(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+	st := NewROStage(k, ROStageConfig{Name: "src", Anticipation: 1024},
+		func(_ []ItemReader, outs []ItemWriter) error {
+			for {
+				if err := outs[0].Put([]byte("sixteen-byte-pay")); err != nil {
+					return nil
+				}
+			}
+		})
+	id := k.NewUID()
+	if err := k.CreateWithUID(id, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	in := NewInPort(k, uid.Nil, id, Chan(0), InPortConfig{Batch: 1})
+	defer in.Cancel("alloc test done")
+	hop := func() {
+		if _, err := in.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < allocWarmup; i++ {
+		hop()
+	}
+	const ceiling = 6
+	if n := testing.AllocsPerRun(200, hop); n > ceiling {
+		t.Errorf("warm Transfer hop: %.1f allocs/op, ceiling %d", n, ceiling)
+	}
+}
+
+// TestDeliverHopAllocs pins the warm push: item copies on each side of
+// the hop and nothing else.
+func TestDeliverHopAllocs(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+	st := NewWOStage(k, WOStageConfig{Name: "sink", Capacity: 1024},
+		func(ins []ItemReader, _ []ItemWriter) error {
+			_, err := Drain(ins[0])
+			return err
+		})
+	id := k.NewUID()
+	if err := k.CreateWithUID(id, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	p := NewPusher(k, uid.Nil, id, Chan(0), PusherConfig{Batch: 1})
+	defer p.Close()
+	item := []byte("sixteen-byte-pay")
+	hop := func() {
+		if err := p.Put(item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < allocWarmup; i++ {
+		hop()
+	}
+	const ceiling = 3
+	if n := testing.AllocsPerRun(200, hop); n > ceiling {
+		t.Errorf("warm Deliver hop: %.1f allocs/op, ceiling %d", n, ceiling)
+	}
+}
+
 // BenchmarkRecordCodec measures §6 framing alone.
 func BenchmarkRecordCodec(b *testing.B) {
 	type rec struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
@@ -35,11 +36,18 @@ import (
 type InPort struct {
 	k       *kernel.Kernel
 	met     *metrics.Set
+	caller  *kernel.Caller
 	self    uid.UID
 	source  uid.UID
 	channel ChannelID
 	batch   int
 	pref    int
+
+	// req is the port's reusable Transfer request record: its fields
+	// (channel, batch) are fixed for the port's lifetime and at most
+	// one Transfer is outstanding per port, so the same record is
+	// safe to send on every hop.
+	req TransferRequest
 
 	mu        sync.Mutex
 	pending   [][]byte
@@ -53,16 +61,18 @@ type InPort struct {
 	stopPull chan struct{}
 	pullerWG sync.WaitGroup
 
-	transfersIssued int64
-	itemsIn         int64
+	transfersIssued atomic.Int64
+	itemsIn         atomic.Int64
 }
 
 // pulled is one Transfer's worth of results moving from the puller
-// goroutine to the consumer.
+// goroutine to the consumer.  rep, when set, is the reply record the
+// items alias; it is recycled once the items have been absorbed.
 type pulled struct {
 	items  [][]byte
 	status Status
 	err    error
+	rep    *TransferReply
 }
 
 // InPortConfig parameterises an InPort.
@@ -95,11 +105,13 @@ func NewInPort(k *kernel.Kernel, self, source uid.UID, channel ChannelID, cfg In
 	return &InPort{
 		k:       k,
 		met:     k.Metrics(),
+		caller:  k.Caller(self),
 		self:    self,
 		source:  source,
 		channel: channel,
 		batch:   batch,
 		pref:    pref,
+		req:     TransferRequest{Channel: channel, Max: batch},
 	}
 }
 
@@ -111,13 +123,8 @@ func (p *InPort) Channel() ChannelID { return p.channel }
 
 // transfer issues one synchronous Transfer and normalises the result.
 func (p *InPort) transfer() pulled {
-	p.mu.Lock()
-	p.transfersIssued++
-	p.mu.Unlock()
-	raw, err := p.k.Invoke(p.self, p.source, OpTransfer, &TransferRequest{
-		Channel: p.channel,
-		Max:     p.batch,
-	})
+	p.transfersIssued.Add(1)
+	raw, err := p.caller.Invoke(p.source, OpTransfer, &p.req)
 	if err != nil {
 		return pulled{err: err}
 	}
@@ -127,31 +134,39 @@ func (p *InPort) transfer() pulled {
 	}
 	switch rep.Status {
 	case StatusOK, StatusEnd:
-		return pulled{items: rep.Items, status: rep.Status}
+		return pulled{items: rep.Items, status: rep.Status, rep: rep}
 	default:
-		return pulled{err: statusErr(rep.Status, rep.AbortMsg)}
+		// statusErr copies what it needs; the record can recycle now.
+		err := statusErr(rep.Status, rep.AbortMsg)
+		releaseTransferReply(rep)
+		return pulled{err: err}
 	}
 }
 
 // startPullerLocked arms the anticipatory puller.  Caller holds p.mu.
 func (p *InPort) startPullerLocked() {
-	p.ahead = make(chan pulled, p.pref)
-	p.stopPull = make(chan struct{})
+	// The goroutine works on local copies of the channels: Redirect
+	// nils p.ahead (under p.mu) while the puller is still draining, so
+	// reading the fields from the closure would race.
+	ahead := make(chan pulled, p.pref)
+	stop := make(chan struct{})
+	p.ahead = ahead
+	p.stopPull = stop
 	p.pullerOn = true
 	p.pullerWG.Add(1)
 	go func() {
 		defer p.pullerWG.Done()
-		defer close(p.ahead)
+		defer close(ahead)
 		for {
 			select {
-			case <-p.stopPull:
+			case <-stop:
 				return
 			default:
 			}
 			res := p.transfer()
 			select {
-			case p.ahead <- res:
-			case <-p.stopPull:
+			case ahead <- res:
+			case <-stop:
 				return
 			}
 			if res.err != nil || res.status == StatusEnd {
@@ -169,6 +184,9 @@ func (p *InPort) absorbLocked(res pulled) {
 		return
 	}
 	p.pending = append(p.pending, res.items...)
+	if res.rep != nil {
+		releaseTransferReply(res.rep)
+	}
 	if res.status == StatusEnd {
 		p.done = true
 	}
@@ -184,7 +202,7 @@ func (p *InPort) Next() ([]byte, error) {
 			item := p.pending[0]
 			p.pending[0] = nil
 			p.pending = p.pending[1:]
-			p.itemsIn++
+			p.itemsIn.Add(1)
 			return item, nil
 		}
 		if p.done {
@@ -256,23 +274,15 @@ func (p *InPort) Cancel(msg string) {
 	p.mu.Unlock()
 	// The abort wakes any Transfer worker parked on the channel
 	// (including our own in-flight pull).
-	_, _ = p.k.Invoke(p.self, p.source, OpAbort, &AbortRequest{Channel: p.channel, Msg: msg})
+	_, _ = p.caller.Invoke(p.source, OpAbort, &AbortRequest{Channel: p.channel, Msg: msg})
 	p.pullerWG.Wait()
 }
 
 // TransfersIssued reports how many Transfer invocations this port has
 // sent; the E1–E4 experiments derive invocations-per-datum from it.
-func (p *InPort) TransfersIssued() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.transfersIssued
-}
+func (p *InPort) TransfersIssued() int64 { return p.transfersIssued.Load() }
 
 // ItemsRead reports how many items the consumer has taken.
-func (p *InPort) ItemsRead() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.itemsIn
-}
+func (p *InPort) ItemsRead() int64 { return p.itemsIn.Load() }
 
 var _ ItemReader = (*InPort)(nil)

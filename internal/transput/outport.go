@@ -2,6 +2,7 @@ package transput
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
@@ -34,10 +35,69 @@ type OutPort struct {
 	capMode bool
 	mintCap func() uid.UID
 
-	mu    sync.Mutex
+	// index holds the channel lookup maps behind one atomic pointer:
+	// Declare publishes a fresh immutable snapshot, so the per-hop
+	// lookup is a load and a map read, never a lock.
+	index atomic.Pointer[chanIndex[*outChannel]]
+
+	mu    sync.Mutex // guards chans and index rebuilds
 	chans []*outChannel
-	byNum map[ChannelNum]*outChannel
-	byCap map[uid.UID]*outChannel
+}
+
+// chanIndex is an immutable channel-lookup snapshot shared by the port
+// types.  Ports republish a copy on Declare (rare) so that lookups on
+// the data path (every Transfer/Deliver) stay lock-free.
+type chanIndex[C any] struct {
+	byNum map[ChannelNum]C
+	byCap map[uid.UID]C
+}
+
+// rebuilt copies idx with one more entry.  A nil receiver acts as the
+// empty index.
+func (idx *chanIndex[C]) rebuilt(num ChannelNum, cap uid.UID, ch C, capMode bool) *chanIndex[C] {
+	next := &chanIndex[C]{
+		byNum: make(map[ChannelNum]C),
+		byCap: make(map[uid.UID]C),
+	}
+	if idx != nil {
+		for k, v := range idx.byNum {
+			next.byNum[k] = v
+		}
+		for k, v := range idx.byCap {
+			next.byCap[k] = v
+		}
+	}
+	next.byNum[num] = ch
+	if capMode {
+		next.byCap[cap] = ch
+	}
+	return next
+}
+
+// lookupIn resolves id in idx under the port's addressing mode.
+func lookupIn[C any](idx *chanIndex[C], id ChannelID, capMode bool) (C, Status) {
+	var zero C
+	if idx == nil {
+		if capMode {
+			return zero, StatusNotPermitted
+		}
+		return zero, StatusNoSuchChannel
+	}
+	if capMode {
+		if !id.IsCap() {
+			return zero, StatusNotPermitted
+		}
+		ch, ok := idx.byCap[id.Cap]
+		if !ok {
+			return zero, StatusNotPermitted
+		}
+		return ch, StatusOK
+	}
+	ch, ok := idx.byNum[id.Num]
+	if !ok {
+		return zero, StatusNoSuchChannel
+	}
+	return ch, StatusOK
 }
 
 // OutPortConfig parameterises an OutPort.
@@ -71,12 +131,14 @@ func NewOutPort(k *kernel.Kernel, cfg OutPortConfig) *OutPort {
 		met:     met,
 		capMode: cfg.CapabilityMode,
 		mintCap: mint,
-		byNum:   make(map[ChannelNum]*outChannel),
-		byCap:   make(map[uid.UID]*outChannel),
 	}
 }
 
-// outChannel is one bounded stream buffer inside an OutPort.
+// outChannel is one bounded stream buffer inside an OutPort.  The
+// buffer is a head-indexed deque: writers append at the tail, readers
+// consume from head, and the backing array is compacted only when the
+// dead prefix reaches half the slice — amortized O(1) per item, where
+// compact-on-every-pop was O(capacity) per Transfer at batch 1.
 type outChannel struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -86,12 +148,16 @@ type outChannel struct {
 	capacity int
 
 	buf      [][]byte
+	head     int
 	closed   bool
 	abortErr *AbortedError
 
 	transfersServed int64
 	itemsOut        int64
 }
+
+// buffered is the live item count.  Caller holds ch.mu.
+func (ch *outChannel) buffered() int { return len(ch.buf) - ch.head }
 
 func newOutChannel(name string, id ChannelID, capacity int) *outChannel {
 	c := &outChannel{name: name, id: id, capacity: capacity}
@@ -120,33 +186,14 @@ func (p *OutPort) Declare(name string, num ChannelNum, capacity int) *ChannelWri
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.chans = append(p.chans, ch)
-	p.byNum[num] = ch
-	if p.capMode {
-		p.byCap[id.Cap] = ch
-	}
+	p.index.Store(p.index.Load().rebuilt(num, id.Cap, ch, p.capMode))
 	return &ChannelWriter{ch: ch}
 }
 
 // lookup resolves a requested ChannelID under the port's addressing
-// mode.
+// mode.  Lock-free: it reads the current immutable index snapshot.
 func (p *OutPort) lookup(id ChannelID) (*outChannel, Status) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.capMode {
-		if !id.IsCap() {
-			return nil, StatusNotPermitted
-		}
-		ch, ok := p.byCap[id.Cap]
-		if !ok {
-			return nil, StatusNotPermitted
-		}
-		return ch, StatusOK
-	}
-	ch, ok := p.byNum[id.Num]
-	if !ok {
-		return nil, StatusNoSuchChannel
-	}
-	return ch, StatusOK
+	return lookupIn(p.index.Load(), id, p.capMode)
 }
 
 // Adverts lists the port's channels for OpChannels.  In capability
@@ -184,7 +231,7 @@ func (p *OutPort) ServeTransfer(inv *kernel.Invocation) {
 	}
 
 	ch.mu.Lock()
-	for len(ch.buf) == 0 && !ch.closed && ch.abortErr == nil {
+	for ch.buffered() == 0 && !ch.closed && ch.abortErr == nil {
 		ch.cond.Wait()
 	}
 	if ch.abortErr != nil {
@@ -193,22 +240,30 @@ func (p *OutPort) ServeTransfer(inv *kernel.Invocation) {
 		inv.Reply(&TransferReply{Status: StatusAborted, AbortMsg: msg})
 		return
 	}
-	n := len(ch.buf)
+	n := ch.buffered()
 	if n > max {
 		n = max
 	}
-	items := make([][]byte, n)
-	copy(items, ch.buf[:n])
+	rep := acquireTransferReply(n)
+	copy(rep.Items, ch.buf[ch.head:ch.head+n])
 	// Release references so the GC can reclaim consumed items.
-	rest := ch.buf[n:]
-	for i := range ch.buf[:n] {
+	for i := ch.head; i < ch.head+n; i++ {
 		ch.buf[i] = nil
 	}
-	ch.buf = append(ch.buf[:0], rest...)
-	status := StatusOK
-	if ch.closed && len(ch.buf) == 0 {
+	ch.head += n
+	switch {
+	case ch.head == len(ch.buf):
+		ch.buf = ch.buf[:0]
+		ch.head = 0
+	case ch.head >= len(ch.buf)-ch.head:
+		// Dead prefix has reached half the slice; slide the live items
+		// down so the array stops growing.
+		ch.buf = append(ch.buf[:0], ch.buf[ch.head:]...)
+		ch.head = 0
+	}
+	if ch.closed && ch.buffered() == 0 {
 		// Combine the final batch with the end indication.
-		status = StatusEnd
+		rep.Status = StatusEnd
 	}
 	ch.transfersServed++
 	ch.itemsOut += int64(n)
@@ -216,7 +271,41 @@ func (p *OutPort) ServeTransfer(inv *kernel.Invocation) {
 	ch.mu.Unlock()
 
 	p.met.ItemsMoved.Add(int64(n))
-	inv.Reply(&TransferReply{Items: items, Status: status})
+	inv.Reply(rep)
+}
+
+// transferReplyPool recycles TransferReply records and their Items
+// slices across warm hops.  Servers acquire and hand ownership to the
+// invoker with the reply; the read-only client (InPort) releases once
+// the item pointers are absorbed.  Replies that never reach a
+// releasing client — abandoned pulls, gob-encoded hops where the
+// server's original is superseded by the decoded copy — simply fall to
+// the GC; the pool is best-effort.
+var transferReplyPool = sync.Pool{New: func() any { return new(TransferReply) }}
+
+// acquireTransferReply takes a recycled (or fresh) OK reply with Items
+// sized to n.
+func acquireTransferReply(n int) *TransferReply {
+	rep := transferReplyPool.Get().(*TransferReply)
+	if cap(rep.Items) >= n {
+		rep.Items = rep.Items[:n]
+	} else {
+		rep.Items = make([][]byte, n)
+	}
+	rep.Status = StatusOK
+	rep.AbortMsg = ""
+	return rep
+}
+
+// releaseTransferReply recycles a reply whose items have been absorbed
+// by the consumer.
+func releaseTransferReply(rep *TransferReply) {
+	for i := range rep.Items {
+		rep.Items[i] = nil
+	}
+	rep.Items = rep.Items[:0]
+	rep.AbortMsg = ""
+	transferReplyPool.Put(rep)
 }
 
 // ServeAbort handles OpAbort: it aborts the named channel (or all).
@@ -288,7 +377,7 @@ func (p *OutPort) Buffered() int {
 	n := 0
 	for _, ch := range chans {
 		ch.mu.Lock()
-		n += len(ch.buf)
+		n += ch.buffered()
 		ch.mu.Unlock()
 	}
 	return n
@@ -328,7 +417,7 @@ func (w *ChannelWriter) Put(item []byte) error {
 		// returns only once a Transfer has consumed it.  This is the
 		// "pure laziness" limit of §4: the producer cannot compute
 		// even one item ahead of its consumer.
-		for len(ch.buf) > 0 && !ch.closed && ch.abortErr == nil {
+		for ch.buffered() > 0 && !ch.closed && ch.abortErr == nil {
 			ch.cond.Wait()
 		}
 		if ch.closed {
@@ -339,7 +428,7 @@ func (w *ChannelWriter) Put(item []byte) error {
 		}
 		ch.buf = append(ch.buf, append([]byte(nil), item...))
 		ch.cond.Broadcast()
-		for len(ch.buf) > 0 && ch.abortErr == nil && !ch.closed {
+		for ch.buffered() > 0 && ch.abortErr == nil && !ch.closed {
 			ch.cond.Wait()
 		}
 		if ch.abortErr != nil {
@@ -347,7 +436,7 @@ func (w *ChannelWriter) Put(item []byte) error {
 		}
 		return nil
 	}
-	for len(ch.buf) >= ch.capacity && !ch.closed && ch.abortErr == nil {
+	for ch.buffered() >= ch.capacity && !ch.closed && ch.abortErr == nil {
 		ch.cond.Wait()
 	}
 	if ch.closed {

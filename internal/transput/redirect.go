@@ -66,11 +66,15 @@ func (p *InPort) Redirect(source uid.UID, channel ChannelID, msg string) error {
 		for res := range oldAhead {
 			if res.err == nil {
 				p.pending = append(p.pending, res.items...)
+				if res.rep != nil {
+					releaseTransferReply(res.rep)
+				}
 			}
 		}
 	}
 	p.source = source
 	p.channel = channel
+	p.req.Channel = channel // the reused request must follow the retarget
 	p.done = false
 	p.err = nil
 	return nil
@@ -93,5 +97,6 @@ func (w *Pusher) Redirect(target uid.UID, channel ChannelID) error {
 	}
 	w.target = target
 	w.channel = channel
+	w.req.Channel = channel // the reused request must follow the retarget
 	return nil
 }

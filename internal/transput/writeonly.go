@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
@@ -35,10 +36,12 @@ type WOInPort struct {
 	capMode bool
 	mintCap func() uid.UID
 
-	mu    sync.Mutex
+	// index is the lock-free channel lookup snapshot (see chanIndex in
+	// outport.go); Declare republishes it under mu.
+	index atomic.Pointer[chanIndex[*woChannel]]
+
+	mu    sync.Mutex // guards chans and index rebuilds
 	chans []*woChannel
-	byNum map[ChannelNum]*woChannel
-	byCap map[uid.UID]*woChannel
 }
 
 // WOInPortConfig parameterises a WOInPort.
@@ -66,8 +69,6 @@ func NewWOInPort(k *kernel.Kernel, cfg WOInPortConfig) *WOInPort {
 		met:     met,
 		capMode: cfg.CapabilityMode,
 		mintCap: mint,
-		byNum:   make(map[ChannelNum]*woChannel),
-		byCap:   make(map[uid.UID]*woChannel),
 	}
 }
 
@@ -79,7 +80,11 @@ type woChannel struct {
 	id       ChannelID
 	capacity int
 
+	// buf is a head-indexed deque (see outChannel): deliveries append
+	// at the tail, the reader consumes at head, and the dead prefix is
+	// compacted only when it reaches half the slice.
 	buf          [][]byte
+	head         int
 	expectedEnds int
 	ends         int
 	abortErr     *AbortedError
@@ -87,6 +92,9 @@ type woChannel struct {
 	deliversServed int64
 	itemsIn        int64
 }
+
+// buffered is the live item count.  Caller holds c.mu.
+func (c *woChannel) buffered() int { return len(c.buf) - c.head }
 
 func (c *woChannel) ended() bool { return c.ends >= c.expectedEnds }
 
@@ -114,31 +122,12 @@ func (p *WOInPort) Declare(name string, num ChannelNum, capacity, writers int) *
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.chans = append(p.chans, ch)
-	p.byNum[num] = ch
-	if p.capMode {
-		p.byCap[id.Cap] = ch
-	}
+	p.index.Store(p.index.Load().rebuilt(num, id.Cap, ch, p.capMode))
 	return &ChannelReader{ch: ch}
 }
 
 func (p *WOInPort) lookup(id ChannelID) (*woChannel, Status) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.capMode {
-		if !id.IsCap() {
-			return nil, StatusNotPermitted
-		}
-		ch, ok := p.byCap[id.Cap]
-		if !ok {
-			return nil, StatusNotPermitted
-		}
-		return ch, StatusOK
-	}
-	ch, ok := p.byNum[id.Num]
-	if !ok {
-		return nil, StatusNoSuchChannel
-	}
-	return ch, StatusOK
+	return lookupIn(p.index.Load(), id, p.capMode)
 }
 
 // Adverts lists the port's channels for OpChannels.
@@ -170,7 +159,7 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 
 	ch.mu.Lock()
 	for _, item := range req.Items {
-		for len(ch.buf) >= ch.capacity && ch.abortErr == nil {
+		for ch.buffered() >= ch.capacity && ch.abortErr == nil {
 			ch.cond.Wait()
 		}
 		if ch.abortErr != nil {
@@ -194,8 +183,13 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 	ch.mu.Unlock()
 
 	p.met.ItemsMoved.Add(int64(len(req.Items)))
-	inv.Reply(&DeliverReply{Status: StatusOK})
+	inv.Reply(deliverReplyOK)
 }
+
+// deliverReplyOK is the shared success reply for Deliver.  It is
+// immutable (readers only inspect Status), so every successful
+// delivery reuses it instead of allocating a fresh reply record.
+var deliverReplyOK = &DeliverReply{Status: StatusOK}
 
 // ServeAbort handles OpAbort against an input channel.
 func (p *WOInPort) ServeAbort(inv *kernel.Invocation) {
@@ -271,13 +265,21 @@ func (r *ChannelReader) Next() ([]byte, error) {
 	ch := r.ch
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
-	for len(ch.buf) == 0 && !ch.ended() && ch.abortErr == nil {
+	for ch.buffered() == 0 && !ch.ended() && ch.abortErr == nil {
 		ch.cond.Wait()
 	}
-	if len(ch.buf) > 0 {
-		item := ch.buf[0]
-		ch.buf[0] = nil
-		ch.buf = ch.buf[1:]
+	if ch.buffered() > 0 {
+		item := ch.buf[ch.head]
+		ch.buf[ch.head] = nil
+		ch.head++
+		switch {
+		case ch.head == len(ch.buf):
+			ch.buf = ch.buf[:0]
+			ch.head = 0
+		case ch.head >= len(ch.buf)-ch.head:
+			ch.buf = append(ch.buf[:0], ch.buf[ch.head:]...)
+			ch.head = 0
+		}
 		ch.cond.Broadcast() // wake parked Deliver workers
 		return item, nil
 	}
@@ -308,6 +310,7 @@ var _ ItemReader = (*ChannelReader)(nil)
 type Pusher struct {
 	k       *kernel.Kernel
 	met     *metrics.Set
+	caller  *kernel.Caller
 	self    uid.UID
 	target  uid.UID
 	channel ChannelID
@@ -316,6 +319,13 @@ type Pusher struct {
 	mu      sync.Mutex
 	pending [][]byte
 	closed  bool
+
+	// req is the pusher's reusable Deliver request record.  At most
+	// one Deliver is outstanding per Pusher (flushLocked runs under
+	// w.mu) and the server copies items into its buffer before
+	// replying, so the record and the pending backing array are both
+	// safe to reuse once Invoke returns.
+	req DeliverRequest
 
 	deliversIssued int64
 	itemsOut       int64
@@ -340,10 +350,12 @@ func NewPusher(k *kernel.Kernel, self, target uid.UID, channel ChannelID, cfg Pu
 	return &Pusher{
 		k:       k,
 		met:     k.Metrics(),
+		caller:  k.Caller(self),
 		self:    self,
 		target:  target,
 		channel: channel,
 		batch:   batch,
+		req:     DeliverRequest{Channel: channel},
 	}
 }
 
@@ -360,15 +372,19 @@ func (w *Pusher) flushLocked(end bool) error {
 	if len(w.pending) == 0 && !end {
 		return nil
 	}
-	items := w.pending
-	w.pending = nil
 	w.deliversIssued++
-	w.itemsOut += int64(len(items))
-	raw, err := w.k.Invoke(w.self, w.target, OpDeliver, &DeliverRequest{
-		Channel: w.channel,
-		Items:   items,
-		End:     end,
-	})
+	w.itemsOut += int64(len(w.pending))
+	w.req.Items = w.pending
+	w.req.End = end
+	raw, err := w.caller.Invoke(w.target, OpDeliver, &w.req)
+	// The server has copied the items by the time the reply arrives;
+	// drop the item pointers but keep the backing array for the next
+	// batch.
+	for i := range w.pending {
+		w.pending[i] = nil
+	}
+	w.pending = w.pending[:0]
+	w.req.Items = nil
 	if err != nil {
 		return err
 	}
@@ -431,7 +447,7 @@ func (w *Pusher) CloseWithError(err error) error {
 	w.closed = true
 	w.pending = nil
 	w.mu.Unlock()
-	_, aerr := w.k.Invoke(w.self, w.target, OpAbort, &AbortRequest{Channel: w.channel, Msg: err.Error()})
+	_, aerr := w.caller.Invoke(w.target, OpAbort, &AbortRequest{Channel: w.channel, Msg: err.Error()})
 	return aerr
 }
 
