@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench json
+.PHONY: check vet build test race race-sharded bench bench-json json
 
 ## check: the pre-merge gate — vet, build, full tests, and the race
 ## detector over the concurrency-heavy packages.  CI and contributors
@@ -19,10 +19,24 @@ test:
 race:
 	$(GO) test -race ./internal/kernel/... ./internal/transput/...
 
-## bench: the per-hop micro-benchmarks the fast-path work is gated on.
+## race-sharded: a short, focused race run over the parallel engine
+## (sharded rows, windowed links, merge, redirect) — the subset CI runs
+## on every push in addition to the full gate.
+race-sharded:
+	$(GO) test -race -run 'TestSharded|TestChained|TestShard|TestWindowed|TestRedirectShardedWindowed|TestPipelinePreservesArbitraryData' ./internal/transput/
+
+## bench: the per-hop micro-benchmarks the fast-path work is gated on,
+## plus the parallel engine's end-to-end throughput benchmark.
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkTransferHop|BenchmarkDeliverHop|BenchmarkInvoke' -benchmem ./internal/kernel/ ./internal/transput/
+	$(GO) test -run XXX -bench BenchmarkPipelineThroughput -benchtime 500ms ./internal/transput/
 
-## json: machine-readable pipeline costs for the four Figure 1/2 shapes.
+## bench-json: regenerate the committed measurement files —
+## BENCH_kernel.json (Figure 1/2 pipeline costs) and
+## BENCH_transput.json (the parallel engine's shards × window grid).
+bench-json:
+	$(GO) run ./cmd/transput-bench -json
+
+## json: quick variant of bench-json (CI-sized workloads).
 json:
 	$(GO) run ./cmd/transput-bench -json -quick

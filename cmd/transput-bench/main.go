@@ -9,9 +9,12 @@
 //	transput-bench -quick          # smaller workloads (CI speed)
 //	transput-bench -exp e2,e3      # selected experiments
 //	transput-bench -list           # list experiment ids
-//	transput-bench -check          # verify the paper's counting claims; exit 1 on violation
+//	transput-bench -check          # verify the paper's counting claims — sequential AND
+//	                               # sharded/windowed pipelines; exit 1 on violation
 //	transput-bench -json           # write BENCH_kernel.json (ns/op, allocs/op, inv/datum
-//	                               # for the four Figure 1/2 pipeline shapes)
+//	                               # for the four Figure 1/2 pipeline shapes) and
+//	                               # BENCH_transput.json (the parallel engine's
+//	                               # shards × window scaling grid)
 package main
 
 import (
@@ -30,8 +33,9 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		items = flag.Int("items", 0, "override stream length per run")
 		check = flag.Bool("check", false, "verify the paper's counting claims and exit")
-		jsonl = flag.Bool("json", false, "write machine-readable pipeline costs to -json-out and exit")
-		jout  = flag.String("json-out", "BENCH_kernel.json", "output path for -json")
+		jsonl = flag.Bool("json", false, "write machine-readable pipeline costs to -json-out and -json-out-transput, then exit")
+		jout  = flag.String("json-out", "BENCH_kernel.json", "output path for the -json kernel costs")
+		tout  = flag.String("json-out-transput", "BENCH_transput.json", "output path for the -json parallel-engine grid")
 		jn    = flag.Int("json-n", 4, "filter count for the -json pipelines")
 	)
 	flag.Parse()
@@ -46,6 +50,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (n=%d, items=%d)\n", *jout, *jn, p.Items)
+		if err := experiments.WriteParallelBenchJSON(*tout, p.Items); err != nil {
+			fmt.Fprintln(os.Stderr, "transput-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (items=%d)\n", *tout, p.Items)
 		return
 	}
 
@@ -57,6 +66,7 @@ func main() {
 		violations := experiments.Verify(p)
 		if len(violations) == 0 {
 			fmt.Println("all counting claims hold (n+1 vs 2n+2 invocations, n+2 vs 2n+3 Ejects, duality, Figure 1)")
+			fmt.Println("parallel engine holds (byte-identical sink output at shards=4/window=4, inv/datum unchanged, Ejects scale to n·P+2)")
 			return
 		}
 		for _, v := range violations {

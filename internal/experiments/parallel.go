@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/metrics"
+	"asymstream/internal/netsim"
+	"asymstream/internal/transput"
+)
+
+// Parallel-engine experiments: the sharded/windowed pipeline's
+// scaling measurements and its counting checks.  The sequential
+// experiments (E1–E4) establish the paper's n+1 vs 2n+2 accounting;
+// these establish that the parallel engine preserves it — one frame is
+// one wire item, so per-datum invocations stay ≈n+1 at any shard
+// count, while Ejects scale to n·P+2.
+
+// RunLinearDigest runs one linear pipeline like RunLinear and
+// additionally returns a SHA-256 digest of the sink's byte stream
+// (items in arrival order, length-prefixed, so reordering, splitting
+// or merging items all change the digest).
+func RunLinearDigest(d transput.Discipline, n, items int, opt transput.Options) (LinearResult, string, error) {
+	k := newKernel()
+	defer k.Shutdown()
+	var count int64
+	h := sha256.New()
+	sink := func(in transput.ItemReader) error {
+		var lenbuf [8]byte
+		for {
+			item, err := in.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			binary.BigEndian.PutUint64(lenbuf[:], uint64(len(item)))
+			h.Write(lenbuf[:])
+			h.Write(item)
+			count++
+		}
+	}
+	before := k.Metrics().Snapshot()
+	p, err := transput.BuildPipeline(k, d, counterSource(items), identityFilters(n), sink, opt)
+	if err != nil {
+		return LinearResult{}, "", err
+	}
+	start := time.Now()
+	if err := p.Run(); err != nil {
+		return LinearResult{}, "", err
+	}
+	elapsed := time.Since(start)
+	diff := metrics.Diff(before, k.Metrics().Snapshot())
+	return LinearResult{
+		Discipline:       d,
+		Filters:          n,
+		Items:            count,
+		Ejects:           p.Ejects(),
+		DataInvocations:  diff.Get("transfer_invocations") + diff.Get("deliver_invocations"),
+		TotalInvocations: diff.Get("invocations"),
+		ProcessSwitches:  diff.Get("process_switches"),
+		BytesMoved:       diff.Get("bytes_moved"),
+		Elapsed:          elapsed,
+	}, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// parallelDisciplines is the sweep order for the parallel checks.
+var parallelDisciplines = []transput.Discipline{
+	transput.ReadOnly, transput.WriteOnly, transput.Buffered,
+}
+
+// VerifyParallel checks the parallel engine's contract: sharded and
+// windowed runs produce byte-identical sink output, Shards=1/Window=1
+// is indistinguishable from the sequential build, per-datum data
+// invocations stay at the paper's figures, and Ejects scale as n·P+2
+// (asymmetric) / 2 + n·P + (n+1)·P (buffered).
+func VerifyParallel(p Params) []string {
+	const P, W = 4, 4
+	var bad []string
+	fail := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	for _, d := range parallelDisciplines {
+		for _, n := range []int{1, 2} {
+			base, baseDig, err := RunLinearDigest(d, n, p.Items, transput.Options{})
+			if err != nil {
+				fail("%v n=%d sequential: %v", d, n, err)
+				continue
+			}
+
+			// Shards=1/Window=1 must be the sequential pipeline: same
+			// output, same Ejects, same per-datum invocations.
+			one, oneDig, err := RunLinearDigest(d, n, p.Items, transput.Options{Shards: 1, Window: 1})
+			if err != nil {
+				fail("%v n=%d shards=1: %v", d, n, err)
+				continue
+			}
+			if oneDig != baseDig {
+				fail("%v n=%d: shards=1/window=1 output differs from sequential", d, n)
+			}
+			if one.Ejects != base.Ejects {
+				fail("%v n=%d: shards=1 Ejects %d != sequential %d", d, n, one.Ejects, base.Ejects)
+			}
+			if diff := math.Abs(one.PerDatum() - base.PerDatum()); diff > 0.05 {
+				fail("%v n=%d: shards=1 inv/datum %.3f != sequential %.3f", d, n, one.PerDatum(), base.PerDatum())
+			}
+
+			// Sharded + windowed: byte-identical output, scaled Ejects,
+			// per-datum invocations unchanged (one frame = one item;
+			// probe and end-of-stream extras are o(1) per link).
+			sh, shDig, err := RunLinearDigest(d, n, p.Items, transput.Options{Shards: P, Window: W})
+			if err != nil {
+				fail("%v n=%d shards=%d: %v", d, n, P, err)
+				continue
+			}
+			if shDig != baseDig {
+				fail("%v n=%d shards=%d window=%d: sink output differs from sequential", d, n, P, W)
+			}
+			wantEjects := n*P + 2
+			if d == transput.Buffered {
+				wantEjects += (n + 1) * P
+			}
+			if sh.Ejects != wantEjects {
+				fail("%v n=%d shards=%d: %d Ejects, engine predicts %d", d, n, P, sh.Ejects, wantEjects)
+			}
+			wantPer := base.PerDatum()
+			// End-of-stream and probe invocations are bounded by
+			// window+1 per link; tolerate their amortised share.
+			links := (n + 1) * P
+			if d == transput.Buffered {
+				links *= 2
+			}
+			slack := 0.1 + float64(links*(W+1))/float64(p.Items)
+			if diff := math.Abs(sh.PerDatum() - wantPer); diff > slack {
+				fail("%v n=%d shards=%d window=%d: %.3f inv/datum, want %.3f ± %.3f",
+					d, n, P, W, sh.PerDatum(), wantPer, slack)
+			}
+		}
+	}
+	return bad
+}
+
+// ParallelRecord is one machine-readable parallel-engine measurement.
+type ParallelRecord struct {
+	Discipline          string  `json:"discipline"`
+	Workload            string  `json:"workload"`
+	Shards              int     `json:"shards"`
+	Window              int     `json:"window"`
+	Items               int64   `json:"items"`
+	NsPerItem           float64 `json:"ns_per_item"`
+	ItemsPerSecond      float64 `json:"items_per_second"`
+	Speedup             float64 `json:"speedup_vs_sequential"`
+	Ejects              int     `json:"ejects"`
+	InvocationsPerDatum float64 `json:"invocations_per_datum"`
+	WindowDepthHW       int64   `json:"window_depth_high_water"`
+	MergeReorderHW      int64   `json:"merge_reorder_high_water"`
+}
+
+// ParallelReport is the document transput-bench writes to
+// BENCH_transput.json.
+type ParallelReport struct {
+	Items     int              `json:"items"`
+	ServiceUs int              `json:"service_us"`
+	WireUs    int              `json:"wire_us"`
+	Records   []ParallelRecord `json:"records"`
+}
+
+// serviceBody simulates a compute-bound per-item filter by sleeping a
+// fixed service time per item.  Sleeping shards overlap exactly like
+// compute shards on real cores, so the engine's scaling is measurable
+// on a single-core host.
+func serviceBody(service time.Duration) transput.Body {
+	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
+		for {
+			item, err := ins[0].Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			time.Sleep(service)
+			if err := outs[0].Put(item); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runParallelOnce measures one grid point.  The "service" workload is
+// a 1-filter pipeline whose body costs serviceUs per item on one node;
+// the "wire" workload is a 1-filter identity pipeline whose first hop
+// crosses a wireUs-latency link (source on node 0, all else on 1).
+func runParallelOnce(d transput.Discipline, workload string, shards, window, items, serviceUs, wireUs int) (ParallelRecord, error) {
+	var (
+		net  netsim.Config
+		body transput.Body
+		plc  func(transput.Role, int) netsim.NodeID
+	)
+	switch workload {
+	case "service":
+		net = netsim.Config{Nodes: 1}
+		body = serviceBody(time.Duration(serviceUs) * time.Microsecond)
+	case "wire":
+		net = netsim.Config{Nodes: 2, CrossLatency: time.Duration(wireUs) * time.Microsecond}
+		body = identityFilters(1)[0].Body
+		plc = func(role transput.Role, _ int) netsim.NodeID {
+			if role == transput.RoleSource {
+				return 0
+			}
+			return 1
+		}
+	default:
+		return ParallelRecord{}, fmt.Errorf("unknown workload %q", workload)
+	}
+	k := kernel.New(kernel.Config{Net: net})
+	defer k.Shutdown()
+	var count int64
+	before := k.Metrics().Snapshot()
+	p, err := transput.BuildPipeline(k, d, counterSource(items),
+		[]transput.Filter{{Name: "work", Body: body}}, discardSink(&count),
+		transput.Options{Shards: shards, Window: window, Batch: 4, Placement: plc})
+	if err != nil {
+		return ParallelRecord{}, err
+	}
+	start := time.Now()
+	if err := p.Run(); err != nil {
+		return ParallelRecord{}, err
+	}
+	elapsed := time.Since(start)
+	diff := metrics.Diff(before, k.Metrics().Snapshot())
+	data := diff.Get("transfer_invocations") + diff.Get("deliver_invocations")
+	rec := ParallelRecord{
+		Discipline:     d.String(),
+		Workload:       workload,
+		Shards:         shards,
+		Window:         window,
+		Items:          count,
+		Ejects:         p.Ejects(),
+		WindowDepthHW:  k.Metrics().WindowDepthHighWater.Value(),
+		MergeReorderHW: k.Metrics().MergeReorderHighWater.Value(),
+	}
+	if count > 0 {
+		rec.NsPerItem = float64(elapsed.Nanoseconds()) / float64(count)
+		rec.InvocationsPerDatum = float64(data) / float64(count)
+	}
+	if elapsed > 0 {
+		rec.ItemsPerSecond = float64(count) / elapsed.Seconds()
+	}
+	return rec, nil
+}
+
+// RunParallelBench sweeps the parallel engine's grid — three
+// disciplines × shards {1,4} × window {1,4} — on the two workloads
+// that isolate its two mechanisms: per-item service time (sharding
+// overlaps it) and wire latency (the window overlaps it).  Speedups
+// are relative to the same discipline and workload at shards=1,
+// window=1.
+func RunParallelBench(items int) (ParallelReport, error) {
+	const serviceUs, wireUs = 100, 100
+	rep := ParallelReport{Items: items, ServiceUs: serviceUs, WireUs: wireUs}
+	for _, workload := range []string{"service", "wire"} {
+		for _, d := range parallelDisciplines {
+			var baseline float64
+			for _, grid := range []struct{ shards, window int }{
+				{1, 1}, {4, 1}, {1, 4}, {4, 4},
+			} {
+				rec, err := runParallelOnce(d, workload, grid.shards, grid.window, items, serviceUs, wireUs)
+				if err != nil {
+					return rep, fmt.Errorf("parallel bench %v/%s s=%d w=%d: %w",
+						d, workload, grid.shards, grid.window, err)
+				}
+				if grid.shards == 1 && grid.window == 1 {
+					baseline = rec.NsPerItem
+				}
+				if baseline > 0 && rec.NsPerItem > 0 {
+					rec.Speedup = baseline / rec.NsPerItem
+				}
+				rep.Records = append(rep.Records, rec)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// WriteParallelBenchJSON runs RunParallelBench and writes the report
+// to path as indented JSON.
+func WriteParallelBenchJSON(path string, items int) error {
+	rep, err := RunParallelBench(items)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParallelTable renders the parallel grid as an experiment table
+// (experiment id "e11" in the registry).
+func ParallelTable(items int) (Table, error) {
+	rep, err := RunParallelBench(items)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "E11",
+		Title:   "Parallel engine — sharded stages and windowed links: items/s and speedup vs sequential",
+		Columns: []string{"workload", "discipline", "shards", "window", "items/s", "speedup", "inv/datum", "ejects"},
+		Notes: []string{
+			fmt.Sprintf("service workload: %dµs/item filter on one node; wire workload: identity filter behind a %dµs-latency link", rep.ServiceUs, rep.WireUs),
+			"per-datum invocations stay at the sequential figure: one frame is one wire item",
+		},
+	}
+	for _, r := range rep.Records {
+		t.Rows = append(t.Rows, []string{
+			r.Workload,
+			r.Discipline,
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Window),
+			fmt.Sprintf("%.0f", r.ItemsPerSecond),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.2f", r.InvocationsPerDatum),
+			fmt.Sprintf("%d", r.Ejects),
+		})
+	}
+	return t, nil
+}

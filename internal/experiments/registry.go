@@ -73,6 +73,13 @@ func Registry() []Spec {
 		{"e10", "§5 fan-in/fan-out matrix", func(p Params) (Table, error) {
 			return E10Fan([]int{2, 4, 8}, p.Items/4+25)
 		}},
+		{"e11", "parallel engine: shard and window scaling", func(p Params) (Table, error) {
+			items := p.Items / 2
+			if items < 100 {
+				items = 100
+			}
+			return ParallelTable(items)
+		}},
 		{"a1", "ablation: Transfer batch size", func(p Params) (Table, error) {
 			return A1BatchSweep(4, p.Items)
 		}},

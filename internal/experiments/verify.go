@@ -74,5 +74,10 @@ func Verify(p Params) []string {
 			fail("unix n=%d: %.3f syscalls/datum, paper predicts %d", n, per, 2*n+2)
 		}
 	}
+
+	// Parallel engine: sharded and windowed pipelines keep the sink
+	// output byte-identical and the per-datum counts at the paper's
+	// figures, with Ejects scaling to n·P+2.
+	bad = append(bad, VerifyParallel(p)...)
 	return bad
 }

@@ -35,6 +35,30 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Set forces the counter to n.  Only tests use this.
 func (c *Counter) Set(n int64) { c.v.Store(n) }
 
+// HighWater is an atomic maximum tracker: Observe folds a sample in,
+// Value reads the largest sample seen.  The parallel stream engine uses
+// it for quantities where the interesting number is the peak, not the
+// sum — in-flight window depth and merge reorder-buffer occupancy.
+type HighWater struct {
+	v atomic.Int64
+}
+
+// Observe records n if it exceeds the current maximum.
+func (h *HighWater) Observe(n int64) {
+	for {
+		cur := h.v.Load()
+		if n <= cur {
+			return
+		}
+		if h.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the largest observed sample (0 if none).
+func (h *HighWater) Value() int64 { return h.v.Load() }
+
 // Set is the fixed collection of counters the reproduction meters.  A
 // single Set is shared by one simulated Eden system (kernel + network
 // + devices); independent systems have independent Sets, so parallel
@@ -78,6 +102,15 @@ type Set struct {
 	// ItemsMoved counts stream items (records or byte chunks) that
 	// crossed an Eject boundary inside Transfer/Deliver payloads.
 	ItemsMoved Counter
+	// ShardFrames counts framed items (data, punctuation, epilogue)
+	// moved across sharded pipeline links by the parallel engine.
+	ShardFrames Counter
+	// WindowDepthHighWater tracks the peak number of concurrently
+	// outstanding Transfer/Deliver invocations on any windowed port.
+	WindowDepthHighWater HighWater
+	// MergeReorderHighWater tracks the peak number of frames held back
+	// by an order-preserving shard merger (stash + ready queue).
+	MergeReorderHighWater HighWater
 }
 
 // Snapshot is a point-in-time copy of every counter in a Set.
@@ -90,29 +123,32 @@ type Snapshot struct {
 // of assembling a fresh descriptor slice per call.
 var fieldTable = []struct {
 	name string
-	get  func(*Set) *Counter
+	get  func(*Set) int64
 }{
-	{"invocations", func(s *Set) *Counter { return &s.Invocations }},
-	{"local_invocations", func(s *Set) *Counter { return &s.LocalInvocations }},
-	{"cross_node_invocations", func(s *Set) *Counter { return &s.CrossNodeInvocations }},
-	{"replies", func(s *Set) *Counter { return &s.Replies }},
-	{"process_switches", func(s *Set) *Counter { return &s.ProcessSwitches }},
-	{"bytes_moved", func(s *Set) *Counter { return &s.BytesMoved }},
-	{"wire_bytes", func(s *Set) *Counter { return &s.WireBytes }},
-	{"activations", func(s *Set) *Counter { return &s.Activations }},
-	{"checkpoints", func(s *Set) *Counter { return &s.Checkpoints }},
-	{"syscalls", func(s *Set) *Counter { return &s.Syscalls }},
-	{"ejects_created", func(s *Set) *Counter { return &s.EjectsCreated }},
-	{"transfer_invocations", func(s *Set) *Counter { return &s.TransferInvocations }},
-	{"deliver_invocations", func(s *Set) *Counter { return &s.DeliverInvocations }},
-	{"items_moved", func(s *Set) *Counter { return &s.ItemsMoved }},
+	{"invocations", func(s *Set) int64 { return s.Invocations.Value() }},
+	{"local_invocations", func(s *Set) int64 { return s.LocalInvocations.Value() }},
+	{"cross_node_invocations", func(s *Set) int64 { return s.CrossNodeInvocations.Value() }},
+	{"replies", func(s *Set) int64 { return s.Replies.Value() }},
+	{"process_switches", func(s *Set) int64 { return s.ProcessSwitches.Value() }},
+	{"bytes_moved", func(s *Set) int64 { return s.BytesMoved.Value() }},
+	{"wire_bytes", func(s *Set) int64 { return s.WireBytes.Value() }},
+	{"activations", func(s *Set) int64 { return s.Activations.Value() }},
+	{"checkpoints", func(s *Set) int64 { return s.Checkpoints.Value() }},
+	{"syscalls", func(s *Set) int64 { return s.Syscalls.Value() }},
+	{"ejects_created", func(s *Set) int64 { return s.EjectsCreated.Value() }},
+	{"transfer_invocations", func(s *Set) int64 { return s.TransferInvocations.Value() }},
+	{"deliver_invocations", func(s *Set) int64 { return s.DeliverInvocations.Value() }},
+	{"items_moved", func(s *Set) int64 { return s.ItemsMoved.Value() }},
+	{"shard_frames", func(s *Set) int64 { return s.ShardFrames.Value() }},
+	{"window_depth_hw", func(s *Set) int64 { return s.WindowDepthHighWater.Value() }},
+	{"merge_reorder_hw", func(s *Set) int64 { return s.MergeReorderHighWater.Value() }},
 }
 
 // Snapshot captures the current value of every counter.
 func (s *Set) Snapshot() Snapshot {
 	snap := Snapshot{Values: make(map[string]int64, len(fieldTable))}
 	for _, f := range fieldTable {
-		snap.Values[f.name] = f.get(s).Value()
+		snap.Values[f.name] = f.get(s)
 	}
 	return snap
 }

@@ -40,6 +40,33 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+func TestHighWater(t *testing.T) {
+	var h HighWater
+	if h.Value() != 0 {
+		t.Fatal("zero high-water must read 0")
+	}
+	h.Observe(5)
+	h.Observe(3)
+	if got := h.Value(); got != 5 {
+		t.Fatalf("high-water = %d, want 5", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(int64(i*1000 + j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Value(); got != 7999 {
+		t.Fatalf("concurrent high-water = %d, want 7999", got)
+	}
+}
+
 func TestSnapshotDiff(t *testing.T) {
 	var s Set
 	before := s.Snapshot()
@@ -73,6 +100,7 @@ func TestSnapshotCoversEveryCounter(t *testing.T) {
 		"replies", "process_switches", "bytes_moved", "wire_bytes",
 		"activations", "checkpoints", "syscalls", "ejects_created",
 		"transfer_invocations", "deliver_invocations", "items_moved",
+		"shard_frames", "window_depth_hw", "merge_reorder_hw",
 	}
 	if len(snap.Values) != len(want) {
 		t.Fatalf("snapshot has %d counters, want %d", len(snap.Values), len(want))

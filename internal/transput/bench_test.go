@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"asymstream/internal/kernel"
+	"asymstream/internal/netsim"
 	"asymstream/internal/uid"
 )
 
@@ -175,6 +177,155 @@ func TestDeliverHopAllocs(t *testing.T) {
 	const ceiling = 3
 	if n := testing.AllocsPerRun(200, hop); n > ceiling {
 		t.Errorf("warm Deliver hop: %.1f allocs/op, ceiling %d", n, ceiling)
+	}
+}
+
+// TestWindowedTransferHopAllocs pins the windowed pull path: the
+// reorder step must ride on the same pooled replies and reused request
+// records as the stop-and-wait hop, adding only the reorder-map churn.
+func TestWindowedTransferHopAllocs(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+	st := NewROStage(k, ROStageConfig{Name: "src", Anticipation: 1024},
+		func(_ []ItemReader, outs []ItemWriter) error {
+			for {
+				if err := outs[0].Put([]byte("sixteen-byte-pay")); err != nil {
+					return nil
+				}
+			}
+		})
+	id := k.NewUID()
+	if err := k.CreateWithUID(id, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	in := NewInPort(k, uid.Nil, id, Chan(0), InPortConfig{Batch: 1, Window: 4})
+	defer in.Cancel("alloc test done")
+	hop := func() {
+		if _, err := in.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < allocWarmup; i++ {
+		hop()
+	}
+	const ceiling = 8
+	if n := testing.AllocsPerRun(200, hop); n > ceiling {
+		t.Errorf("warm windowed Transfer hop: %.1f allocs/op, ceiling %d", n, ceiling)
+	}
+}
+
+// TestWindowedDeliverHopAllocs pins the windowed push path: the send
+// window's job/freelist recycling must keep a warm hop at the
+// stop-and-wait ceiling plus the sequencing-map churn.
+func TestWindowedDeliverHopAllocs(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+	st := NewWOStage(k, WOStageConfig{Name: "sink", Capacity: 1024},
+		func(ins []ItemReader, _ []ItemWriter) error {
+			_, err := Drain(ins[0])
+			return err
+		})
+	id := k.NewUID()
+	if err := k.CreateWithUID(id, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	w := NewWOOutPort(k, uid.Nil, id, Chan(0), WOOutPortConfig{Batch: 1, Window: 4})
+	defer w.Close()
+	item := []byte("sixteen-byte-pay")
+	hop := func() {
+		if err := w.Put(item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < allocWarmup; i++ {
+		hop()
+	}
+	const ceiling = 5
+	if n := testing.AllocsPerRun(200, hop); n > ceiling {
+		t.Errorf("warm windowed Deliver hop: %.1f allocs/op, ceiling %d", n, ceiling)
+	}
+}
+
+// serviceFilter simulates a CPU-bound per-item body by sleeping a
+// fixed service time per item.  On the single-core CI box a busy loop
+// cannot show parallel speedup, but sleeping shards overlap exactly
+// like compute shards on real cores — the engine's concurrency, not
+// the host's arithmetic, is what is under test.
+func serviceFilter(service time.Duration) Body {
+	return func(ins []ItemReader, outs []ItemWriter) error {
+		for {
+			item, err := ins[0].Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			time.Sleep(service)
+			if err := outs[0].Put(item); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// BenchmarkPipelineThroughput measures the parallel engine end to end.
+//
+// The shards axis runs a 100µs-per-item filter at Shards 1 vs 4: the
+// sharded run should approach 4x items/sec.  The window axis runs a
+// pass-through pipeline across two simulated nodes with 100µs wire
+// latency at Window 1 vs 4: stop-and-wait pays a full round trip per
+// batch, the window overlaps them.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	run := func(b *testing.B, net netsim.Config, placement func(Role, int) netsim.NodeID, fs []Filter, opt Options) {
+		k := kernel.New(kernel.Config{Net: net})
+		defer k.Shutdown()
+		opt.Placement = placement
+		var n int
+		sink := func(in ItemReader) error {
+			for {
+				_, err := in.Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				n++
+			}
+		}
+		p, err := BuildPipeline(k, ReadOnly, numbersSource(b.N), fs, sink, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if n != b.N {
+			b.Fatalf("sink saw %d items, want %d", n, b.N)
+		}
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("service100us/shards=%d", shards), func(b *testing.B) {
+			fs := []Filter{{Name: "work", Body: serviceFilter(100 * time.Microsecond)}}
+			run(b, netsim.Config{Nodes: 1}, nil, fs, Options{Shards: shards, Batch: 4})
+		})
+	}
+	for _, window := range []int{1, 4} {
+		b.Run(fmt.Sprintf("wire100us/window=%d", window), func(b *testing.B) {
+			cross := func(role Role, _ int) netsim.NodeID {
+				if role == RoleSink {
+					return 1
+				}
+				return 0
+			}
+			run(b, netsim.Config{Nodes: 2, CrossLatency: 100 * time.Microsecond}, cross,
+				nil, Options{Window: window, Batch: 4})
+		})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
+	"asymstream/internal/uid"
 )
 
 // PassiveBuffer is a Unix-pipe-like Eject: it performs passive input
@@ -33,6 +34,12 @@ type PassiveBuffer struct {
 	expectedEnds int
 	ends         int
 	abortErr     *AbortedError
+
+	// writerSeqs orders concurrent deliveries from windowed writers
+	// (see woChannel.writerSeqs); itemsOut stamps TransferReply.Base so
+	// windowed readers can reassemble batches in stream order.
+	writerSeqs map[uid.UID]uint64
+	itemsOut   int64
 
 	deliversServed  int64
 	transfersServed int64
@@ -123,6 +130,14 @@ func (b *PassiveBuffer) serveDeliver(inv *kernel.Invocation) {
 	}
 	b.met.DeliverInvocations.Inc()
 	b.mu.Lock()
+	if !req.Writer.IsNil() {
+		if b.writerSeqs == nil {
+			b.writerSeqs = make(map[uid.UID]uint64)
+		}
+		for b.writerSeqs[req.Writer] != req.Seq && b.abortErr == nil {
+			b.cond.Wait()
+		}
+	}
 	for _, item := range req.Items {
 		for len(b.buf) >= b.capacity && b.abortErr == nil {
 			b.cond.Wait()
@@ -143,10 +158,22 @@ func (b *PassiveBuffer) serveDeliver(inv *kernel.Invocation) {
 		b.ends++
 		b.cond.Broadcast()
 	}
+	if !req.Writer.IsNil() {
+		if req.End {
+			delete(b.writerSeqs, req.Writer)
+		} else {
+			b.writerSeqs[req.Writer] = req.Seq + 1
+		}
+		b.cond.Broadcast()
+	}
 	b.deliversServed++
+	credits := b.capacity - len(b.buf)
+	if credits < 0 {
+		credits = 0
+	}
 	b.mu.Unlock()
 	b.met.ItemsMoved.Add(int64(len(req.Items)))
-	inv.Reply(&DeliverReply{Status: StatusOK})
+	inv.Reply(&DeliverReply{Status: StatusOK, Credits: credits})
 }
 
 func (b *PassiveBuffer) serveTransfer(inv *kernel.Invocation) {
@@ -186,10 +213,12 @@ func (b *PassiveBuffer) serveTransfer(inv *kernel.Invocation) {
 		status = StatusEnd
 	}
 	b.transfersServed++
+	base := b.itemsOut
+	b.itemsOut += int64(n)
 	b.cond.Broadcast()
 	b.mu.Unlock()
 	b.met.ItemsMoved.Add(int64(n))
-	inv.Reply(&TransferReply{Items: items, Status: status})
+	inv.Reply(&TransferReply{Items: items, Status: status, Base: base})
 }
 
 // OnDeactivate aborts the buffer, releasing parked workers.

@@ -28,11 +28,15 @@ import (
 //     batches.  Prefetch 0 is the demand-driven (lazy) limit: a
 //     Transfer is issued only when the consumer actually needs data.
 //
-// Stream order is preserved because at most one Transfer is
-// outstanding per InPort at any instant: the protocol (like the
-// paper's) has no sequence numbers, so a second concurrent Transfer on
-// the same channel could be serviced out of order.  Overlap comes from
-// pulling *ahead*, never from pulling *concurrently*.
+// Stream order is preserved in two regimes.  At Window<=1 (the
+// default) at most one Transfer is outstanding per InPort at any
+// instant, so no sequencing is needed; overlap comes from pulling
+// *ahead*, never from pulling *concurrently*.  At Window=K>1 the port
+// keeps K Transfer invocations in flight from K puller goroutines and
+// reassembles the batches in stream order using TransferReply.Base
+// (the server-stamped stream offset), so the consumer still observes
+// exactly the sequential stream.  A windowed port must be its
+// channel's sole consumer — Base offsets are only dense in that case.
 type InPort struct {
 	k       *kernel.Kernel
 	met     *metrics.Set
@@ -42,11 +46,11 @@ type InPort struct {
 	channel ChannelID
 	batch   int
 	pref    int
+	window  int
 
-	// req is the port's reusable Transfer request record: its fields
-	// (channel, batch) are fixed for the port's lifetime and at most
-	// one Transfer is outstanding per port, so the same record is
-	// safe to send on every hop.
+	// req is the port's reusable Transfer request record for the
+	// single-outstanding paths (demand-driven and the lone prefetch
+	// puller); windowed pullers carry their own records.
 	req TransferRequest
 
 	mu        sync.Mutex
@@ -55,12 +59,18 @@ type InPort struct {
 	err       error // nil for normal EOF
 	cancelled bool
 
-	// prefetch machinery (pref > 0)
+	// background pull machinery (pref > 0 or window > 1)
 	ahead    chan pulled
 	pullerOn bool
 	stopPull chan struct{}
 	pullerWG sync.WaitGroup
 
+	// windowed reassembly state (window > 1), guarded by mu.
+	nextBase  int64            // stream offset the consumer expects next; -1 until probed
+	streamLen int64            // total stream length once an End is seen; -1 before
+	reorder   map[int64]pulled // out-of-order batches keyed by Base
+
+	inflight        atomic.Int64 // Transfers currently on the wire (windowed)
 	transfersIssued atomic.Int64
 	itemsIn         atomic.Int64
 }
@@ -73,7 +83,14 @@ type pulled struct {
 	status Status
 	err    error
 	rep    *TransferReply
+	base   int64 // stream offset of items[0] (TransferReply.Base)
 }
+
+// MaxWindow caps the flow-control window so that parked stream
+// invocations can never exhaust an Eject's kernel worker pool (32 by
+// default): a windowed port holds at most MaxWindow workers blocked at
+// the passive side.
+const MaxWindow = 16
 
 // InPortConfig parameterises an InPort.
 type InPortConfig struct {
@@ -82,6 +99,12 @@ type InPortConfig struct {
 	// Prefetch is the local read-ahead buffer in batches; <=0 means
 	// demand-driven.
 	Prefetch int
+	// Window is the number of Transfer invocations kept in flight
+	// concurrently.  <=1 preserves the classic one-outstanding
+	// behaviour; larger values overlap round-trip latency and are
+	// clamped to MaxWindow.  Window>1 implies anticipation: the port
+	// pulls ahead of the consumer by up to Window batches.
+	Window int
 }
 
 // NewInPort creates an active-input port.  self identifies the
@@ -102,7 +125,14 @@ func NewInPort(k *kernel.Kernel, self, source uid.UID, channel ChannelID, cfg In
 	if pref < 0 {
 		pref = 0
 	}
-	return &InPort{
+	window := cfg.Window
+	if window < 1 {
+		window = 1
+	}
+	if window > MaxWindow {
+		window = MaxWindow
+	}
+	p := &InPort{
 		k:       k,
 		met:     k.Metrics(),
 		caller:  k.Caller(self),
@@ -111,8 +141,15 @@ func NewInPort(k *kernel.Kernel, self, source uid.UID, channel ChannelID, cfg In
 		channel: channel,
 		batch:   batch,
 		pref:    pref,
+		window:  window,
 		req:     TransferRequest{Channel: channel, Max: batch},
 	}
+	if window > 1 {
+		p.nextBase = -1
+		p.streamLen = -1
+		p.reorder = make(map[int64]pulled)
+	}
+	return p
 }
 
 // Source returns the UID this port pulls from.
@@ -122,9 +159,14 @@ func (p *InPort) Source() uid.UID { return p.source }
 func (p *InPort) Channel() ChannelID { return p.channel }
 
 // transfer issues one synchronous Transfer and normalises the result.
-func (p *InPort) transfer() pulled {
+func (p *InPort) transfer() pulled { return p.transferWith(&p.req) }
+
+// transferWith issues one synchronous Transfer using the given request
+// record.  Windowed pullers each own a record, because several
+// Transfers are on the wire at once.
+func (p *InPort) transferWith(req *TransferRequest) pulled {
 	p.transfersIssued.Add(1)
-	raw, err := p.caller.Invoke(p.source, OpTransfer, &p.req)
+	raw, err := p.caller.Invoke(p.source, OpTransfer, req)
 	if err != nil {
 		return pulled{err: err}
 	}
@@ -134,7 +176,7 @@ func (p *InPort) transfer() pulled {
 	}
 	switch rep.Status {
 	case StatusOK, StatusEnd:
-		return pulled{items: rep.Items, status: rep.Status, rep: rep}
+		return pulled{items: rep.Items, status: rep.Status, rep: rep, base: rep.Base}
 	default:
 		// statusErr copies what it needs; the record can recycle now.
 		err := statusErr(rep.Status, rep.AbortMsg)
@@ -176,6 +218,59 @@ func (p *InPort) startPullerLocked() {
 	}()
 }
 
+// startWindowLocked arms the windowed pull engine: p.window puller
+// goroutines, each keeping one Transfer on the wire, all feeding one
+// bounded ahead channel.  The channel's capacity covers the worst-case
+// tail (every puller delivering its final End result after the
+// consumer has stopped reading), so pullers never leak.  Caller holds
+// p.mu and has already probed the stream (p.nextBase >= 0).
+func (p *InPort) startWindowLocked() {
+	ahead := make(chan pulled, p.window+p.pref)
+	stop := make(chan struct{})
+	p.ahead = ahead
+	p.stopPull = stop
+	p.pullerOn = true
+	var wg sync.WaitGroup
+	for i := 0; i < p.window; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := TransferRequest{Channel: p.channel, Max: p.batch}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				depth := p.inflight.Add(1)
+				p.met.WindowDepthHighWater.Observe(depth)
+				res := p.transferWith(&req)
+				p.inflight.Add(-1)
+				select {
+				case ahead <- res:
+				case <-stop:
+					if res.rep != nil {
+						releaseTransferReply(res.rep)
+					}
+					return
+				}
+				if res.err != nil || res.status == StatusEnd {
+					return
+				}
+			}
+		}()
+	}
+	// A single closer waits for every puller, then closes ahead so a
+	// consumer blocked mid-stream (after Cancel) wakes up.  pullerWG
+	// tracks the closer, so Cancel/Redirect wait for the whole window.
+	p.pullerWG.Add(1)
+	go func() {
+		defer p.pullerWG.Done()
+		wg.Wait()
+		close(ahead)
+	}()
+}
+
 // absorb integrates one pulled batch under p.mu.
 func (p *InPort) absorbLocked(res pulled) {
 	if res.err != nil {
@@ -189,6 +284,69 @@ func (p *InPort) absorbLocked(res pulled) {
 	}
 	if res.status == StatusEnd {
 		p.done = true
+	}
+}
+
+// absorbWindowedLocked integrates one windowed result: batches are
+// stashed by stream offset and released to pending in order.  Caller
+// holds p.mu.
+func (p *InPort) absorbWindowedLocked(res pulled) {
+	if res.err != nil {
+		p.done = true
+		p.err = res.err
+		p.releaseReorderLocked()
+		return
+	}
+	if res.status == StatusEnd {
+		if end := res.base + int64(len(res.items)); p.streamLen < 0 || end > p.streamLen {
+			p.streamLen = end
+		}
+	}
+	// Duplicate bases can only be empty End replies (several pullers
+	// observing the end of the drained stream); keep one.
+	if old, ok := p.reorder[res.base]; ok && old.rep != nil {
+		releaseTransferReply(old.rep)
+	}
+	p.reorder[res.base] = res
+	p.advanceLocked()
+	if n := len(p.reorder); n > 0 {
+		p.met.MergeReorderHighWater.Observe(int64(n))
+	}
+}
+
+// advanceLocked drains the reorder buffer's contiguous prefix into
+// pending and marks the stream done once everything up to the End
+// offset has been surfaced.  Caller holds p.mu.
+func (p *InPort) advanceLocked() {
+	for {
+		res, ok := p.reorder[p.nextBase]
+		if !ok {
+			break
+		}
+		delete(p.reorder, p.nextBase)
+		p.pending = append(p.pending, res.items...)
+		if res.rep != nil {
+			releaseTransferReply(res.rep)
+		}
+		if len(res.items) == 0 {
+			break // empty End reply: the offset does not advance
+		}
+		p.nextBase += int64(len(res.items))
+	}
+	if p.streamLen >= 0 && p.nextBase >= p.streamLen {
+		p.done = true
+		p.releaseReorderLocked() // empty End stragglers, if any
+	}
+}
+
+// releaseReorderLocked recycles and discards every stashed batch.
+// Caller holds p.mu.
+func (p *InPort) releaseReorderLocked() {
+	for base, res := range p.reorder {
+		if res.rep != nil {
+			releaseTransferReply(res.rep)
+		}
+		delete(p.reorder, base)
 	}
 }
 
@@ -210,6 +368,48 @@ func (p *InPort) Next() ([]byte, error) {
 				return nil, p.err
 			}
 			return nil, io.EOF
+		}
+		if p.window > 1 {
+			if p.nextBase < 0 {
+				// Probe: one synchronous Transfer learns the stream
+				// offset this port starts at, so the reorder logic has
+				// an anchor before concurrent pulls begin.
+				p.mu.Unlock()
+				res := p.transfer()
+				p.mu.Lock()
+				if p.done && p.err != nil {
+					continue // cancelled while waiting
+				}
+				if res.err == nil {
+					p.nextBase = res.base + int64(len(res.items))
+					if res.status == StatusEnd {
+						p.streamLen = p.nextBase
+					}
+				}
+				p.absorbLocked(res)
+				continue
+			}
+			if !p.pullerOn {
+				p.startWindowLocked()
+			}
+			ahead := p.ahead
+			p.mu.Unlock()
+			res, ok := <-ahead
+			p.mu.Lock()
+			if p.done && p.err != nil {
+				if ok && res.rep != nil {
+					releaseTransferReply(res.rep)
+				}
+				continue // cancelled while waiting
+			}
+			if !ok {
+				if !p.done {
+					p.done = true
+				}
+				continue
+			}
+			p.absorbWindowedLocked(res)
+			continue
 		}
 		if p.pref > 0 {
 			if !p.pullerOn {
@@ -268,6 +468,9 @@ func (p *InPort) Cancel(msg string) {
 		p.err = &AbortedError{Msg: msg}
 	}
 	p.pending = nil
+	if p.reorder != nil {
+		p.releaseReorderLocked()
+	}
 	if p.pullerOn {
 		close(p.stopPull)
 	}

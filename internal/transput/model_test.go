@@ -35,8 +35,14 @@ func TestPassiveBufferAgainstFIFOModel(t *testing.T) {
 				model = append(model, item)
 			}
 
-			// Writer pushes with random batch sizes.
-			push := NewPusher(k, uid.Nil, bufID, Chan(0), PusherConfig{Batch: rng.Intn(5) + 1})
+			// Writer pushes with random batch sizes — through a plain
+			// Pusher (stop-and-wait) or a WOOutPort send window.
+			var push ItemWriter
+			if wnd := rng.Intn(5); wnd > 1 {
+				push = NewWOOutPort(k, uid.Nil, bufID, Chan(0), WOOutPortConfig{Batch: rng.Intn(5) + 1, Window: wnd})
+			} else {
+				push = NewPusher(k, uid.Nil, bufID, Chan(0), PusherConfig{Batch: rng.Intn(5) + 1})
+			}
 			go func() {
 				for _, item := range model {
 					if err := push.Put(item); err != nil {
@@ -46,8 +52,12 @@ func TestPassiveBufferAgainstFIFOModel(t *testing.T) {
 				_ = push.Close()
 			}()
 
-			// Reader pulls with a different random batch size.
-			in := NewInPort(k, uid.Nil, bufID, Chan(0), InPortConfig{Batch: rng.Intn(7) + 1})
+			// Reader pulls with a different random batch size and its
+			// own random pull window.
+			in := NewInPort(k, uid.Nil, bufID, Chan(0), InPortConfig{
+				Batch:  rng.Intn(7) + 1,
+				Window: rng.Intn(4) + 1,
+			})
 			var got [][]byte
 			for {
 				item, err := in.Next()
@@ -103,6 +113,7 @@ func TestOutPortAgainstFIFOModel(t *testing.T) {
 			in := NewInPort(k, uid.Nil, id, Chan(0), InPortConfig{
 				Batch:    rng.Intn(9) + 1,
 				Prefetch: rng.Intn(3),
+				Window:   rng.Intn(4) + 1,
 			})
 			var got [][]byte
 			for {

@@ -266,6 +266,7 @@ func (p *OutPort) ServeTransfer(inv *kernel.Invocation) {
 		rep.Status = StatusEnd
 	}
 	ch.transfersServed++
+	rep.Base = ch.itemsOut // stream offset of Items[0], for windowed readers
 	ch.itemsOut += int64(n)
 	ch.cond.Broadcast() // wake writers waiting for space
 	ch.mu.Unlock()
@@ -294,6 +295,7 @@ func acquireTransferReply(n int) *TransferReply {
 	}
 	rep.Status = StatusOK
 	rep.AbortMsg = ""
+	rep.Base = 0
 	return rep
 }
 

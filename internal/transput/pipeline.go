@@ -3,6 +3,7 @@ package transput
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/netsim"
@@ -52,6 +53,12 @@ type SinkFunc func(in ItemReader) error
 type Filter struct {
 	Name string
 	Body Body
+	// Shards overrides Options.Shards for this filter: >1 replicates
+	// the body across that many shard Ejects, 1 forces sequential, 0
+	// inherits the pipeline default.  Shard a filter only if its body
+	// is per-item (each output a function of the current input);
+	// stateful bodies (sort, uniq, wc) compute per-shard results.
+	Shards int
 }
 
 // Role identifies a pipeline element for placement decisions.
@@ -73,6 +80,18 @@ type Options struct {
 	// Prefetch is the InPort read-ahead in batches (read-only and
 	// buffered disciplines).
 	Prefetch int
+	// Window is the number of stream invocations kept in flight per
+	// link (clamped to [1, MaxWindow]).  At 1 (the default) every link
+	// is stop-and-wait, the paper's model; above 1 the active side
+	// overlaps round trips — pullers in the read-only and buffered
+	// disciplines, a WOOutPort send window in the write-only one.
+	Window int
+	// Shards is the default replication degree for every filter body
+	// (<=1 means sequential); Filter.Shards overrides per filter.
+	// Adjacent sharded filters must agree on the count (their links
+	// are wired shard-to-shard); results are merged back into the
+	// sequential order at each fan-in.
+	Shards int
 	// Anticipation bounds each stage's internal buffer: the OutPort
 	// buffer in read-only mode, the WOInPort buffer in write-only
 	// mode.  0 means DefaultCapacity; negative means minimal
@@ -88,7 +107,8 @@ type Options struct {
 	LazyStart bool
 	// Placement maps each element to a simulated node; nil places
 	// everything on node 0.  index is the filter index for RoleFilter
-	// and the buffer index for RoleBuffer, 0 otherwise.
+	// (all shards of a filter share its node) and the buffer index for
+	// RoleBuffer, 0 otherwise.
 	Placement func(role Role, index int) netsim.NodeID
 }
 
@@ -97,6 +117,61 @@ func (o Options) node(role Role, index int) netsim.NodeID {
 		return 0
 	}
 	return o.Placement(role, index)
+}
+
+// shardCounts resolves the effective shard count of every filter.
+func shardCounts(fs []Filter, opt Options) []int {
+	counts := make([]int, len(fs))
+	for i, f := range fs {
+		n := f.Shards
+		if n == 0 {
+			n = opt.Shards
+		}
+		if n < 1 {
+			n = 1
+		}
+		counts[i] = n
+	}
+	return counts
+}
+
+// validateShards rejects adjacent sharded filters with unequal counts:
+// their link is wired shard-to-shard, so the rows must align.
+func validateShards(counts []int) error {
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > 1 && counts[i-1] > 1 && counts[i] != counts[i-1] {
+			return fmt.Errorf("transput: adjacent filters %d and %d have unequal shard counts %d and %d; align them or insert a sequential filter between", i-1, i, counts[i-1], counts[i])
+		}
+	}
+	return nil
+}
+
+// channelNames generates n channel names from a prefix.
+func channelNames(prefix string, n int) []string {
+	if n <= 1 {
+		return []string{prefix}
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return names
+}
+
+// endpoint is one end of a link: an Eject and a channel on it.
+type endpoint struct {
+	u uid.UID
+	c ChannelID
+}
+
+// newActiveOut builds the active-output port for one link: a Pusher
+// when the link is stop-and-wait, a WOOutPort when a send window is
+// requested.
+func newActiveOut(k *kernel.Kernel, self, target uid.UID, ch ChannelID, opt Options) ItemWriter {
+	if opt.Window > 1 {
+		return NewWOOutPort(k, self, target, ch, WOOutPortConfig{Batch: opt.Batch, Window: opt.Window})
+	}
+	return NewPusher(k, self, target, ch, PusherConfig{Batch: opt.Batch})
 }
 
 // Pipeline is a built, runnable pipeline and its Eject inventory.
@@ -109,6 +184,14 @@ type Pipeline struct {
 	SinkUID    uid.UID
 	BufferUIDs []uid.UID
 
+	// ShardUIDs groups the filter Ejects by filter index: one UID for
+	// a sequential filter, Shards UIDs for a sharded one.
+	ShardUIDs [][]uid.UID
+	// ShardCounts records the effective shard count per filter.
+	ShardCounts []int
+
+	shardLoads [][]*atomic.Int64
+
 	starters []interface{ Start() }
 	sinkDone <-chan struct{}
 	sinkErr  func() error
@@ -117,8 +200,27 @@ type Pipeline struct {
 }
 
 // Ejects reports how many Ejects the pipeline comprises — the paper's
-// n+2 (asymmetric) vs 2n+3 (buffered) comparison.
+// n+2 (asymmetric) vs 2n+3 (buffered) comparison; each shard is its
+// own Eject, so a fully sharded asymmetric pipeline has n·P+2.
 func (p *Pipeline) Ejects() int { return len(p.allUIDs) }
+
+// ShardLoads reports, per filter, how many items each shard processed
+// (nil for sequential filters).  The splitter deals round-robin, so a
+// healthy pipeline shows near-equal loads — the shard-utilization
+// signal next to the metric set's window and reorder high-waters.
+func (p *Pipeline) ShardLoads() [][]int64 {
+	out := make([][]int64, len(p.shardLoads))
+	for i, row := range p.shardLoads {
+		if row == nil {
+			continue
+		}
+		out[i] = make([]int64, len(row))
+		for j, c := range row {
+			out[i][j] = c.Load()
+		}
+	}
+	return out
+}
 
 // Start sets the pipeline in motion.  In the read-only discipline
 // only the sink pump is strictly necessary — everything upstream is
@@ -177,22 +279,53 @@ func BuildPipeline(k *kernel.Kernel, d Discipline, src SourceFunc, fs []Filter, 
 	}
 }
 
-// buildReadOnly realises Figure 2: n+2 Ejects, data pulled end to end
-// by the sink; every inter-Eject link is a Transfer invocation.
+// addShardRow appends a filter's shard bookkeeping to the pipeline.
+func (p *Pipeline) addShardRow(uids []uid.UID, loads []*atomic.Int64, count int) {
+	p.ShardUIDs = append(p.ShardUIDs, uids)
+	p.ShardCounts = append(p.ShardCounts, count)
+	p.shardLoads = append(p.shardLoads, loads)
+}
+
+// buildReadOnly realises Figure 2: data pulled end to end by the sink;
+// every inter-Eject link is a Transfer invocation.  A sharded filter
+// becomes P parallel shard Ejects: the producer upstream of the row
+// declares P channels and deals sequence-tagged frames across them,
+// and the consumer downstream reassembles the sequential order.
 func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (*Pipeline, error) {
+	met := k.Metrics()
+	counts := shardCounts(fs, opt)
+	if err := validateShards(counts); err != nil {
+		return nil, err
+	}
 	p := &Pipeline{K: k, Discipline: ReadOnly}
-	inCfg := InPortConfig{Batch: opt.Batch, Prefetch: opt.Prefetch}
+	inCfg := InPortConfig{Batch: opt.Batch, Prefetch: opt.Prefetch, Window: opt.Window}
+	roCfg := func(name string, outs int) ROStageConfig {
+		return ROStageConfig{
+			Name:           name,
+			OutNames:       channelNames("Output", outs),
+			Anticipation:   opt.Anticipation,
+			CapabilityMode: opt.CapabilityMode,
+			LazyStart:      opt.LazyStart,
+		}
+	}
+	// width reports the fan-out a producer must declare toward the
+	// element after filter i (the sink is sequential).
+	width := func(i int) int {
+		if i < len(fs) {
+			return counts[i]
+		}
+		return 1
+	}
 
 	// Source.
 	srcUID := k.NewUID()
-	srcStage := NewROStage(k, ROStageConfig{
-		Name:           "source",
-		Anticipation:   opt.Anticipation,
-		CapabilityMode: opt.CapabilityMode,
-		LazyStart:      opt.LazyStart,
-	}, func(_ []ItemReader, outs []ItemWriter) error {
+	srcBody := func(_ []ItemReader, outs []ItemWriter) error {
 		return src(outs[0])
-	})
+	}
+	if width(0) > 1 {
+		srcBody = splitBody(met, srcBody)
+	}
+	srcStage := NewROStage(k, roCfg("source", width(0)), srcBody)
 	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
 		return nil, err
 	}
@@ -203,18 +336,57 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		p.starters = append(p.starters, srcStage)
 	}
 
-	prevUID, prevChan := srcUID, srcStage.Writer(0).ID()
+	prev := make([]endpoint, width(0))
+	for j := range prev {
+		prev[j] = endpoint{srcUID, srcStage.Writer(j).ID()}
+	}
 
 	// Filters.
 	for i, f := range fs {
+		if counts[i] > 1 {
+			// Sharded row: one stage Eject per shard, each on its own
+			// aligned link.
+			P := counts[i]
+			uids := make([]uid.UID, P)
+			loads := make([]*atomic.Int64, P)
+			next := make([]endpoint, P)
+			for j := 0; j < P; j++ {
+				fUID := k.NewUID()
+				in := NewInPort(k, fUID, prev[j].u, prev[j].c, inCfg)
+				loads[j] = new(atomic.Int64)
+				st := NewROStage(k, roCfg(fmt.Sprintf("%s#%d", f.Name, j), 1),
+					shardBody(met, loads[j], f.Body), in)
+				if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
+					return nil, err
+				}
+				uids[j] = fUID
+				p.FilterUIDs = append(p.FilterUIDs, fUID)
+				p.allUIDs = append(p.allUIDs, fUID)
+				p.stageErr = append(p.stageErr, st.Err)
+				if !opt.LazyStart {
+					p.starters = append(p.starters, st)
+				}
+				next[j] = endpoint{fUID, st.Writer(0).ID()}
+			}
+			p.addShardRow(uids, loads, P)
+			prev = next
+			continue
+		}
+		// Sequential filter: merges a sharded upstream, splits toward a
+		// sharded downstream.
 		fUID := k.NewUID()
-		in := NewInPort(k, fUID, prevUID, prevChan, inCfg)
-		st := NewROStage(k, ROStageConfig{
-			Name:           f.Name,
-			Anticipation:   opt.Anticipation,
-			CapabilityMode: opt.CapabilityMode,
-			LazyStart:      opt.LazyStart,
-		}, f.Body, in)
+		body := f.Body
+		if len(prev) > 1 {
+			body = mergeBody(met, body)
+		}
+		if width(i+1) > 1 {
+			body = splitBody(met, body)
+		}
+		ins := make([]ItemReader, len(prev))
+		for j := range prev {
+			ins[j] = NewInPort(k, fUID, prev[j].u, prev[j].c, inCfg)
+		}
+		st := NewROStage(k, roCfg(f.Name, width(i+1)), body, ins...)
 		if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 			return nil, err
 		}
@@ -224,15 +396,28 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		if !opt.LazyStart {
 			p.starters = append(p.starters, st)
 		}
-		prevUID, prevChan = fUID, st.Writer(0).ID()
+		p.addShardRow([]uid.UID{fUID}, nil, 1)
+		prev = make([]endpoint, width(i+1))
+		for j := range prev {
+			prev[j] = endpoint{fUID, st.Writer(j).ID()}
+		}
 	}
 
 	// Sink.
 	sinkUID := k.NewUID()
-	in := NewInPort(k, sinkUID, prevUID, prevChan, inCfg)
-	se := NewSinkEject("sink", func(ins []ItemReader) error {
+	ins := make([]ItemReader, len(prev))
+	for j := range prev {
+		ins[j] = NewInPort(k, sinkUID, prev[j].u, prev[j].c, inCfg)
+	}
+	sinkBody := func(ins []ItemReader) error {
 		return sink(ins[0])
-	}, in)
+	}
+	if len(prev) > 1 {
+		sinkBody = func(ins []ItemReader) error {
+			return sink(newShardMerger(met, ins))
+		}
+	}
+	se := NewSinkEject("sink", sinkBody, ins...)
 	if err := k.CreateWithUID(sinkUID, se, opt.node(RoleSink, 0)); err != nil {
 		return nil, err
 	}
@@ -247,19 +432,43 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 // buildWriteOnly realises the §5 dual: data pushed end to end by the
 // source; every link is a Deliver invocation.  Stages are wired tail
 // first because each needs its successor's UID (and, in capability
-// mode, channel UID).
+// mode, channel UID).  A sharded row's consumer declares one input
+// channel per shard and merges; its producer deals frames across the
+// row's channels.
 func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (*Pipeline, error) {
+	met := k.Metrics()
+	counts := shardCounts(fs, opt)
+	if err := validateShards(counts); err != nil {
+		return nil, err
+	}
 	p := &Pipeline{K: k, Discipline: WriteOnly}
-	woCfg := WOStageConfig{Capacity: opt.Anticipation, CapabilityMode: opt.CapabilityMode}
-	pushCfg := PusherConfig{Batch: opt.Batch}
+	woCfg := func(name string, ins int) WOStageConfig {
+		return WOStageConfig{
+			Name:           name,
+			InNames:        channelNames("Input", ins),
+			Capacity:       opt.Anticipation,
+			CapabilityMode: opt.CapabilityMode,
+		}
+	}
+	// upWidth reports the fan-in an element must declare toward the
+	// element before filter i (the source is sequential).
+	upWidth := func(i int) int {
+		if i > 0 {
+			return counts[i-1]
+		}
+		return 1
+	}
 
 	// Sink.
 	sinkUID := k.NewUID()
-	sinkCfg := woCfg
-	sinkCfg.Name = "sink"
-	sinkStage := NewWOStage(k, sinkCfg, func(ins []ItemReader, _ []ItemWriter) error {
+	lastP := upWidth(len(fs))
+	sinkBody := func(ins []ItemReader, _ []ItemWriter) error {
 		return sink(ins[0])
-	})
+	}
+	if lastP > 1 {
+		sinkBody = mergeBody(met, sinkBody)
+	}
+	sinkStage := NewWOStage(k, woCfg("sink", lastP), sinkBody)
 	if err := k.CreateWithUID(sinkUID, sinkStage, opt.node(RoleSink, 0)); err != nil {
 		return nil, err
 	}
@@ -269,15 +478,58 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 	p.sinkDone = sinkStage.Done()
 	p.sinkErr = sinkStage.Err
 
-	nextUID, nextChan := sinkUID, sinkStage.Reader(0).ID()
+	next := make([]endpoint, lastP)
+	for j := range next {
+		next[j] = endpoint{sinkUID, sinkStage.Reader(j).ID()}
+	}
+	shardRows := make([][]uid.UID, len(fs))
+	shardLoads := make([][]*atomic.Int64, len(fs))
 
 	// Filters, tail to head.
 	for i := len(fs) - 1; i >= 0; i-- {
+		f := fs[i]
+		if counts[i] > 1 {
+			P := counts[i]
+			uids := make([]uid.UID, P)
+			loads := make([]*atomic.Int64, P)
+			row := make([]endpoint, P)
+			rowUIDs := make([]uid.UID, 0, P)
+			for j := 0; j < P; j++ {
+				fUID := k.NewUID()
+				out := newActiveOut(k, fUID, next[j].u, next[j].c, opt)
+				loads[j] = new(atomic.Int64)
+				st := NewWOStage(k, woCfg(fmt.Sprintf("%s#%d", f.Name, j), 1),
+					shardBody(met, loads[j], f.Body), out)
+				if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
+					return nil, err
+				}
+				uids[j] = fUID
+				rowUIDs = append(rowUIDs, fUID)
+				p.allUIDs = append(p.allUIDs, fUID)
+				p.stageErr = append(p.stageErr, st.Err)
+				p.starters = append(p.starters, st)
+				row[j] = endpoint{fUID, st.Reader(0).ID()}
+			}
+			p.FilterUIDs = append(rowUIDs, p.FilterUIDs...)
+			shardRows[i] = uids
+			shardLoads[i] = loads
+			next = row
+			continue
+		}
 		fUID := k.NewUID()
-		push := NewPusher(k, fUID, nextUID, nextChan, pushCfg)
-		fCfg := woCfg
-		fCfg.Name = fs[i].Name
-		st := NewWOStage(k, fCfg, fs[i].Body, push)
+		body := f.Body
+		outs := make([]ItemWriter, len(next))
+		for j := range next {
+			outs[j] = newActiveOut(k, fUID, next[j].u, next[j].c, opt)
+		}
+		if len(next) > 1 {
+			body = splitBody(met, body)
+		}
+		inW := upWidth(i)
+		if inW > 1 {
+			body = mergeBody(met, body)
+		}
+		st := NewWOStage(k, woCfg(f.Name, inW), body, outs...)
 		if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 			return nil, err
 		}
@@ -285,15 +537,29 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 		p.allUIDs = append(p.allUIDs, fUID)
 		p.stageErr = append(p.stageErr, st.Err)
 		p.starters = append(p.starters, st)
-		nextUID, nextChan = fUID, st.Reader(0).ID()
+		shardRows[i] = []uid.UID{fUID}
+		next = make([]endpoint, inW)
+		for j := range next {
+			next[j] = endpoint{fUID, st.Reader(j).ID()}
+		}
+	}
+	for i := range fs {
+		p.addShardRow(shardRows[i], shardLoads[i], counts[i])
 	}
 
 	// Source: an Eject with active output only.
 	srcUID := k.NewUID()
-	push := NewPusher(k, srcUID, nextUID, nextChan, pushCfg)
-	srcStage := NewConvStage("source", func(_ []ItemReader, outs []ItemWriter) error {
+	outs := make([]ItemWriter, len(next))
+	for j := range next {
+		outs[j] = newActiveOut(k, srcUID, next[j].u, next[j].c, opt)
+	}
+	srcBody := func(_ []ItemReader, outs []ItemWriter) error {
 		return src(outs[0])
-	}, nil, []ItemWriter{push})
+	}
+	if len(next) > 1 {
+		srcBody = splitBody(met, srcBody)
+	}
+	srcStage := NewConvStage("source", srcBody, nil, outs)
 	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
 		return nil, err
 	}
@@ -306,35 +572,70 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 
 // buildBuffered realises Figure 1 inside Eden: every stage performs
 // active input and active output, with a PassiveBuffer Eject between
-// each pair — 2n+3 Ejects, 2n+2 invocations per datum.
+// each pair — 2n+3 Ejects and 2n+2 invocations per datum in the
+// sequential case.  A sharded link gets one buffer per shard, so the
+// paper's buffer overhead scales with the parallelism it feeds.
 func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (*Pipeline, error) {
-	p := &Pipeline{K: k, Discipline: Buffered}
-	inCfg := InPortConfig{Batch: opt.Batch, Prefetch: opt.Prefetch}
-	pushCfg := PusherConfig{Batch: opt.Batch}
-
-	// n+1 passive buffers.
-	n := len(fs)
-	bufUIDs := make([]uid.UID, n+1)
-	for i := range bufUIDs {
-		b := NewPassiveBuffer(k, PassiveBufferConfig{
-			Name:     fmt.Sprintf("pipe%d", i),
-			Capacity: opt.BufferCapacity,
-		})
-		id, err := k.Create(b, opt.node(RoleBuffer, i))
-		if err != nil {
-			return nil, err
-		}
-		bufUIDs[i] = id
+	met := k.Metrics()
+	counts := shardCounts(fs, opt)
+	if err := validateShards(counts); err != nil {
+		return nil, err
 	}
-	p.BufferUIDs = bufUIDs
-	p.allUIDs = append(p.allUIDs, bufUIDs...)
+	p := &Pipeline{K: k, Discipline: Buffered}
+	inCfg := InPortConfig{Batch: opt.Batch, Prefetch: opt.Prefetch, Window: opt.Window}
 
-	// Source pushes into buffer 0.
+	// Link i sits between element i and i+1 (elements: source, the
+	// filters, sink); its width is the shard count of its sharded
+	// side, 1 when both sides are sequential.
+	n := len(fs)
+	linkWidth := func(i int) int {
+		w := 1
+		if i > 0 && counts[i-1] > w {
+			w = counts[i-1]
+		}
+		if i < n && counts[i] > w {
+			w = counts[i]
+		}
+		return w
+	}
+	bufs := make([][]uid.UID, n+1)
+	bufIndex := 0
+	for i := range bufs {
+		w := linkWidth(i)
+		bufs[i] = make([]uid.UID, w)
+		for j := 0; j < w; j++ {
+			name := fmt.Sprintf("pipe%d", i)
+			if w > 1 {
+				name = fmt.Sprintf("pipe%d#%d", i, j)
+			}
+			b := NewPassiveBuffer(k, PassiveBufferConfig{
+				Name:     name,
+				Capacity: opt.BufferCapacity,
+			})
+			id, err := k.Create(b, opt.node(RoleBuffer, bufIndex))
+			if err != nil {
+				return nil, err
+			}
+			bufs[i][j] = id
+			bufIndex++
+		}
+		p.BufferUIDs = append(p.BufferUIDs, bufs[i]...)
+	}
+	p.allUIDs = append(p.allUIDs, p.BufferUIDs...)
+
+	// Source pushes into link 0.
 	srcUID := k.NewUID()
-	srcPush := NewPusher(k, srcUID, bufUIDs[0], Chan(0), pushCfg)
-	srcStage := NewConvStage("source", func(_ []ItemReader, outs []ItemWriter) error {
+	srcOuts := make([]ItemWriter, len(bufs[0]))
+	for j, b := range bufs[0] {
+		srcOuts[j] = newActiveOut(k, srcUID, b, Chan(0), opt)
+	}
+	srcBody := func(_ []ItemReader, outs []ItemWriter) error {
 		return src(outs[0])
-	}, nil, []ItemWriter{srcPush})
+	}
+	if len(srcOuts) > 1 {
+		srcBody = splitBody(met, srcBody)
+	}
+	srcStage := NewConvStage("source", srcBody, nil, srcOuts)
 	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
 		return nil, err
 	}
@@ -343,13 +644,49 @@ func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 	p.stageErr = append(p.stageErr, srcStage.Err)
 	p.starters = append(p.starters, srcStage)
 
-	// Filters: active input from buffer i, active output to buffer
-	// i+1.
+	// Filters: active input from link i, active output to link i+1.
 	for i, f := range fs {
+		if counts[i] > 1 {
+			P := counts[i]
+			uids := make([]uid.UID, P)
+			loads := make([]*atomic.Int64, P)
+			for j := 0; j < P; j++ {
+				fUID := k.NewUID()
+				in := NewInPort(k, fUID, bufs[i][j], Chan(0), inCfg)
+				out := newActiveOut(k, fUID, bufs[i+1][j], Chan(0), opt)
+				loads[j] = new(atomic.Int64)
+				st := NewConvStage(fmt.Sprintf("%s#%d", f.Name, j),
+					shardBody(met, loads[j], f.Body),
+					[]ItemReader{in}, []ItemWriter{out})
+				if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
+					return nil, err
+				}
+				uids[j] = fUID
+				p.FilterUIDs = append(p.FilterUIDs, fUID)
+				p.allUIDs = append(p.allUIDs, fUID)
+				p.stageErr = append(p.stageErr, st.Err)
+				p.starters = append(p.starters, st)
+			}
+			p.addShardRow(uids, loads, P)
+			continue
+		}
 		fUID := k.NewUID()
-		in := NewInPort(k, fUID, bufUIDs[i], Chan(0), inCfg)
-		push := NewPusher(k, fUID, bufUIDs[i+1], Chan(0), pushCfg)
-		st := NewConvStage(f.Name, f.Body, []ItemReader{in}, []ItemWriter{push})
+		body := f.Body
+		ins := make([]ItemReader, len(bufs[i]))
+		for j, b := range bufs[i] {
+			ins[j] = NewInPort(k, fUID, b, Chan(0), inCfg)
+		}
+		outs := make([]ItemWriter, len(bufs[i+1]))
+		for j, b := range bufs[i+1] {
+			outs[j] = newActiveOut(k, fUID, b, Chan(0), opt)
+		}
+		if len(ins) > 1 {
+			body = mergeBody(met, body)
+		}
+		if len(outs) > 1 {
+			body = splitBody(met, body)
+		}
+		st := NewConvStage(f.Name, body, ins, outs)
 		if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 			return nil, err
 		}
@@ -357,14 +694,24 @@ func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		p.allUIDs = append(p.allUIDs, fUID)
 		p.stageErr = append(p.stageErr, st.Err)
 		p.starters = append(p.starters, st)
+		p.addShardRow([]uid.UID{fUID}, nil, 1)
 	}
 
-	// Sink pulls from the last buffer.
+	// Sink pulls from the last link.
 	sinkUID := k.NewUID()
-	in := NewInPort(k, sinkUID, bufUIDs[n], Chan(0), inCfg)
-	se := NewSinkEject("sink", func(ins []ItemReader) error {
+	ins := make([]ItemReader, len(bufs[n]))
+	for j, b := range bufs[n] {
+		ins[j] = NewInPort(k, sinkUID, b, Chan(0), inCfg)
+	}
+	sinkBody := func(ins []ItemReader) error {
 		return sink(ins[0])
-	}, in)
+	}
+	if len(ins) > 1 {
+		sinkBody = func(ins []ItemReader) error {
+			return sink(newShardMerger(met, ins))
+		}
+	}
+	se := NewSinkEject("sink", sinkBody, ins...)
 	if err := k.CreateWithUID(sinkUID, se, opt.node(RoleSink, 0)); err != nil {
 		return nil, err
 	}

@@ -32,9 +32,11 @@ func TestPipelinePreservesArbitraryData(t *testing.T) {
 			v[2] = reflect.ValueOf(r.Intn(3))     // discipline
 			v[3] = reflect.ValueOf(r.Intn(9) + 1) // batch
 			v[4] = reflect.ValueOf(r.Intn(3))     // prefetch
+			v[5] = reflect.ValueOf(r.Intn(4) + 1) // shards
+			v[6] = reflect.ValueOf(r.Intn(4) + 1) // window
 		},
 	}
-	f := func(items [][]byte, n, disc, batch, pref int) bool {
+	f := func(items [][]byte, n, disc, batch, pref, shards, window int) bool {
 		k := testKernel(t)
 		var fs []Filter
 		for i := 0; i < n; i++ {
@@ -74,7 +76,9 @@ func TestPipelinePreservesArbitraryData(t *testing.T) {
 				got = append(got, item)
 			}
 		}
-		p, err := BuildPipeline(k, Discipline(disc), src, fs, sink, Options{Batch: batch, Prefetch: pref})
+		p, err := BuildPipeline(k, Discipline(disc), src, fs, sink, Options{
+			Batch: batch, Prefetch: pref, Shards: shards, Window: window,
+		})
 		if err != nil {
 			t.Log(err)
 			return false
@@ -84,7 +88,8 @@ func TestPipelinePreservesArbitraryData(t *testing.T) {
 			return false
 		}
 		if len(got) != len(items) {
-			t.Logf("disc=%d n=%d: got %d items, want %d", disc, n, len(got), len(items))
+			t.Logf("disc=%d n=%d shards=%d window=%d: got %d items, want %d",
+				disc, n, shards, window, len(got), len(items))
 			return false
 		}
 		for i := range items {

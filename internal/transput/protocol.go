@@ -184,6 +184,12 @@ type TransferReply struct {
 	Status Status
 	// AbortMsg holds the reason when Status is StatusAborted.
 	AbortMsg string
+	// Base is the stream offset of Items[0]: the count of items the
+	// channel had served before this reply.  A windowed reader (several
+	// Transfer invocations in flight at once) uses Base to reassemble
+	// batches in stream order; with a single outstanding Transfer the
+	// field is redundant and ignored.
+	Base int64
 }
 
 // DeliverRequest pushes data at a sink (active output).
@@ -192,6 +198,15 @@ type DeliverRequest struct {
 	Items   [][]byte
 	// End marks this writer's final delivery.  Items may accompany it.
 	End bool
+	// Writer identifies the active-output port when it keeps several
+	// Deliver invocations in flight (the windowed WOOutPort).  The sink
+	// serialises deliveries per writer by Seq, so concurrency cannot
+	// reorder the stream.  A nil Writer (the classic Pusher, one
+	// outstanding Deliver) bypasses sequencing entirely.
+	Writer uid.UID
+	// Seq numbers this writer's deliveries from 0; the End delivery
+	// carries the final sequence number.  Ignored when Writer is nil.
+	Seq uint64
 }
 
 // DeliverReply acknowledges a delivery (passive input).  The reply is
@@ -200,6 +215,12 @@ type DeliverRequest struct {
 type DeliverReply struct {
 	Status   Status
 	AbortMsg string
+	// Credits is the passive side's flow-control grant: how many more
+	// items it could buffer without blocking, measured after this
+	// delivery was absorbed.  A windowed writer shrinks its in-flight
+	// window when credits run low so it does not park sink workers.
+	// Unbounded sinks report a large value.
+	Credits int
 }
 
 // ChannelsRequest asks an Eject to advertise its channels.

@@ -60,14 +60,44 @@ func (p *InPort) Redirect(source uid.UID, channel ChannelID, msg string) error {
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	// Salvage data the puller had already fetched before the abort
+	// Salvage data the pullers had already fetched before the abort
 	// reached the old source — arrived data is kept, per the contract.
 	if oldAhead != nil {
-		for res := range oldAhead {
-			if res.err == nil {
+		if p.window > 1 {
+			// Windowed: batches arrive out of order, so reassemble the
+			// contiguous prefix from the expected offset.  A batch
+			// beyond a gap is indistinguishable from one that never
+			// arrived (its predecessor was lost to the abort), so it is
+			// discarded rather than surfaced out of order.
+			for res := range oldAhead {
+				if res.err != nil {
+					continue
+				}
+				if old, ok := p.reorder[res.base]; ok && old.rep != nil {
+					releaseTransferReply(old.rep)
+				}
+				p.reorder[res.base] = res
+			}
+			for {
+				res, ok := p.reorder[p.nextBase]
+				if !ok || len(res.items) == 0 {
+					break
+				}
+				delete(p.reorder, p.nextBase)
 				p.pending = append(p.pending, res.items...)
 				if res.rep != nil {
 					releaseTransferReply(res.rep)
+				}
+				p.nextBase += int64(len(res.items))
+			}
+			p.releaseReorderLocked()
+		} else {
+			for res := range oldAhead {
+				if res.err == nil {
+					p.pending = append(p.pending, res.items...)
+					if res.rep != nil {
+						releaseTransferReply(res.rep)
+					}
 				}
 			}
 		}
@@ -77,6 +107,12 @@ func (p *InPort) Redirect(source uid.UID, channel ChannelID, msg string) error {
 	p.req.Channel = channel // the reused request must follow the retarget
 	p.done = false
 	p.err = nil
+	if p.window > 1 {
+		// The new stream has its own offsets: re-anchor via a fresh
+		// probe on the next read.
+		p.nextBase = -1
+		p.streamLen = -1
+	}
 	return nil
 }
 

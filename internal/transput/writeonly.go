@@ -89,6 +89,13 @@ type woChannel struct {
 	ends         int
 	abortErr     *AbortedError
 
+	// writerSeqs orders concurrent deliveries from windowed writers: a
+	// Deliver carrying a Writer UID is held (cond-wait) until its Seq is
+	// the writer's next expected one, so a window of K in-flight
+	// Delivers cannot reorder the stream.  Legacy writers (nil Writer,
+	// one outstanding Deliver) bypass the map entirely.
+	writerSeqs map[uid.UID]uint64
+
 	deliversServed int64
 	itemsIn        int64
 }
@@ -158,6 +165,17 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 	}
 
 	ch.mu.Lock()
+	if !req.Writer.IsNil() {
+		// Windowed writer: hold this delivery until it is the writer's
+		// next in sequence.  The parked kernel worker is the window's
+		// cost; MaxWindow keeps it below the pool size.
+		if ch.writerSeqs == nil {
+			ch.writerSeqs = make(map[uid.UID]uint64)
+		}
+		for ch.writerSeqs[req.Writer] != req.Seq && ch.abortErr == nil {
+			ch.cond.Wait()
+		}
+	}
 	for _, item := range req.Items {
 		for ch.buffered() >= ch.capacity && ch.abortErr == nil {
 			ch.cond.Wait()
@@ -178,18 +196,48 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 		ch.ends++
 		ch.cond.Broadcast()
 	}
+	if !req.Writer.IsNil() {
+		if req.End {
+			delete(ch.writerSeqs, req.Writer)
+		} else {
+			ch.writerSeqs[req.Writer] = req.Seq + 1
+		}
+		ch.cond.Broadcast()
+	}
 	ch.deliversServed++
 	ch.itemsIn += int64(len(req.Items))
+	credits := ch.capacity - ch.buffered()
+	if credits < 0 {
+		credits = 0
+	}
 	ch.mu.Unlock()
 
 	p.met.ItemsMoved.Add(int64(len(req.Items)))
-	inv.Reply(deliverReplyOK)
+	rep := acquireDeliverReply()
+	rep.Credits = credits
+	inv.Reply(rep)
 }
 
-// deliverReplyOK is the shared success reply for Deliver.  It is
-// immutable (readers only inspect Status), so every successful
-// delivery reuses it instead of allocating a fresh reply record.
-var deliverReplyOK = &DeliverReply{Status: StatusOK}
+// deliverReplyPool recycles successful Deliver replies.  The server
+// acquires one per delivery (replies now carry per-delivery Credits so
+// a shared immutable record no longer works); the client releases it
+// after reading Status and Credits.  Replies that cross a
+// gob-encoding node boundary fall to the GC — the pool is best-effort.
+var deliverReplyPool = sync.Pool{New: func() any { return new(DeliverReply) }}
+
+// acquireDeliverReply takes a recycled (or fresh) OK reply.
+func acquireDeliverReply() *DeliverReply {
+	rep := deliverReplyPool.Get().(*DeliverReply)
+	rep.Status = StatusOK
+	rep.AbortMsg = ""
+	rep.Credits = 0
+	return rep
+}
+
+// releaseDeliverReply recycles a reply the client has absorbed.
+func releaseDeliverReply(rep *DeliverReply) {
+	deliverReplyPool.Put(rep)
+}
 
 // ServeAbort handles OpAbort against an input channel.
 func (p *WOInPort) ServeAbort(inv *kernel.Invocation) {
@@ -393,8 +441,9 @@ func (w *Pusher) flushLocked(end bool) error {
 		return fmt.Errorf("transput: bad Deliver reply type %T", raw)
 	}
 	if rep.Status != StatusOK {
-		return statusErr(rep.Status, rep.AbortMsg)
+		return statusErr(rep.Status, rep.AbortMsg) // copies the message
 	}
+	releaseDeliverReply(rep)
 	return nil
 }
 
