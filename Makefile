@@ -32,8 +32,9 @@ bench:
 	$(GO) test -run XXX -bench BenchmarkPipelineThroughput -benchtime 500ms ./internal/transput/
 
 ## bench-json: regenerate the committed measurement files —
-## BENCH_kernel.json (Figure 1/2 pipeline costs) and
-## BENCH_transput.json (the parallel engine's shards × window grid).
+## BENCH_kernel.json (Figure 1/2 pipeline costs), BENCH_transput.json
+## (the parallel engine's shards × window grid) and BENCH_codec.json
+## (gob vs wire codec costs and the fixed vs adaptive batching grid).
 bench-json:
 	$(GO) run ./cmd/transput-bench -json
 

@@ -12,9 +12,11 @@
 //	transput-bench -check          # verify the paper's counting claims — sequential AND
 //	                               # sharded/windowed pipelines; exit 1 on violation
 //	transput-bench -json           # write BENCH_kernel.json (ns/op, allocs/op, inv/datum
-//	                               # for the four Figure 1/2 pipeline shapes) and
+//	                               # for the four Figure 1/2 pipeline shapes),
 //	                               # BENCH_transput.json (the parallel engine's
-//	                               # shards × window scaling grid)
+//	                               # shards × window scaling grid) and
+//	                               # BENCH_codec.json (gob vs wire codec costs and the
+//	                               # fixed vs adaptive batching grid)
 package main
 
 import (
@@ -33,9 +35,10 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		items = flag.Int("items", 0, "override stream length per run")
 		check = flag.Bool("check", false, "verify the paper's counting claims and exit")
-		jsonl = flag.Bool("json", false, "write machine-readable pipeline costs to -json-out and -json-out-transput, then exit")
+		jsonl = flag.Bool("json", false, "write machine-readable pipeline costs to -json-out, -json-out-transput and -json-out-codec, then exit")
 		jout  = flag.String("json-out", "BENCH_kernel.json", "output path for the -json kernel costs")
 		tout  = flag.String("json-out-transput", "BENCH_transput.json", "output path for the -json parallel-engine grid")
+		cout  = flag.String("json-out-codec", "BENCH_codec.json", "output path for the -json codec and batching grids")
 		jn    = flag.Int("json-n", 4, "filter count for the -json pipelines")
 	)
 	flag.Parse()
@@ -55,6 +58,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (items=%d)\n", *tout, p.Items)
+		if err := experiments.WriteCodecBenchJSON(*cout, *jn, p.Items); err != nil {
+			fmt.Fprintln(os.Stderr, "transput-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (n=%d, items=%d)\n", *cout, *jn, p.Items)
 		return
 	}
 

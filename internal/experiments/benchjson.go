@@ -24,6 +24,10 @@ type BenchRecord struct {
 	AllocsPerOp         float64 `json:"allocs_per_op"`
 	InvocationsPerDatum float64 `json:"invocations_per_datum"`
 	ItemsPerSecond      float64 `json:"items_per_second"`
+	// Batching names the link batching configuration: "fixed-K" or
+	// "adaptive[min,max]" (empty for the Unix baseline, which has no
+	// invocation batching).
+	Batching string `json:"batching,omitempty"`
 }
 
 // BenchReport is the document transput-bench -json emits.
@@ -76,21 +80,31 @@ func RunBenchJSON(n, items int) (BenchReport, error) {
 	rep.Records[len(rep.Records)-1].AllocsPerOp = float64(uAllocs) / float64(ures.Items)
 
 	for _, d := range []struct {
-		name string
-		disc transput.Discipline
+		name  string
+		disc  transput.Discipline
+		opt   transput.Options
+		batch string
 	}{
-		{"E2-readonly", transput.ReadOnly},
-		{"E3-buffered", transput.Buffered},
-		{"E4-writeonly", transput.WriteOnly},
+		// Headline figures run the adaptive data plane — the AIMD
+		// batch controller is what the engine ships with.
+		{"E2-readonly", transput.ReadOnly, transput.Options{BatchMin: 1, BatchMax: 64}, "adaptive[1,64]"},
+		{"E3-buffered", transput.Buffered, transput.Options{BatchMin: 1, BatchMax: 64}, "adaptive[1,64]"},
+		{"E4-writeonly", transput.WriteOnly, transput.Options{BatchMin: 1, BatchMax: 64}, "adaptive[1,64]"},
+		// The paper's batch-1 accounting and a fixed mid-size batch,
+		// kept for the before/after table in DESIGN.md §8.
+		{"E2-readonly-batch1", transput.ReadOnly, transput.Options{}, "fixed-1"},
+		{"E2-readonly-batch4", transput.ReadOnly, transput.Options{Batch: 4}, "fixed-4"},
 	} {
 		before := mallocs()
-		res, err := RunLinear(d.disc, n, items, transput.Options{})
+		res, err := RunLinear(d.disc, n, items, d.opt)
 		if err != nil {
 			return rep, fmt.Errorf("bench %s: %w", d.name, err)
 		}
 		allocs := mallocs() - before
 		add(d.name, d.disc.String(), res, res.PerDatum())
-		rep.Records[len(rep.Records)-1].AllocsPerOp = float64(allocs) / float64(res.Items)
+		rec := &rep.Records[len(rep.Records)-1]
+		rec.AllocsPerOp = float64(allocs) / float64(res.Items)
+		rec.Batching = d.batch
 	}
 	return rep, nil
 }

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"asymstream/internal/transput"
+	"asymstream/internal/wire"
+)
+
+// Codec benchmark: the data-plane measurements behind DESIGN.md §8.
+// Two grids in one report.  The codec grid prices one encode/decode
+// round of a representative payload under the old per-item gob session
+// and the compact wire codec.  The batching grid prices the E2
+// read-only pipeline across fixed batch sizes and the adaptive AIMD
+// controller, so the BENCH_codec.json artifact shows both halves of
+// the zero-copy data plane: cheaper frames and fewer invocations.
+
+// CodecCost prices one payload shape under one codec.
+type CodecCost struct {
+	Codec         string  `json:"codec"`   // "gob" or "wire"
+	Payload       string  `json:"payload"` // payload shape
+	EncodeNsPerOp float64 `json:"encode_ns_per_op"`
+	DecodeNsPerOp float64 `json:"decode_ns_per_op"`
+	WireBytes     int     `json:"wire_bytes"`
+}
+
+// BatchCost is one E2 read-only pipeline run at one batching
+// configuration.
+type BatchCost struct {
+	Mode                string  `json:"mode"`  // "fixed" or "adaptive"
+	Batch               int     `json:"batch"` // fixed size, or the adaptive ceiling
+	NsPerOp             float64 `json:"ns_per_op"`
+	InvocationsPerDatum float64 `json:"invocations_per_datum"`
+	ItemsPerSecond      float64 `json:"items_per_second"`
+}
+
+// CodecBenchReport is the document behind BENCH_codec.json.
+type CodecBenchReport struct {
+	Filters int         `json:"filters"`
+	Items   int         `json:"items"`
+	Codecs  []CodecCost `json:"codecs"`
+	Batches []BatchCost `json:"batches"`
+}
+
+// measureNs times fn over iters runs after one warm-up call.
+func measureNs(iters int, fn func()) float64 {
+	fn()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// codecPayloads builds the two shapes that dominate link traffic: a
+// single pipeline line and a full Transfer reply carrying a batch.
+func codecPayloads() (line []byte, rep *transput.TransferReply) {
+	line = []byte("line 1234567\n")
+	items := make([][]byte, 16)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("line %d\n", i))
+	}
+	return line, &transput.TransferReply{Items: items, Status: transput.StatusOK, Base: 64}
+}
+
+// codecGrid prices the payload shapes under both codecs.  The gob
+// figures are measured the way the pre-wire data plane paid them — a
+// fresh encoder/decoder per item, the cost of a self-describing stream
+// restarted on every hop.
+func codecGrid() []CodecCost {
+	const iters = 20000
+	line, rep := codecPayloads()
+	var out []CodecCost
+
+	for _, shape := range []struct {
+		name   string
+		v      any
+		encGob func(*bytes.Buffer) error
+		decGob func(*bytes.Reader) error
+	}{
+		{"line", line,
+			func(b *bytes.Buffer) error { return gob.NewEncoder(b).Encode(line) },
+			func(r *bytes.Reader) error {
+				var v []byte
+				return gob.NewDecoder(r).Decode(&v)
+			}},
+		{"transfer-reply-16", rep,
+			func(b *bytes.Buffer) error { return gob.NewEncoder(b).Encode(rep) },
+			func(r *bytes.Reader) error {
+				var v transput.TransferReply
+				return gob.NewDecoder(r).Decode(&v)
+			}},
+	} {
+		var gbuf bytes.Buffer
+		_ = shape.encGob(&gbuf)
+		gobBytes := gbuf.Len()
+		encGob := measureNs(iters, func() {
+			gbuf.Reset()
+			_ = shape.encGob(&gbuf)
+		})
+		gobFrame := append([]byte(nil), gbuf.Bytes()...)
+		decGob := measureNs(iters, func() {
+			_ = shape.decGob(bytes.NewReader(gobFrame))
+		})
+		out = append(out, CodecCost{
+			Codec: "gob", Payload: shape.name,
+			EncodeNsPerOp: encGob, DecodeNsPerOp: decGob, WireBytes: gobBytes,
+		})
+
+		buf := make([]byte, 0, 4096)
+		frame, err := wire.Append(buf[:0], shape.v)
+		if err != nil {
+			continue
+		}
+		wireBytes := len(frame)
+		boxed := shape.v
+		encWire := measureNs(iters, func() {
+			_, _ = wire.Append(buf[:0], boxed)
+		})
+		wireFrame := append([]byte(nil), frame...)
+		decWire := measureNs(iters, func() {
+			_, _, _ = wire.Decode(wireFrame)
+		})
+		out = append(out, CodecCost{
+			Codec: "wire", Payload: shape.name,
+			EncodeNsPerOp: encWire, DecodeNsPerOp: decWire, WireBytes: wireBytes,
+		})
+	}
+	return out
+}
+
+// batchGrid prices the E2 read-only pipeline at fixed batch sizes and
+// under the adaptive controller.
+func batchGrid(n, items int) ([]BatchCost, error) {
+	var out []BatchCost
+	run := func(mode string, batch int, opt transput.Options) error {
+		res, err := RunLinear(transput.ReadOnly, n, items, opt)
+		if err != nil {
+			return fmt.Errorf("codec bench %s/%d: %w", mode, batch, err)
+		}
+		bc := BatchCost{
+			Mode: mode, Batch: batch,
+			InvocationsPerDatum: res.PerDatum(),
+			ItemsPerSecond:      res.Throughput(),
+		}
+		if res.Items > 0 {
+			bc.NsPerOp = float64(res.Elapsed.Nanoseconds()) / float64(res.Items)
+		}
+		out = append(out, bc)
+		return nil
+	}
+	for _, b := range []int{1, 4, 16} {
+		opt := transput.Options{Batch: b}
+		if err := run("fixed", b, opt); err != nil {
+			return out, err
+		}
+	}
+	for _, b := range []int{16, 64} {
+		opt := transput.Options{BatchMin: 1, BatchMax: b}
+		if err := run("adaptive", b, opt); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// RunCodecBenchJSON assembles the codec and batching grids.
+func RunCodecBenchJSON(n, items int) (CodecBenchReport, error) {
+	rep := CodecBenchReport{Filters: n, Items: items, Codecs: codecGrid()}
+	batches, err := batchGrid(n, items)
+	rep.Batches = batches
+	return rep, err
+}
+
+// WriteCodecBenchJSON runs RunCodecBenchJSON and writes the report to
+// path as indented JSON.
+func WriteCodecBenchJSON(path string, n, items int) error {
+	rep, err := RunCodecBenchJSON(n, items)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -83,7 +83,9 @@ func newKernel() *kernel.Kernel {
 func counterSource(items int) transput.SourceFunc {
 	return func(out transput.ItemWriter) error {
 		for i := 0; i < items; i++ {
-			if err := out.Put([]byte(fmt.Sprintf("line %d\n", i))); err != nil {
+			// Each line is a fresh buffer; transfer it instead of
+			// having the output port copy it again.
+			if err := transput.PutOwned(out, []byte(fmt.Sprintf("line %d\n", i))); err != nil {
 				return err
 			}
 		}

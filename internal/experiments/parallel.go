@@ -144,6 +144,19 @@ func VerifyParallel(p Params) []string {
 				fail("%v n=%d shards=%d window=%d: %.3f inv/datum, want %.3f ± %.3f",
 					d, n, P, W, sh.PerDatum(), wantPer, slack)
 			}
+
+			// Adaptive batching on top of sharding and windowing must
+			// still deliver the byte-identical stream: the controller
+			// changes invocation counts, never data.
+			_, adDig, err := RunLinearDigest(d, n, p.Items,
+				transput.Options{Shards: P, Window: W, BatchMin: 1, BatchMax: 32})
+			if err != nil {
+				fail("%v n=%d adaptive: %v", d, n, err)
+				continue
+			}
+			if adDig != baseDig {
+				fail("%v n=%d shards=%d window=%d adaptive: sink output differs from sequential", d, n, P, W)
+			}
 		}
 	}
 	return bad

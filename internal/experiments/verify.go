@@ -32,6 +32,21 @@ func Verify(p Params) []string {
 			fail("read-only n=%d: %.3f inv/datum, paper predicts %d", n, ro.PerDatum(), n+1)
 		}
 
+		// The adaptive data plane pinned to the paper's accounting
+		// (BatchMin = BatchMax = 1) must reproduce the same figure:
+		// the AIMD controller changes how many invocations carry the
+		// stream, never what the batch-1 model predicts.
+		pin, err := RunLinear(transput.ReadOnly, n, p.Items,
+			transput.Options{BatchMin: 1, BatchMax: 1})
+		if err != nil {
+			fail("pinned read-only n=%d: %v", n, err)
+			continue
+		}
+		if d := math.Abs(pin.PerDatum() - float64(n+1)); d > 0.2 {
+			fail("pinned read-only n=%d: %.3f inv/datum, paper predicts %d (adaptive controller at batch 1)",
+				n, pin.PerDatum(), n+1)
+		}
+
 		// §4 baseline: 2n+2 and 2n+3.
 		bu, err := RunLinear(transput.Buffered, n, p.Items, transput.Options{})
 		if err != nil {

@@ -52,7 +52,10 @@ func Map(fn func(item []byte) [][]byte) transput.Body {
 	return func(ins []transput.ItemReader, outs []transput.ItemWriter) error {
 		return forEach(ins[0], func(item []byte) error {
 			for _, out := range fn(item) {
-				if err := outs[0].Put(out); err != nil {
+				// The body owns items surfaced by Next and anything fn
+				// derives from them, so hand ownership downstream: a
+				// writer that can store the slice itself skips the copy.
+				if err := transput.PutOwned(outs[0], out); err != nil {
 					return err
 				}
 			}

@@ -105,12 +105,33 @@ type Set struct {
 	// ShardFrames counts framed items (data, punctuation, epilogue)
 	// moved across sharded pipeline links by the parallel engine.
 	ShardFrames Counter
+	// WireFramesEncoded counts payloads pushed through the compact wire
+	// codec on cross-node hops (gob-fallback encodes are included; the
+	// codec wraps them in a tagged frame too).
+	WireFramesEncoded Counter
+	// WireBytesSaved counts payload bytes handed across a port boundary
+	// by ownership transfer (PutOwned / zero-copy Deliver absorption)
+	// instead of being copied — the data plane's copy-elision meter.
+	WireBytesSaved Counter
+	// SlabRetained / SlabReleased count references taken on and dropped
+	// from refcounted slab views (frame buffers carved from arenas).
+	// At quiescence the two are equal; the difference is the number of
+	// live views.
+	SlabRetained Counter
+	SlabReleased Counter
+	// SlabLeaked counts views still outstanding when their slab was
+	// closed (pipeline teardown) — the refcount-audit failure counter.
+	// It stays zero when every drop path releases its views.
+	SlabLeaked Counter
 	// WindowDepthHighWater tracks the peak number of concurrently
 	// outstanding Transfer/Deliver invocations on any windowed port.
 	WindowDepthHighWater HighWater
 	// MergeReorderHighWater tracks the peak number of frames held back
 	// by an order-preserving shard merger (stash + ready queue).
 	MergeReorderHighWater HighWater
+	// BatchSizeHighWater tracks the largest batch size any adaptive
+	// per-link AIMD controller reached (Transfer Max / Deliver batch).
+	BatchSizeHighWater HighWater
 }
 
 // Snapshot is a point-in-time copy of every counter in a Set.
@@ -140,8 +161,14 @@ var fieldTable = []struct {
 	{"deliver_invocations", func(s *Set) int64 { return s.DeliverInvocations.Value() }},
 	{"items_moved", func(s *Set) int64 { return s.ItemsMoved.Value() }},
 	{"shard_frames", func(s *Set) int64 { return s.ShardFrames.Value() }},
+	{"wire_frames_encoded", func(s *Set) int64 { return s.WireFramesEncoded.Value() }},
+	{"wire_bytes_saved", func(s *Set) int64 { return s.WireBytesSaved.Value() }},
+	{"slab_retained", func(s *Set) int64 { return s.SlabRetained.Value() }},
+	{"slab_released", func(s *Set) int64 { return s.SlabReleased.Value() }},
+	{"slab_leaked", func(s *Set) int64 { return s.SlabLeaked.Value() }},
 	{"window_depth_hw", func(s *Set) int64 { return s.WindowDepthHighWater.Value() }},
 	{"merge_reorder_hw", func(s *Set) int64 { return s.MergeReorderHighWater.Value() }},
+	{"batch_size_hw", func(s *Set) int64 { return s.BatchSizeHighWater.Value() }},
 }
 
 // Snapshot captures the current value of every counter.

@@ -100,7 +100,9 @@ func TestSnapshotCoversEveryCounter(t *testing.T) {
 		"replies", "process_switches", "bytes_moved", "wire_bytes",
 		"activations", "checkpoints", "syscalls", "ejects_created",
 		"transfer_invocations", "deliver_invocations", "items_moved",
-		"shard_frames", "window_depth_hw", "merge_reorder_hw",
+		"shard_frames", "wire_frames_encoded", "wire_bytes_saved",
+		"slab_retained", "slab_released", "slab_leaked",
+		"window_depth_hw", "merge_reorder_hw", "batch_size_hw",
 	}
 	if len(snap.Values) != len(want) {
 		t.Fatalf("snapshot has %d counters, want %d", len(snap.Values), len(want))

@@ -16,8 +16,6 @@
 package netsim
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -26,6 +24,7 @@ import (
 	"time"
 
 	"asymstream/internal/metrics"
+	"asymstream/internal/wire"
 )
 
 // NodeID names a simulated machine.  Node 0 always exists.
@@ -60,9 +59,11 @@ type Config struct {
 	// size/BytesPerSecond to cross-node messages, modelling link
 	// bandwidth (10 Mbit/s ≈ 1.25e6 bytes/s in the prototype).
 	BytesPerSecond int64
-	// EncodePayloads pushes every cross-node payload through gob and
-	// back, so the measurement includes real serialisation work and
-	// WireBytes is meaningful.  Payload types must be gob-registered.
+	// EncodePayloads pushes every cross-node payload through the
+	// compact wire codec (gob for unregistered types) and back, so the
+	// measurement includes real serialisation work and WireBytes is
+	// honest: the exact frame size — header plus payload — that would
+	// cross the Ethernet.
 	EncodePayloads bool
 	// DropRate is the probability in [0,1) that a cross-node message
 	// is lost (the send returns ErrDropped).  Tests only.
@@ -235,23 +236,24 @@ func (n *Network) Transmit(a, b NodeID, payload any) (any, int64, error) {
 	}
 
 	out := payload
-	var wire int64
+	var wireBytes int64
 	if n.cfg.EncodePayloads {
-		// The gob round trip lives in its own function: Encode takes
-		// the payload's address, and doing that here would move the
-		// parameter to the heap on every call — one hidden allocation
-		// per hop even with encoding off.
+		// The codec round trip lives in its own function: the gob
+		// fallback takes the payload's address, and doing that here
+		// would move the parameter to the heap on every call — one
+		// hidden allocation per hop even with encoding off.
 		var err error
-		out, wire, err = n.encodeRoundTrip(payload)
+		out, wireBytes, err = n.encodeRoundTrip(payload)
 		if err != nil {
 			return nil, 0, err
 		}
-		n.met.WireBytes.Add(wire)
+		n.met.WireBytes.Add(wireBytes)
+		n.met.WireFramesEncoded.Inc()
 	}
 
 	delay := n.cfg.CrossLatency
-	if n.cfg.BytesPerSecond > 0 && wire > 0 {
-		delay += time.Duration(wire * int64(time.Second) / n.cfg.BytesPerSecond)
+	if n.cfg.BytesPerSecond > 0 && wireBytes > 0 {
+		delay += time.Duration(wireBytes * int64(time.Second) / n.cfg.BytesPerSecond)
 	}
 	if delay > 0 {
 		time.Sleep(delay)
@@ -262,29 +264,34 @@ func (n *Network) Transmit(a, b NodeID, payload any) (any, int64, error) {
 
 	m := &n.meters[n.pairIndex(a, b)]
 	m.messages.Add(1)
-	m.bytes.Add(wire)
-	return out, wire, nil
+	m.bytes.Add(wireBytes)
+	return out, wireBytes, nil
 }
 
-// encodeRoundTrip pushes payload through gob and back, charging the
-// encoded size as wire bytes.
+// wireReleaser is implemented by records whose payload items are
+// refcounted slab views: once the encoded copy is on the wire the
+// sender-side views are dead weight and can go back to their slab.
+type wireReleaser interface{ ReleaseWirePayload() }
+
+// encodeRoundTrip pushes payload through the wire codec and back,
+// charging the encoded frame size — header plus payload, the bytes
+// that would actually cross the Ethernet — as wire bytes.
 func (n *Network) encodeRoundTrip(payload any) (any, int64, error) {
-	buf := encodeBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	if err := gob.NewEncoder(buf).Encode(&payload); err != nil {
-		encodeBufPool.Put(buf)
+	buf := wire.GetBuf()
+	enc, err := wire.Append((*buf)[:0], payload)
+	if err != nil {
+		wire.PutBuf(buf)
 		return nil, 0, fmt.Errorf("netsim: encode: %w", err)
 	}
-	wire := int64(buf.Len())
-	var decoded any
-	err := gob.NewDecoder(buf).Decode(&decoded)
-	encodeBufPool.Put(buf)
+	nb := int64(len(enc))
+	decoded, _, err := wire.Decode(enc)
+	*buf = enc
+	wire.PutBuf(buf)
 	if err != nil {
 		return nil, 0, fmt.Errorf("netsim: decode: %w", err)
 	}
-	return decoded, wire, nil
+	if r, ok := payload.(wireReleaser); ok {
+		r.ReleaseWirePayload()
+	}
+	return decoded, nb, nil
 }
-
-// encodeBufPool recycles the scratch buffers used to gob round-trip
-// payloads when EncodePayloads is set.
-var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}

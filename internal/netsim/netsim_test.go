@@ -1,12 +1,14 @@
 package netsim
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"testing"
 	"time"
 
 	"asymstream/internal/metrics"
+	"asymstream/internal/wire"
 )
 
 type testPayload struct {
@@ -188,5 +190,44 @@ func TestBandwidthCharging(t *testing.T) {
 	want := time.Duration(wire) * time.Second / (10 * 1024)
 	if elapsed := time.Since(start); elapsed < want/2 {
 		t.Errorf("bandwidth-limited transmit took %v, want >= ~%v", elapsed, want)
+	}
+}
+
+// TestWireBytesPinned pins the honest per-frame accounting: a []byte
+// payload costs exactly the codec header plus its length, a typed
+// record costs exactly its compact frame — and both are charged
+// identically to WireBytes, the per-link meter, and the return value.
+func TestWireBytesPinned(t *testing.T) {
+	met := &metrics.Set{}
+	n := New(Config{Nodes: 2, EncodePayloads: true}, met)
+
+	payload := []byte("0123456789")
+	out, wb, err := n.Transmit(0, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(wire.HeaderBytes + len(payload))
+	if wb != want {
+		t.Errorf("wire bytes = %d, want %d (header %d + payload %d)",
+			wb, want, wire.HeaderBytes, len(payload))
+	}
+	if met.WireBytes.Value() != want {
+		t.Errorf("WireBytes = %d, want %d", met.WireBytes.Value(), want)
+	}
+	if met.WireFramesEncoded.Value() != 1 {
+		t.Errorf("WireFramesEncoded = %d, want 1", met.WireFramesEncoded.Value())
+	}
+	got, ok := out.([]byte)
+	if !ok {
+		t.Fatalf("decoded type %T", out)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("decoded %q", got)
+	}
+	if &got[0] == &payload[0] {
+		t.Error("encoded transmit must deliver a copy")
+	}
+	if s := n.Link(0, 1); s.Bytes != want {
+		t.Errorf("link bytes = %d, want %d", s.Bytes, want)
 	}
 }

@@ -1,0 +1,101 @@
+// Adaptive per-link batching.  The paper's accounting fixes one datum
+// per invocation; Options.Batch generalised that to a fixed batch, and
+// Options.BatchMin/BatchMax generalise it again to a runtime-tuned one.
+// Each link (InPort, Pusher, WOOutPort) owns an AIMD controller that
+// sizes the next Transfer Max or Deliver batch: additive increase while
+// exchanges come back full, multiplicative decrease when the observed
+// latency per item rises well above the best this link has seen —
+// fuller batches are only worth having while they keep amortising the
+// invocation overhead.
+//
+// With BatchMin == BatchMax the controller is pinned and the per-datum
+// invocation counts are exactly those of the fixed-batch engine, which
+// is what `transput-bench -check` asserts for BatchMin=BatchMax=1
+// against the paper's figures.
+package transput
+
+import (
+	"sync"
+	"time"
+
+	"asymstream/internal/metrics"
+)
+
+// batchController is one link's AIMD batch-size governor.
+type batchController struct {
+	min, max int
+	hw       *metrics.HighWater
+
+	mu   sync.Mutex
+	size int
+	ewma float64 // smoothed ns per item
+	best float64 // lowest smoothed ns/item observed at the current level
+}
+
+// aimd tuning constants.
+const (
+	batchEwmaAlpha   = 0.25 // weight of the newest latency sample
+	batchBackoffOver = 1.5  // decrease when ewma exceeds best by this factor
+)
+
+// newBatchController returns a controller bounded to [min, max].  It
+// returns nil when the bounds pin the size to a single value and that
+// value needs no governing (callers treat a nil controller as "fixed
+// batch").
+func newBatchController(min, max int, hw *metrics.HighWater) *batchController {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	c := &batchController{min: min, max: max, hw: hw, size: min}
+	if hw != nil {
+		hw.Observe(int64(min))
+	}
+	return c
+}
+
+// next returns the batch size to use for the next exchange.
+func (c *batchController) next() int {
+	c.mu.Lock()
+	s := c.size
+	c.mu.Unlock()
+	return s
+}
+
+// record folds in one completed exchange: asked is the batch size that
+// was requested, got how many items actually moved, elapsed the
+// round-trip time of the exchange (including any blocking — a link that
+// is waiting on its peer gains nothing from fatter batches).
+func (c *batchController) record(asked, got int, elapsed time.Duration) {
+	if got <= 0 {
+		return
+	}
+	per := float64(elapsed.Nanoseconds()) / float64(got)
+	c.mu.Lock()
+	if c.ewma == 0 {
+		c.ewma = per
+	} else {
+		c.ewma = (1-batchEwmaAlpha)*c.ewma + batchEwmaAlpha*per
+	}
+	if c.best == 0 || c.ewma < c.best {
+		c.best = c.ewma
+	}
+	switch {
+	case c.ewma > c.best*batchBackoffOver && c.size > c.min:
+		c.size /= 2
+		if c.size < c.min {
+			c.size = c.min
+		}
+		// Re-anchor so a transient spike does not pin the link at the
+		// floor forever; the controller re-probes upward from here.
+		c.best = c.ewma
+	case got >= asked && c.size < c.max:
+		c.size++
+	}
+	if c.hw != nil {
+		c.hw.Observe(int64(c.size))
+	}
+	c.mu.Unlock()
+}

@@ -7,6 +7,7 @@ import (
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
 	"asymstream/internal/uid"
+	"asymstream/internal/wire"
 )
 
 // PassiveBuffer is a Unix-pipe-like Eject: it performs passive input
@@ -138,6 +139,10 @@ func (b *PassiveBuffer) serveDeliver(inv *kernel.Invocation) {
 			b.cond.Wait()
 		}
 	}
+	// Absorb the item references themselves (zero-copy; see
+	// WOInPort.ServeDeliver for the ownership argument).
+	absorbed := 0
+	var saved int64
 	for _, item := range req.Items {
 		for len(b.buf) >= b.capacity && b.abortErr == nil {
 			b.cond.Wait()
@@ -145,12 +150,16 @@ func (b *PassiveBuffer) serveDeliver(inv *kernel.Invocation) {
 		if b.abortErr != nil {
 			break
 		}
-		b.buf = append(b.buf, append([]byte(nil), item...))
+		b.buf = append(b.buf, item)
+		absorbed++
+		saved += int64(len(item))
 		b.cond.Broadcast()
 	}
+	b.met.WireBytesSaved.Add(saved)
 	if b.abortErr != nil {
 		msg := b.abortErr.Msg
 		b.mu.Unlock()
+		wire.ReleaseAll(req.Items[absorbed:]) // never absorbed; dies here
 		inv.Reply(&DeliverReply{Status: StatusAborted, AbortMsg: msg})
 		return
 	}
@@ -221,12 +230,19 @@ func (b *PassiveBuffer) serveTransfer(inv *kernel.Invocation) {
 	inv.Reply(&TransferReply{Items: items, Status: status, Base: base})
 }
 
-// OnDeactivate aborts the buffer, releasing parked workers.
+// OnDeactivate aborts the buffer, releasing parked workers.  The Eject
+// is going away, so the backlog is unreachable: drop it, releasing any
+// slab views among the items.
 func (b *PassiveBuffer) OnDeactivate() {
 	b.mu.Lock()
 	if b.abortErr == nil {
 		b.abortErr = &AbortedError{Msg: "buffer deactivated"}
 	}
+	wire.ReleaseAll(b.buf)
+	for i := range b.buf {
+		b.buf[i] = nil
+	}
+	b.buf = b.buf[:0]
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }

@@ -5,10 +5,12 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
 	"asymstream/internal/uid"
+	"asymstream/internal/wire"
 )
 
 // InPort is the active-input half of the read-only discipline: it
@@ -47,6 +49,9 @@ type InPort struct {
 	batch   int
 	pref    int
 	window  int
+	// ctrl, when non-nil, makes Transfer Max adaptive: the AIMD
+	// controller sizes every request between the configured bounds.
+	ctrl *batchController
 
 	// req is the port's reusable Transfer request record for the
 	// single-outstanding paths (demand-driven and the lone prefetch
@@ -86,6 +91,15 @@ type pulled struct {
 	base   int64 // stream offset of items[0] (TransferReply.Base)
 }
 
+// releasePulled discards a pulled batch nobody will consume: any slab
+// views among its items are released and the reply record recycled.
+func releasePulled(res pulled) {
+	wire.ReleaseAll(res.items)
+	if res.rep != nil {
+		releaseTransferReply(res.rep)
+	}
+}
+
 // MaxWindow caps the flow-control window so that parked stream
 // invocations can never exhaust an Eject's kernel worker pool (32 by
 // default): a windowed port holds at most MaxWindow workers blocked at
@@ -105,6 +119,12 @@ type InPortConfig struct {
 	// clamped to MaxWindow.  Window>1 implies anticipation: the port
 	// pulls ahead of the consumer by up to Window batches.
 	Window int
+	// BatchMax > 0 makes the port's batch size adaptive: an AIMD
+	// controller tunes Transfer Max within [max(1, BatchMin),
+	// BatchMax], overriding Batch.  BatchMin == BatchMax pins the size
+	// and reproduces the fixed-batch invocation counts exactly.
+	BatchMin int
+	BatchMax int
 }
 
 // NewInPort creates an active-input port.  self identifies the
@@ -144,6 +164,9 @@ func NewInPort(k *kernel.Kernel, self, source uid.UID, channel ChannelID, cfg In
 		window:  window,
 		req:     TransferRequest{Channel: channel, Max: batch},
 	}
+	if cfg.BatchMax > 0 {
+		p.ctrl = newBatchController(cfg.BatchMin, cfg.BatchMax, &p.met.BatchSizeHighWater)
+	}
 	if window > 1 {
 		p.nextBase = -1
 		p.streamLen = -1
@@ -165,6 +188,13 @@ func (p *InPort) transfer() pulled { return p.transferWith(&p.req) }
 // record.  Windowed pullers each own a record, because several
 // Transfers are on the wire at once.
 func (p *InPort) transferWith(req *TransferRequest) pulled {
+	asked := req.Max
+	var start time.Time
+	if p.ctrl != nil {
+		asked = p.ctrl.next()
+		req.Max = asked
+		start = time.Now()
+	}
 	p.transfersIssued.Add(1)
 	raw, err := p.caller.Invoke(p.source, OpTransfer, req)
 	if err != nil {
@@ -176,6 +206,9 @@ func (p *InPort) transferWith(req *TransferRequest) pulled {
 	}
 	switch rep.Status {
 	case StatusOK, StatusEnd:
+		if p.ctrl != nil {
+			p.ctrl.record(asked, len(rep.Items), time.Since(start))
+		}
 		return pulled{items: rep.Items, status: rep.Status, rep: rep, base: rep.Base}
 	default:
 		// statusErr copies what it needs; the record can recycle now.
@@ -249,9 +282,7 @@ func (p *InPort) startWindowLocked() {
 				select {
 				case ahead <- res:
 				case <-stop:
-					if res.rep != nil {
-						releaseTransferReply(res.rep)
-					}
+					releasePulled(res)
 					return
 				}
 				if res.err != nil || res.status == StatusEnd {
@@ -304,8 +335,8 @@ func (p *InPort) absorbWindowedLocked(res pulled) {
 	}
 	// Duplicate bases can only be empty End replies (several pullers
 	// observing the end of the drained stream); keep one.
-	if old, ok := p.reorder[res.base]; ok && old.rep != nil {
-		releaseTransferReply(old.rep)
+	if old, ok := p.reorder[res.base]; ok {
+		releasePulled(old)
 	}
 	p.reorder[res.base] = res
 	p.advanceLocked()
@@ -343,9 +374,7 @@ func (p *InPort) advanceLocked() {
 // Caller holds p.mu.
 func (p *InPort) releaseReorderLocked() {
 	for base, res := range p.reorder {
-		if res.rep != nil {
-			releaseTransferReply(res.rep)
-		}
+		releasePulled(res)
 		delete(p.reorder, base)
 	}
 }
@@ -378,6 +407,7 @@ func (p *InPort) Next() ([]byte, error) {
 				res := p.transfer()
 				p.mu.Lock()
 				if p.done && p.err != nil {
+					releasePulled(res)
 					continue // cancelled while waiting
 				}
 				if res.err == nil {
@@ -397,8 +427,8 @@ func (p *InPort) Next() ([]byte, error) {
 			res, ok := <-ahead
 			p.mu.Lock()
 			if p.done && p.err != nil {
-				if ok && res.rep != nil {
-					releaseTransferReply(res.rep)
+				if ok {
+					releasePulled(res)
 				}
 				continue // cancelled while waiting
 			}
@@ -420,6 +450,9 @@ func (p *InPort) Next() ([]byte, error) {
 			res, ok := <-ahead
 			p.mu.Lock()
 			if p.done && p.err != nil {
+				if ok {
+					releasePulled(res)
+				}
 				continue // cancelled while waiting
 			}
 			if !ok {
@@ -438,6 +471,7 @@ func (p *InPort) Next() ([]byte, error) {
 		res := p.transfer()
 		p.mu.Lock()
 		if p.done && p.err != nil {
+			releasePulled(res)
 			continue // cancelled while waiting
 		}
 		p.absorbLocked(res)
@@ -459,18 +493,22 @@ func (p *InPort) Cancel(msg string) {
 		// The stream already ended normally (or failed); there is
 		// nothing upstream to release, and sending an Abort would
 		// pollute the invocation counts the experiments measure.
+		ahead := p.ahead
 		p.mu.Unlock()
 		p.pullerWG.Wait()
+		p.drainAhead(ahead)
 		return
 	}
 	p.done = true
 	if p.err == nil {
 		p.err = &AbortedError{Msg: msg}
 	}
+	wire.ReleaseAll(p.pending) // undelivered items die with the stream
 	p.pending = nil
 	if p.reorder != nil {
 		p.releaseReorderLocked()
 	}
+	ahead := p.ahead
 	if p.pullerOn {
 		close(p.stopPull)
 	}
@@ -479,6 +517,21 @@ func (p *InPort) Cancel(msg string) {
 	// (including our own in-flight pull).
 	_, _ = p.caller.Invoke(p.source, OpAbort, &AbortRequest{Channel: p.channel, Msg: msg})
 	p.pullerWG.Wait()
+	p.drainAhead(ahead)
+}
+
+// drainAhead releases results the pullers parked in the read-ahead
+// buffer after the consumer stopped taking them.  Unlike Redirect
+// (which salvages arrived data for the new stream), a cancelled port
+// has no further consumer, so everything still buffered dies here.
+// The channel is closed once pullerWG settles, so the drain ends.
+func (p *InPort) drainAhead(ahead chan pulled) {
+	if ahead == nil {
+		return
+	}
+	for res := range ahead {
+		releasePulled(res)
+	}
 }
 
 // TransfersIssued reports how many Transfer invocations this port has

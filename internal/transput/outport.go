@@ -7,6 +7,7 @@ import (
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
 	"asymstream/internal/uid"
+	"asymstream/internal/wire"
 )
 
 // OutPort is the passive-output half of the read-only discipline: the
@@ -143,6 +144,7 @@ type outChannel struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
+	met      *metrics.Set
 	name     string
 	id       ChannelID
 	capacity int
@@ -159,8 +161,8 @@ type outChannel struct {
 // buffered is the live item count.  Caller holds ch.mu.
 func (ch *outChannel) buffered() int { return len(ch.buf) - ch.head }
 
-func newOutChannel(name string, id ChannelID, capacity int) *outChannel {
-	c := &outChannel{name: name, id: id, capacity: capacity}
+func newOutChannel(met *metrics.Set, name string, id ChannelID, capacity int) *outChannel {
+	c := &outChannel{met: met, name: name, id: id, capacity: capacity}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -182,7 +184,7 @@ func (p *OutPort) Declare(name string, num ChannelNum, capacity int) *ChannelWri
 	if p.capMode {
 		id.Cap = p.mintCap()
 	}
-	ch := newOutChannel(name, id, capacity)
+	ch := newOutChannel(p.met, name, id, capacity)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.chans = append(p.chans, ch)
@@ -390,6 +392,18 @@ func (ch *outChannel) abort(err *AbortedError) {
 	if ch.abortErr == nil && !ch.closed {
 		ch.abortErr = err
 	}
+	if ch.abortErr != nil {
+		// An aborted channel never serves its backlog (ServeTransfer
+		// replies StatusAborted before looking at the buffer), so the
+		// buffered items are unreachable: drop them, releasing any slab
+		// views among them.
+		wire.ReleaseAll(ch.buf[ch.head:])
+		for i := range ch.buf {
+			ch.buf[i] = nil
+		}
+		ch.buf = ch.buf[:0]
+		ch.head = 0
+	}
 	ch.cond.Broadcast()
 	ch.mu.Unlock()
 }
@@ -410,10 +424,23 @@ func (w *ChannelWriter) Name() string { return w.ch.name }
 
 // Put appends one item, blocking while the anticipatory buffer is at
 // capacity.  The item is copied.
-func (w *ChannelWriter) Put(item []byte) error {
-	ch := w.ch
+func (w *ChannelWriter) Put(item []byte) error { return w.ch.put(item, false) }
+
+// PutOwned appends the item slice itself, taking ownership (see
+// OwnedItemWriter).  The zero-copy handoff on every intra-node link.
+func (w *ChannelWriter) PutOwned(item []byte) error { return w.ch.put(item, true) }
+
+func (ch *outChannel) put(item []byte, owned bool) error {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
+	// fail drops the item on a failed put; an owned item is the
+	// channel's to release even when it was never stored.
+	fail := func(err error) error {
+		if owned {
+			wire.Release(item)
+		}
+		return err
+	}
 	if ch.capacity == 0 {
 		// Rendezvous semantics: at most one item in flight, and Put
 		// returns only once a Transfer has consumed it.  This is the
@@ -423,17 +450,18 @@ func (w *ChannelWriter) Put(item []byte) error {
 			ch.cond.Wait()
 		}
 		if ch.closed {
-			return ErrClosed
+			return fail(ErrClosed)
 		}
 		if ch.abortErr != nil {
-			return ch.abortErr
+			return fail(ch.abortErr)
 		}
-		ch.buf = append(ch.buf, append([]byte(nil), item...))
+		ch.appendLocked(item, owned)
 		ch.cond.Broadcast()
 		for ch.buffered() > 0 && ch.abortErr == nil && !ch.closed {
 			ch.cond.Wait()
 		}
 		if ch.abortErr != nil {
+			// The item was stored; abort released it with the backlog.
 			return ch.abortErr
 		}
 		return nil
@@ -442,14 +470,24 @@ func (w *ChannelWriter) Put(item []byte) error {
 		ch.cond.Wait()
 	}
 	if ch.closed {
-		return ErrClosed
+		return fail(ErrClosed)
 	}
 	if ch.abortErr != nil {
-		return ch.abortErr
+		return fail(ch.abortErr)
 	}
-	ch.buf = append(ch.buf, append([]byte(nil), item...))
+	ch.appendLocked(item, owned)
 	ch.cond.Broadcast()
 	return nil
+}
+
+// appendLocked stores item at the tail; owned items move by reference.
+func (ch *outChannel) appendLocked(item []byte, owned bool) {
+	if owned {
+		ch.met.WireBytesSaved.Add(int64(len(item)))
+		ch.buf = append(ch.buf, item)
+		return
+	}
+	ch.buf = append(ch.buf, append([]byte(nil), item...))
 }
 
 // Close marks normal end of stream.  Buffered items drain first;

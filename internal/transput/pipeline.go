@@ -6,8 +6,10 @@ import (
 	"sync/atomic"
 
 	"asymstream/internal/kernel"
+	"asymstream/internal/metrics"
 	"asymstream/internal/netsim"
 	"asymstream/internal/uid"
+	"asymstream/internal/wire"
 )
 
 // Discipline selects which corresponding pair of transput primitives a
@@ -77,6 +79,13 @@ type Options struct {
 	// Batch is items per Transfer/Deliver (<=0 means 1, the paper's
 	// one-datum-per-invocation accounting).
 	Batch int
+	// BatchMax > 0 makes every link's batch size adaptive: an AIMD
+	// controller per active port tunes the size within
+	// [max(1, BatchMin), max(BatchMax, BatchMin)], overriding Batch.
+	// BatchMin = BatchMax = 1 pins the controller to the paper's
+	// per-datum accounting.  BatchMax = 0 keeps the fixed Batch.
+	BatchMin int
+	BatchMax int
 	// Prefetch is the InPort read-ahead in batches (read-only and
 	// buffered disciplines).
 	Prefetch int
@@ -169,9 +178,14 @@ type endpoint struct {
 // requested.
 func newActiveOut(k *kernel.Kernel, self, target uid.UID, ch ChannelID, opt Options) ItemWriter {
 	if opt.Window > 1 {
-		return NewWOOutPort(k, self, target, ch, WOOutPortConfig{Batch: opt.Batch, Window: opt.Window})
+		return NewWOOutPort(k, self, target, ch, WOOutPortConfig{
+			Batch: opt.Batch, Window: opt.Window,
+			BatchMin: opt.BatchMin, BatchMax: opt.BatchMax,
+		})
 	}
-	return NewPusher(k, self, target, ch, PusherConfig{Batch: opt.Batch})
+	return NewPusher(k, self, target, ch, PusherConfig{
+		Batch: opt.Batch, BatchMin: opt.BatchMin, BatchMax: opt.BatchMax,
+	})
 }
 
 // Pipeline is a built, runnable pipeline and its Eject inventory.
@@ -191,6 +205,7 @@ type Pipeline struct {
 	ShardCounts []int
 
 	shardLoads [][]*atomic.Int64
+	slabs      []*wire.Slab
 
 	starters []interface{ Start() }
 	sinkDone <-chan struct{}
@@ -257,11 +272,30 @@ func (p *Pipeline) Run() error {
 	return p.Wait()
 }
 
-// Destroy removes every Eject the pipeline created.
+// Destroy removes every Eject the pipeline created and retires the
+// frame slabs, auditing them for leaked views (SlabLeaked).
 func (p *Pipeline) Destroy() {
 	for _, id := range p.allUIDs {
 		_ = p.K.Destroy(id)
 	}
+	for _, s := range p.slabs {
+		s.Close()
+	}
+	p.slabs = nil
+}
+
+// frameSlab lazily creates the pipeline's shared frame arena; sharded
+// frames are carved from it and refcounted across links.  Sequential
+// pipelines never frame, so they never pay for a slab.
+func (p *Pipeline) frameSlab(met *metrics.Set, counts []int) *wire.Slab {
+	for _, c := range counts {
+		if c > 1 {
+			s := wire.NewSlab(met, 0)
+			p.slabs = append(p.slabs, s)
+			return s
+		}
+	}
+	return nil
 }
 
 // BuildPipeline wires src | filters... | sink under the given
@@ -298,7 +332,11 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		return nil, err
 	}
 	p := &Pipeline{K: k, Discipline: ReadOnly}
-	inCfg := InPortConfig{Batch: opt.Batch, Prefetch: opt.Prefetch, Window: opt.Window}
+	slab := p.frameSlab(met, counts)
+	inCfg := InPortConfig{
+		Batch: opt.Batch, Prefetch: opt.Prefetch, Window: opt.Window,
+		BatchMin: opt.BatchMin, BatchMax: opt.BatchMax,
+	}
 	roCfg := func(name string, outs int) ROStageConfig {
 		return ROStageConfig{
 			Name:           name,
@@ -323,7 +361,7 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		return src(outs[0])
 	}
 	if width(0) > 1 {
-		srcBody = splitBody(met, srcBody)
+		srcBody = splitBody(met, slab, srcBody)
 	}
 	srcStage := NewROStage(k, roCfg("source", width(0)), srcBody)
 	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
@@ -355,7 +393,7 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 				in := NewInPort(k, fUID, prev[j].u, prev[j].c, inCfg)
 				loads[j] = new(atomic.Int64)
 				st := NewROStage(k, roCfg(fmt.Sprintf("%s#%d", f.Name, j), 1),
-					shardBody(met, loads[j], f.Body), in)
+					shardBody(met, slab, loads[j], f.Body), in)
 				if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 					return nil, err
 				}
@@ -380,7 +418,7 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 			body = mergeBody(met, body)
 		}
 		if width(i+1) > 1 {
-			body = splitBody(met, body)
+			body = splitBody(met, slab, body)
 		}
 		ins := make([]ItemReader, len(prev))
 		for j := range prev {
@@ -442,6 +480,7 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 		return nil, err
 	}
 	p := &Pipeline{K: k, Discipline: WriteOnly}
+	slab := p.frameSlab(met, counts)
 	woCfg := func(name string, ins int) WOStageConfig {
 		return WOStageConfig{
 			Name:           name,
@@ -499,7 +538,7 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 				out := newActiveOut(k, fUID, next[j].u, next[j].c, opt)
 				loads[j] = new(atomic.Int64)
 				st := NewWOStage(k, woCfg(fmt.Sprintf("%s#%d", f.Name, j), 1),
-					shardBody(met, loads[j], f.Body), out)
+					shardBody(met, slab, loads[j], f.Body), out)
 				if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 					return nil, err
 				}
@@ -523,7 +562,7 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 			outs[j] = newActiveOut(k, fUID, next[j].u, next[j].c, opt)
 		}
 		if len(next) > 1 {
-			body = splitBody(met, body)
+			body = splitBody(met, slab, body)
 		}
 		inW := upWidth(i)
 		if inW > 1 {
@@ -557,7 +596,7 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 		return src(outs[0])
 	}
 	if len(next) > 1 {
-		srcBody = splitBody(met, srcBody)
+		srcBody = splitBody(met, slab, srcBody)
 	}
 	srcStage := NewConvStage("source", srcBody, nil, outs)
 	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
@@ -582,7 +621,11 @@ func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		return nil, err
 	}
 	p := &Pipeline{K: k, Discipline: Buffered}
-	inCfg := InPortConfig{Batch: opt.Batch, Prefetch: opt.Prefetch, Window: opt.Window}
+	slab := p.frameSlab(met, counts)
+	inCfg := InPortConfig{
+		Batch: opt.Batch, Prefetch: opt.Prefetch, Window: opt.Window,
+		BatchMin: opt.BatchMin, BatchMax: opt.BatchMax,
+	}
 
 	// Link i sits between element i and i+1 (elements: source, the
 	// filters, sink); its width is the shard count of its sharded
@@ -633,7 +676,7 @@ func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		return src(outs[0])
 	}
 	if len(srcOuts) > 1 {
-		srcBody = splitBody(met, srcBody)
+		srcBody = splitBody(met, slab, srcBody)
 	}
 	srcStage := NewConvStage("source", srcBody, nil, srcOuts)
 	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
@@ -656,7 +699,7 @@ func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 				out := newActiveOut(k, fUID, bufs[i+1][j], Chan(0), opt)
 				loads[j] = new(atomic.Int64)
 				st := NewConvStage(fmt.Sprintf("%s#%d", f.Name, j),
-					shardBody(met, loads[j], f.Body),
+					shardBody(met, slab, loads[j], f.Body),
 					[]ItemReader{in}, []ItemWriter{out})
 				if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 					return nil, err
@@ -684,7 +727,7 @@ func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 			body = mergeBody(met, body)
 		}
 		if len(outs) > 1 {
-			body = splitBody(met, body)
+			body = splitBody(met, slab, body)
 		}
 		st := NewConvStage(f.Name, body, ins, outs)
 		if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {

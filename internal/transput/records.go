@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
+
+	"asymstream/internal/wire"
 )
 
 // This file implements §6's generalisation: "Nothing I have said about
@@ -12,33 +15,61 @@ import (
 // provided only that they are homogeneous."
 //
 // A RecordWriter[T] encodes each record of the homogeneous type T as
-// one stream item (gob framing); a RecordReader[T] decodes them.  The
-// 1983 Eden Programming Language "lacks type parameterisation", which
-// the paper notes made typed streams awkward; Go's generics supply
-// exactly the missing piece, so typed streams ride on the byte-item
-// protocol with no loss of type safety.
+// one stream item; a RecordReader[T] decodes them.  The 1983 Eden
+// Programming Language "lacks type parameterisation", which the paper
+// notes made typed streams awkward; Go's generics supply exactly the
+// missing piece, so typed streams ride on the byte-item protocol with
+// no loss of type safety.
 //
-// Each record is encoded independently (a fresh gob stream per item)
-// so that items remain self-describing and the stream can be resumed,
-// split or fanned out at any item boundary.
+// Encoding is one codec session per stream, not a fresh codec per
+// item.  Scalar record types ([]byte, string, int64) take the compact
+// wire codec with a reused scratch buffer — no per-item allocation
+// beyond what the writer itself stores.  Other types share a single
+// gob session: the type descriptors travel once, in the first item,
+// and every later item carries only values.  The first item of a gob
+// session is therefore self-describing but later items are not — a
+// record stream is consumed from the start by one reader, which is how
+// every stream in this system is wired.
 
 // RecordWriter writes typed records onto an item stream.
 type RecordWriter[T any] struct {
-	w ItemWriter
+	w    ItemWriter
+	fast bool // T is a wire-codec scalar
+
+	buf []byte // wire-codec scratch (fast path)
+
+	gbuf bytes.Buffer // gob session buffer, reset per item
+	enc  *gob.Encoder
 }
 
 // NewRecordWriter wraps an ItemWriter in typed framing.
 func NewRecordWriter[T any](w ItemWriter) *RecordWriter[T] {
-	return &RecordWriter[T]{w: w}
+	rw := &RecordWriter[T]{w: w}
+	var zero T
+	switch any(zero).(type) {
+	case []byte, string, int64:
+		rw.fast = true
+	default:
+		rw.enc = gob.NewEncoder(&rw.gbuf)
+	}
+	return rw
 }
 
 // Write encodes one record as one stream item.
 func (rw *RecordWriter[T]) Write(rec T) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+	if rw.fast {
+		b, err := wire.Append(rw.buf[:0], any(rec))
+		if err != nil {
+			return fmt.Errorf("transput: encode record: %w", err)
+		}
+		rw.buf = b
+		return rw.w.Put(b)
+	}
+	rw.gbuf.Reset()
+	if err := rw.enc.Encode(&rec); err != nil {
 		return fmt.Errorf("transput: encode record: %w", err)
 	}
-	return rw.w.Put(buf.Bytes())
+	return rw.w.Put(rw.gbuf.Bytes())
 }
 
 // Close ends the stream normally.
@@ -49,24 +80,70 @@ func (rw *RecordWriter[T]) CloseWithError(err error) error { return rw.w.CloseWi
 
 // RecordReader reads typed records from an item stream.
 type RecordReader[T any] struct {
-	r ItemReader
+	r    ItemReader
+	fast bool
+
+	dec *gob.Decoder // lazily bound to the item stream
 }
 
 // NewRecordReader wraps an ItemReader in typed framing.
 func NewRecordReader[T any](r ItemReader) *RecordReader[T] {
-	return &RecordReader[T]{r: r}
+	rr := &RecordReader[T]{r: r}
+	var zero T
+	switch any(zero).(type) {
+	case []byte, string, int64:
+		rr.fast = true
+	}
+	return rr
 }
 
 // Read decodes the next record.  At end of stream it returns the zero
 // record and io.EOF.
 func (rr *RecordReader[T]) Read() (T, error) {
 	var rec T
-	item, err := rr.r.Next()
-	if err != nil {
-		return rec, err
+	if rr.fast {
+		item, err := rr.r.Next()
+		if err != nil {
+			return rec, err
+		}
+		v, _, err := wire.Decode(item)
+		if err != nil {
+			return rec, fmt.Errorf("transput: decode record: %w", err)
+		}
+		out, ok := v.(T)
+		if !ok {
+			return rec, fmt.Errorf("transput: decode record: item is %T, want %T", v, rec)
+		}
+		return out, nil
 	}
-	if err := gob.NewDecoder(bytes.NewReader(item)).Decode(&rec); err != nil {
+	if rr.dec == nil {
+		rr.dec = gob.NewDecoder(&itemStreamReader{r: rr.r})
+	}
+	if err := rr.dec.Decode(&rec); err != nil {
+		if err == io.EOF {
+			return rec, io.EOF
+		}
 		return rec, fmt.Errorf("transput: decode record: %w", err)
 	}
 	return rec, nil
+}
+
+// itemStreamReader adapts an ItemReader to io.Reader so one gob
+// session can span the whole stream, item boundaries and all.
+type itemStreamReader struct {
+	r   ItemReader
+	cur []byte
+}
+
+func (s *itemStreamReader) Read(p []byte) (int, error) {
+	for len(s.cur) == 0 {
+		item, err := s.r.Next()
+		if err != nil {
+			return 0, err
+		}
+		s.cur = item
+	}
+	n := copy(p, s.cur)
+	s.cur = s.cur[n:]
+	return n, nil
 }

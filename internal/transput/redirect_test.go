@@ -230,7 +230,7 @@ func buildShardedProducer(t *testing.T, k *kernel.Kernel, prefix string, items, 
 	srcUID := k.NewUID()
 	src := NewROStage(k, ROStageConfig{
 		Name: prefix + "src", OutNames: channelNames("Output", P), Anticipation: 16,
-	}, splitBody(met, func(_ []ItemReader, outs []ItemWriter) error {
+	}, splitBody(met, nil, func(_ []ItemReader, outs []ItemWriter) error {
 		for i := 0; i < items; i++ {
 			if err := outs[0].Put([]byte(fmt.Sprintf("%s%d", prefix, i))); err != nil {
 				return nil // aborted by a redirect downstream: expected
@@ -250,7 +250,7 @@ func buildShardedProducer(t *testing.T, k *kernel.Kernel, prefix string, items, 
 		in := NewInPort(k, fUID, srcUID, src.Writer(j).ID(), inCfg)
 		st := NewROStage(k, ROStageConfig{
 			Name: fmt.Sprintf("%sshard%d", prefix, j), Anticipation: 16,
-		}, shardBody(met, nil, passthrough), in)
+		}, shardBody(met, nil, nil, passthrough), in)
 		if err := k.CreateWithUID(fUID, st, 0); err != nil {
 			t.Fatal(err)
 		}

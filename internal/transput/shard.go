@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"asymstream/internal/metrics"
+	"asymstream/internal/wire"
 )
 
 // Stage sharding — the parallel stream engine's fan-out/fan-in layer.
@@ -58,6 +59,38 @@ func appendFrame(dst []byte, class byte, seq uint64, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// allocFrame builds a frame in a refcounted slab view (or an ordinary
+// heap slice when slab is nil — unit tests without a pipeline).  The
+// caller owns the returned view and hands it off with PutOwned, so the
+// frame crosses every link of the pipeline without being copied again.
+func allocFrame(slab *wire.Slab, class byte, seq uint64, payload []byte) []byte {
+	n := frameHeader + len(payload)
+	var f []byte
+	if slab != nil {
+		f = slab.Alloc(n)
+	} else {
+		f = make([]byte, n)
+	}
+	f[0] = class
+	binary.BigEndian.PutUint64(f[1:frameHeader], seq)
+	copy(f[frameHeader:], payload)
+	return f
+}
+
+// detachPayload returns payload as an independently owned slice.  When
+// the enclosing frame is a slab view the payload is copied out and the
+// frame released: the ItemReader contract gives callers (user bodies,
+// collecting sinks) outright ownership, which a recyclable view cannot
+// provide.  This is the one copy per item the sharded data plane pays.
+func detachPayload(frame, payload []byte) []byte {
+	if !wire.IsView(frame) {
+		return payload
+	}
+	out := append([]byte(nil), payload...)
+	wire.Release(frame)
+	return out
+}
+
 // decodeFrame splits a frame into its parts.  The payload aliases the
 // frame's backing array.
 func decodeFrame(item []byte) (class byte, seq uint64, payload []byte, err error) {
@@ -71,24 +104,26 @@ func decodeFrame(item []byte) (class byte, seq uint64, payload []byte, err error
 // links as data frames.  It runs inside a single stage body goroutine,
 // so it needs no locking.  Close/CloseWithError fan out to every link.
 type shardSplitter struct {
-	ws  []ItemWriter
-	met *metrics.Set
-	seq uint64
-	buf []byte // frame-encode scratch; links copy on Put
+	ws   []ItemWriter
+	met  *metrics.Set
+	slab *wire.Slab // frame arena; nil falls back to per-frame heap slices
+	seq  uint64
 }
 
 // newShardSplitter wraps P link writers.
-func newShardSplitter(met *metrics.Set, ws []ItemWriter) *shardSplitter {
-	return &shardSplitter{ws: ws, met: met}
+func newShardSplitter(met *metrics.Set, slab *wire.Slab, ws []ItemWriter) *shardSplitter {
+	return &shardSplitter{ws: ws, met: met, slab: slab}
 }
 
-// Put frames the item and deals it to link seq mod P.
+// Put frames the item and deals it to link seq mod P.  The frame is a
+// refcounted slab view handed to the link by ownership transfer, so it
+// is built exactly once and never copied on the way to the shard.
 func (s *shardSplitter) Put(item []byte) error {
 	w := s.ws[int(s.seq%uint64(len(s.ws)))]
-	s.buf = appendFrame(s.buf, frameData, s.seq, item)
+	f := allocFrame(s.slab, frameData, s.seq, item)
 	s.seq++
 	s.met.ShardFrames.Inc()
-	return w.Put(s.buf)
+	return PutOwned(w, f)
 }
 
 // Close closes every link, returning the first error.
@@ -119,9 +154,9 @@ var _ ItemWriter = (*shardSplitter)(nil)
 // across the stage's (multiple) underlying output writers.  The body
 // sees a single outs[0]; secondary outputs are not supported on a
 // sharded link.
-func splitBody(met *metrics.Set, body Body) Body {
+func splitBody(met *metrics.Set, slab *wire.Slab, body Body) Body {
 	return func(ins []ItemReader, outs []ItemWriter) error {
-		return body(ins, []ItemWriter{newShardSplitter(met, outs)})
+		return body(ins, []ItemWriter{newShardSplitter(met, slab, outs)})
 	}
 }
 
@@ -133,6 +168,7 @@ type shardIO struct {
 	in   ItemReader
 	out  ItemWriter
 	met  *metrics.Set
+	slab *wire.Slab    // frame arena; nil falls back to per-frame heap slices
 	load *atomic.Int64 // data frames consumed by this shard (utilization)
 
 	cur     uint64 // seq of the last consumed input frame
@@ -142,14 +178,13 @@ type shardIO struct {
 	epiIn   bool   // current input came from an epilogue frame
 
 	pre [][]byte // outputs produced before any input was consumed
-	buf []byte   // frame-encode scratch
 }
 
-// emit frames one payload onto the output link.
+// emit frames one payload onto the output link by ownership transfer.
 func (s *shardIO) emit(class byte, seq uint64, payload []byte) error {
-	s.buf = appendFrame(s.buf, class, seq, payload)
+	f := allocFrame(s.slab, class, seq, payload)
 	s.met.ShardFrames.Inc()
-	return s.out.Put(s.buf)
+	return PutOwned(s.out, f)
 }
 
 // punct records that seq produced no output (merger liveness).
@@ -192,23 +227,26 @@ func (r *shardReader) Next() ([]byte, error) {
 		}
 		class, seq, payload, derr := decodeFrame(item)
 		if derr != nil {
+			wire.Release(item)
 			return nil, derr
 		}
 		switch class {
 		case framePunct:
-			// A predecessor shard's punctuation passes through: it
-			// still proves progress on this sub-stream downstream.
+			// A predecessor shard's punctuation passes through intact
+			// (ownership and all): it still proves progress on this
+			// sub-stream downstream.
 			s.met.ShardFrames.Inc()
-			if err := s.out.Put(item); err != nil {
+			if err := PutOwned(s.out, item); err != nil {
 				return nil, err
 			}
 		case frameEpilogue:
 			s.epiIn = true
 			s.cur, s.wrote = seq, false
 			if err := s.flushPre(frameEpilogue, seq); err != nil {
+				wire.Release(item)
 				return nil, err
 			}
-			return payload, nil
+			return detachPayload(item, payload), nil
 		default:
 			s.epiIn = false
 			s.cur, s.started, s.wrote = seq, true, false
@@ -216,9 +254,10 @@ func (r *shardReader) Next() ([]byte, error) {
 				s.load.Add(1)
 			}
 			if err := s.flushPre(frameData, seq); err != nil {
+				wire.Release(item)
 				return nil, err
 			}
-			return payload, nil
+			return detachPayload(item, payload), nil
 		}
 	}
 }
@@ -265,9 +304,9 @@ func (w *shardWriter) CloseWithError(error) error { return nil }
 // Sharding is exact for per-item bodies (each output a function of the
 // current input).  A body carrying state *across* items (sort, uniq,
 // wc) computes per-shard results; such filters should not be sharded.
-func shardBody(met *metrics.Set, load *atomic.Int64, body Body) Body {
+func shardBody(met *metrics.Set, slab *wire.Slab, load *atomic.Int64, body Body) Body {
 	return func(ins []ItemReader, outs []ItemWriter) error {
-		s := &shardIO{in: ins[0], out: outs[0], met: met, load: load}
+		s := &shardIO{in: ins[0], out: outs[0], met: met, slab: slab, load: load}
 		err := body([]ItemReader{&shardReader{s}}, []ItemWriter{&shardWriter{s}})
 		if err != nil {
 			return err
@@ -439,9 +478,12 @@ func (m *shardMerger) head(l int) (stashedFrame, bool, error) {
 	}
 	class, seq, payload, derr := decodeFrame(item)
 	if derr != nil {
+		wire.Release(item)
 		return stashedFrame{}, false, derr
 	}
-	return stashedFrame{class: class, seq: seq, payload: payload}, true, nil
+	// Detach here: the payload may sit in the stash or ready queue for
+	// a while, and the surfaced items belong to the consuming body.
+	return stashedFrame{class: class, seq: seq, payload: detachPayload(item, payload)}, true, nil
 }
 
 // observeDepth reports the reorder footprint to the metric set.

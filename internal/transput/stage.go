@@ -258,11 +258,16 @@ func (s *WOStage) Start() {
 					_ = w.Close()
 				}
 			}
+			// Cancel the input channels unconditionally (mirroring
+			// ROStage): a body that returned without draining leaves a
+			// backlog whose slab views must be released.
+			reason := "stage complete"
 			if err != nil {
-				for _, r := range s.readers {
-					if cr, ok := r.(*ChannelReader); ok {
-						cr.Cancel(err.Error())
-					}
+				reason = err.Error()
+			}
+			for _, r := range s.readers {
+				if cr, ok := r.(*ChannelReader); ok {
+					cr.Cancel(reason)
 				}
 			}
 		}()

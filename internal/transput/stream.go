@@ -3,6 +3,8 @@ package transput
 import (
 	"bytes"
 	"io"
+
+	"asymstream/internal/wire"
 )
 
 // ItemReader is the discipline-neutral consumer interface.  Filters
@@ -26,6 +28,29 @@ type ItemWriter interface {
 	Put(item []byte) error
 	Close() error
 	CloseWithError(err error) error
+}
+
+// OwnedItemWriter is implemented by writers that can take ownership of
+// the item slice itself, skipping the defensive copy Put makes.  The
+// caller must not retain or mutate item after PutOwned returns;
+// ownership transfers even when PutOwned fails (the writer releases a
+// dropped slab view).
+type OwnedItemWriter interface {
+	ItemWriter
+	PutOwned(item []byte) error
+}
+
+// PutOwned hands item to w with ownership transfer when w supports it.
+// Otherwise it falls back to the copying Put and releases item's slab
+// view (if it is one) on the caller's behalf — the caller has given the
+// item up either way.
+func PutOwned(w ItemWriter, item []byte) error {
+	if ow, ok := w.(OwnedItemWriter); ok {
+		return ow.PutOwned(item)
+	}
+	err := w.Put(item)
+	wire.Release(item)
+	return err
 }
 
 // sliceReader serves items from a fixed slice; used by tests, devices

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
 	"asymstream/internal/uid"
+	"asymstream/internal/wire"
 )
 
 // WOOutPort is the windowed active-output port: the write-only
@@ -39,6 +41,9 @@ type WOOutPort struct {
 	batch   int
 	window  int
 	writer  uid.UID
+	// ctrl, when non-nil, sizes batches adaptively (AIMD) instead of
+	// the fixed batch.
+	ctrl *batchController
 
 	// Producer state.  Producers (Put/Flush/Close) hold mu, and may
 	// block on sendq while holding it; sender workers never take mu, so
@@ -78,6 +83,7 @@ type deliverJob struct {
 	items [][]byte
 	seq   uint64
 	end   bool
+	asked int // batch size the producer was aiming for (adaptive feedback)
 }
 
 // WOOutPortConfig parameterises a WOOutPort.
@@ -87,6 +93,10 @@ type WOOutPortConfig struct {
 	// Window is the number of Deliver invocations kept in flight;
 	// clamped to [1, MaxWindow].
 	Window int
+	// BatchMax > 0 makes the batch size adaptive within
+	// [max(1, BatchMin), BatchMax], overriding Batch (see InPortConfig).
+	BatchMin int
+	BatchMax int
 }
 
 // NewWOOutPort creates a windowed active-output port delivering to
@@ -120,6 +130,9 @@ func NewWOOutPort(k *kernel.Kernel, self, target uid.UID, channel ChannelID, cfg
 		sendq:   make(chan deliverJob, window),
 		free:    make(chan [][]byte, window+1),
 		limit:   window,
+	}
+	if cfg.BatchMax > 0 {
+		w.ctrl = newBatchController(cfg.BatchMin, cfg.BatchMax, &w.met.BatchSizeHighWater)
 	}
 	w.credCond = sync.NewCond(&w.credMu)
 	w.wg.Add(window)
@@ -177,6 +190,7 @@ func (w *WOOutPort) sender() {
 			// mark) are dropped — the sink's abort released any gated
 			// deliveries.  The slot sequence still advances so workers
 			// parked on seq order do not stall.
+			wire.ReleaseAll(job.items)
 			w.recycle(job.items)
 			w.credMu.Lock()
 			for w.sendNext != job.seq {
@@ -203,9 +217,19 @@ func (w *WOOutPort) sender() {
 		req.End = job.end
 		w.deliversIssued.Add(1)
 		w.itemsOut.Add(int64(len(job.items)))
+		var start time.Time
+		if w.ctrl != nil {
+			start = time.Now()
+		}
 		raw, err := w.caller.Invoke(w.target, OpDeliver, &req)
 		w.inflight.Add(-1)
 		req.Items = nil
+		if err != nil {
+			// The invocation never reached the sink; the batch dies with
+			// this sender.  (On a non-OK reply the sink owns the cleanup
+			// of whatever it did not absorb.)
+			wire.ReleaseAll(job.items)
+		}
 		credits := -1
 		if err == nil {
 			if rep, ok := raw.(*DeliverReply); ok {
@@ -214,6 +238,9 @@ func (w *WOOutPort) sender() {
 				} else {
 					credits = rep.Credits
 					releaseDeliverReply(rep)
+					if w.ctrl != nil && len(job.items) > 0 {
+						w.ctrl.record(job.asked, len(job.items), time.Since(start))
+					}
 				}
 			} else {
 				err = fmt.Errorf("transput: bad Deliver reply type %T", raw)
@@ -227,7 +254,11 @@ func (w *WOOutPort) sender() {
 			// Credit rule: leave the sink at least one batch of slack
 			// per in-flight delivery; never stall completely, so the
 			// next reply can raise the limit again.
-			lim := 1 + credits/w.batch
+			bsz := w.batch
+			if w.ctrl != nil {
+				bsz = w.ctrl.next()
+			}
+			lim := 1 + credits/bsz
 			if lim > w.window {
 				lim = w.window
 			}
@@ -244,9 +275,11 @@ func (w *WOOutPort) sender() {
 
 // enqueueLocked hands the pending batch to the sender pool.  Caller
 // holds w.mu.  The send blocks when Window batches are already in
-// flight — that is the port's back pressure.
-func (w *WOOutPort) enqueueLocked(end bool) {
-	job := deliverJob{items: w.pending, seq: w.seq, end: end}
+// flight — that is the port's back pressure.  asked is the batch size
+// the producer was filling toward (the adaptive controller's feedback
+// signal; equal to the batch for fixed-size ports).
+func (w *WOOutPort) enqueueLocked(end bool, asked int) {
+	job := deliverJob{items: w.pending, seq: w.seq, end: end, asked: asked}
 	w.seq++
 	select {
 	case w.pending = <-w.free:
@@ -256,21 +289,46 @@ func (w *WOOutPort) enqueueLocked(end bool) {
 	w.sendq <- job
 }
 
+// threshold returns the batch size currently in force.
+func (w *WOOutPort) threshold() int {
+	if w.ctrl != nil {
+		return w.ctrl.next()
+	}
+	return w.batch
+}
+
 // Put queues one item, handing off a full batch to the send window.
 // The item is copied.  A delivery failure anywhere in the window is
 // reported on the next Put.
-func (w *WOOutPort) Put(item []byte) error {
+func (w *WOOutPort) Put(item []byte) error { return w.put(item, false) }
+
+// PutOwned queues the item slice itself, taking ownership (see
+// OwnedItemWriter).
+func (w *WOOutPort) PutOwned(item []byte) error { return w.put(item, true) }
+
+func (w *WOOutPort) put(item []byte, owned bool) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
+		if owned {
+			wire.Release(item)
+		}
 		return ErrClosed
 	}
 	if err := w.loadErr(); err != nil {
+		if owned {
+			wire.Release(item)
+		}
 		return err
 	}
-	w.pending = append(w.pending, append([]byte(nil), item...))
-	if len(w.pending) >= w.batch {
-		w.enqueueLocked(false)
+	if owned {
+		w.met.WireBytesSaved.Add(int64(len(item)))
+		w.pending = append(w.pending, item)
+	} else {
+		w.pending = append(w.pending, append([]byte(nil), item...))
+	}
+	if t := w.threshold(); len(w.pending) >= t {
+		w.enqueueLocked(false, t)
 	}
 	return nil
 }
@@ -284,7 +342,7 @@ func (w *WOOutPort) Flush() error {
 		return ErrClosed
 	}
 	if len(w.pending) > 0 {
-		w.enqueueLocked(false)
+		w.enqueueLocked(false, w.threshold())
 	}
 	return w.loadErr()
 }
@@ -299,7 +357,7 @@ func (w *WOOutPort) Close() error {
 		return nil
 	}
 	w.closed = true
-	w.enqueueLocked(true)
+	w.enqueueLocked(true, w.threshold())
 	close(w.sendq)
 	w.mu.Unlock()
 	w.wg.Wait()
@@ -317,6 +375,7 @@ func (w *WOOutPort) CloseWithError(err error) error {
 		return nil
 	}
 	w.closed = true
+	wire.ReleaseAll(w.pending) // the abort drops the partial batch
 	w.pending = nil
 	close(w.sendq)
 	w.mu.Unlock()

@@ -5,10 +5,12 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
 	"asymstream/internal/uid"
+	"asymstream/internal/wire"
 )
 
 // This file implements the "write only" discipline of §5 — the exact
@@ -160,6 +162,7 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 	p.met.DeliverInvocations.Inc()
 	ch, st := p.lookup(req.Channel)
 	if st != StatusOK {
+		wire.ReleaseAll(req.Items) // never absorbed
 		inv.Reply(&DeliverReply{Status: st})
 		return
 	}
@@ -176,6 +179,13 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 			ch.cond.Wait()
 		}
 	}
+	// Absorb the item references themselves.  The writer side always
+	// hands over fresh (or already-superseded) slices: Pusher/WOOutPort
+	// copy on Put unless given ownership, and a request decoded off an
+	// encoded node hop is fresh by construction.  Skipping the copy here
+	// is the write-only discipline's zero-copy path.
+	absorbed := 0
+	var saved int64
 	for _, item := range req.Items {
 		for ch.buffered() >= ch.capacity && ch.abortErr == nil {
 			ch.cond.Wait()
@@ -183,12 +193,18 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 		if ch.abortErr != nil {
 			break
 		}
-		ch.buf = append(ch.buf, append([]byte(nil), item...))
+		ch.buf = append(ch.buf, item)
+		absorbed++
+		saved += int64(len(item))
 		ch.cond.Broadcast()
 	}
+	p.met.WireBytesSaved.Add(saved)
 	if ch.abortErr != nil {
 		msg := ch.abortErr.Msg
 		ch.mu.Unlock()
+		// Items the channel never absorbed die here.  The sender cannot
+		// know how many were taken, so the server owns the cleanup.
+		wire.ReleaseAll(req.Items[absorbed:])
 		inv.Reply(&DeliverReply{Status: StatusAborted, AbortMsg: msg})
 		return
 	}
@@ -338,13 +354,20 @@ func (r *ChannelReader) Next() ([]byte, error) {
 }
 
 // Cancel aborts the channel locally (consumer going away), releasing
-// parked Deliver workers with StatusAborted.
+// parked Deliver workers with StatusAborted.  The undrained backlog is
+// dropped — nothing will ever read it — releasing any slab views.
 func (r *ChannelReader) Cancel(msg string) {
 	ch := r.ch
 	ch.mu.Lock()
 	if ch.abortErr == nil {
 		ch.abortErr = &AbortedError{Msg: msg}
 	}
+	wire.ReleaseAll(ch.buf[ch.head:])
+	for i := ch.head; i < len(ch.buf); i++ {
+		ch.buf[i] = nil
+	}
+	ch.buf = ch.buf[:0]
+	ch.head = 0
 	ch.cond.Broadcast()
 	ch.mu.Unlock()
 }
@@ -363,6 +386,9 @@ type Pusher struct {
 	target  uid.UID
 	channel ChannelID
 	batch   int
+	// ctrl, when non-nil, sizes batches adaptively (AIMD) instead of
+	// the fixed batch.
+	ctrl *batchController
 
 	mu      sync.Mutex
 	pending [][]byte
@@ -384,6 +410,10 @@ type PusherConfig struct {
 	// Batch is the number of items per Deliver; <=0 means 1 (the
 	// paper-faithful count of one datum per invocation).
 	Batch int
+	// BatchMax > 0 makes the batch size adaptive within
+	// [max(1, BatchMin), BatchMax], overriding Batch (see InPortConfig).
+	BatchMin int
+	BatchMax int
 }
 
 // NewPusher creates an active-output port pushing to target's channel.
@@ -395,7 +425,7 @@ func NewPusher(k *kernel.Kernel, self, target uid.UID, channel ChannelID, cfg Pu
 	if batch <= 0 {
 		batch = 1
 	}
-	return &Pusher{
+	w := &Pusher{
 		k:       k,
 		met:     k.Metrics(),
 		caller:  k.Caller(self),
@@ -405,6 +435,10 @@ func NewPusher(k *kernel.Kernel, self, target uid.UID, channel ChannelID, cfg Pu
 		batch:   batch,
 		req:     DeliverRequest{Channel: channel},
 	}
+	if cfg.BatchMax > 0 {
+		w.ctrl = newBatchController(cfg.BatchMin, cfg.BatchMax, &w.met.BatchSizeHighWater)
+	}
+	return w
 }
 
 // Target returns the UID this pusher delivers to.
@@ -420,14 +454,26 @@ func (w *Pusher) flushLocked(end bool) error {
 	if len(w.pending) == 0 && !end {
 		return nil
 	}
+	asked := w.batch
+	var start time.Time
+	if w.ctrl != nil {
+		asked = w.ctrl.next()
+		start = time.Now()
+	}
+	n := len(w.pending)
 	w.deliversIssued++
-	w.itemsOut += int64(len(w.pending))
+	w.itemsOut += int64(n)
 	w.req.Items = w.pending
 	w.req.End = end
 	raw, err := w.caller.Invoke(w.target, OpDeliver, &w.req)
-	// The server has copied the items by the time the reply arrives;
-	// drop the item pointers but keep the backing array for the next
-	// batch.
+	// On success the sink has absorbed the item references (or, across
+	// an encoded node hop, the decoded copies superseded them and netsim
+	// released any views).  Drop our pointers but keep the backing array
+	// for the next batch.  An invocation that never reached the sink
+	// leaves the items to die here.
+	if err != nil {
+		wire.ReleaseAll(w.pending)
+	}
 	for i := range w.pending {
 		w.pending[i] = nil
 	}
@@ -443,20 +489,41 @@ func (w *Pusher) flushLocked(end bool) error {
 	if rep.Status != StatusOK {
 		return statusErr(rep.Status, rep.AbortMsg) // copies the message
 	}
+	if w.ctrl != nil && n > 0 {
+		w.ctrl.record(asked, n, time.Since(start))
+	}
 	releaseDeliverReply(rep)
 	return nil
 }
 
 // Put queues one item, delivering when a full batch accumulates.  The
 // item is copied.
-func (w *Pusher) Put(item []byte) error {
+func (w *Pusher) Put(item []byte) error { return w.put(item, false) }
+
+// PutOwned queues the item slice itself, taking ownership (see
+// OwnedItemWriter).
+func (w *Pusher) PutOwned(item []byte) error { return w.put(item, true) }
+
+func (w *Pusher) put(item []byte, owned bool) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
+		if owned {
+			wire.Release(item)
+		}
 		return ErrClosed
 	}
-	w.pending = append(w.pending, append([]byte(nil), item...))
-	if len(w.pending) >= w.batch {
+	if owned {
+		w.met.WireBytesSaved.Add(int64(len(item)))
+		w.pending = append(w.pending, item)
+	} else {
+		w.pending = append(w.pending, append([]byte(nil), item...))
+	}
+	threshold := w.batch
+	if w.ctrl != nil {
+		threshold = w.ctrl.next()
+	}
+	if len(w.pending) >= threshold {
 		return w.flushLocked(false)
 	}
 	return nil
@@ -494,6 +561,7 @@ func (w *Pusher) CloseWithError(err error) error {
 		return nil
 	}
 	w.closed = true
+	wire.ReleaseAll(w.pending) // the abort drops the partial batch
 	w.pending = nil
 	w.mu.Unlock()
 	_, aerr := w.caller.Invoke(w.target, OpAbort, &AbortRequest{Channel: w.channel, Msg: err.Error()})

@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// testRec exercises the Marshaler/Register path without importing the
+// transput package (which imports this one).
+type testRec struct {
+	A int64
+	B string
+}
+
+const testRecID = 100
+
+func (r *testRec) WireID() uint16 { return testRecID }
+
+func (r *testRec) AppendWire(dst []byte) ([]byte, error) {
+	dst = AppendVarintField(dst, r.A)
+	dst = AppendStringField(dst, r.B)
+	return dst, nil
+}
+
+func init() {
+	Register(testRecID, "wire.testRec", func(payload []byte) (any, error) {
+		r := &testRec{}
+		a, k, err := ReadVarintField(payload)
+		if err != nil {
+			return nil, err
+		}
+		b, _, err := ReadStringField(payload[k:])
+		if err != nil {
+			return nil, err
+		}
+		r.A, r.B = a, b
+		return r, nil
+	})
+}
+
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	enc, err := Append(nil, v)
+	if err != nil {
+		t.Fatalf("Append(%v): %v", v, err)
+	}
+	got, n, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", v, err)
+	}
+	if n != len(enc) {
+		t.Fatalf("Decode consumed %d of %d bytes", n, len(enc))
+	}
+	return got
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	if got := roundTrip(t, []byte("hello")).([]byte); string(got) != "hello" {
+		t.Errorf("bytes: %q", got)
+	}
+	if got := roundTrip(t, []byte{}).([]byte); len(got) != 0 {
+		t.Errorf("empty bytes: %q", got)
+	}
+	if got := roundTrip(t, "grüße").(string); got != "grüße" {
+		t.Errorf("string: %q", got)
+	}
+	for _, v := range []int64{0, 1, -1, 1983, -1983, 1 << 62, -(1 << 62)} {
+		if got := roundTrip(t, v).(int64); got != v {
+			t.Errorf("int64 %d: %d", v, got)
+		}
+	}
+}
+
+func TestRoundTripByteSlices(t *testing.T) {
+	in := [][]byte{[]byte("a"), {}, []byte("line 2\n"), []byte("ccc")}
+	got := roundTrip(t, in).([][]byte)
+	if len(got) != len(in) {
+		t.Fatalf("len = %d, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if !bytes.Equal(got[i], in[i]) {
+			t.Errorf("item %d: %q, want %q", i, got[i], in[i])
+		}
+	}
+}
+
+func TestRoundTripRecord(t *testing.T) {
+	in := &testRec{A: -7, B: "record"}
+	got, ok := roundTrip(t, in).(*testRec)
+	if !ok || got.A != in.A || got.B != in.B {
+		t.Fatalf("record round trip: %+v", got)
+	}
+	if got == in {
+		t.Error("decode must build a fresh record")
+	}
+}
+
+type blob struct{ X, Y int }
+
+func init() { gob.Register(blob{}) }
+
+func TestRoundTripGobFallback(t *testing.T) {
+	enc, err := Append(nil, blob{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[0] != TagGob {
+		t.Fatalf("fallback tag = %d, want TagGob", enc[0])
+	}
+	got, _, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := got.(blob); !ok || b != (blob{3, 4}) {
+		t.Fatalf("gob fallback: %#v", got)
+	}
+}
+
+// TestDecodeNeverAliases pins the "caller may recycle the input
+// immediately" contract.
+func TestDecodeNeverAliases(t *testing.T) {
+	enc, _ := Append(nil, []byte("aliased?"))
+	got, _, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got.([]byte)
+	for i := range enc {
+		enc[i] = 0xFF
+	}
+	if string(b) != "aliased?" {
+		t.Error("decoded bytes alias the input buffer")
+	}
+
+	enc2, _ := Append(nil, [][]byte{[]byte("one"), []byte("two")})
+	got2, _, err := Decode(enc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc2 {
+		enc2[i] = 0xFF
+	}
+	items := got2.([][]byte)
+	if string(items[0]) != "one" || string(items[1]) != "two" {
+		t.Error("decoded items alias the input buffer")
+	}
+}
+
+// TestFrameSizePinned pins the honest on-wire sizes the benchmarks and
+// netsim accounting rely on.
+func TestFrameSizePinned(t *testing.T) {
+	payload := []byte("0123456789")
+	enc, _ := Append(nil, payload)
+	if len(enc) != HeaderBytes+len(payload) {
+		t.Errorf("bytes frame = %d, want %d", len(enc), HeaderBytes+len(payload))
+	}
+	items := [][]byte{[]byte("ab"), []byte("cdef")}
+	enc2, _ := Append(nil, items)
+	if len(enc2) != HeaderBytes+ItemsFieldSize(items) {
+		t.Errorf("items frame = %d, want %d", len(enc2), HeaderBytes+ItemsFieldSize(items))
+	}
+	// uvarint count 2 + (1+2) + (1+4) = 9 payload bytes.
+	if ItemsFieldSize(items) != 9 {
+		t.Errorf("ItemsFieldSize = %d, want 9", ItemsFieldSize(items))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", []byte{TagBytes, 0}, ErrTruncated},
+		{"length past end", []byte{TagBytes, 0, 0, 0, 9, 'x'}, ErrTruncated},
+		{"zero tag", make([]byte, 16), ErrUnknownTag},
+		{"foreign tag", []byte{0x7F, 0, 0, 0, 0}, ErrUnknownTag},
+		{"empty int64", []byte{TagInt64, 0, 0, 0, 0}, ErrMalformed},
+		{"trailing int64", []byte{TagInt64, 0, 0, 0, 3, 2, 0, 0}, ErrMalformed},
+		{"unregistered record", []byte{TagRecord, 0, 0, 0, 2, 0xFE, 0x7F}, ErrUnknownType},
+		{"garbage gob", []byte{TagGob, 0, 0, 0, 2, 0xde, 0xad}, ErrMalformed},
+	}
+	for _, tc := range cases {
+		if _, _, err := Decode(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTruncationsError feeds every prefix of valid frames to Decode:
+// all must error (never panic, never succeed short).
+func TestTruncationsError(t *testing.T) {
+	for _, v := range []any{[]byte("payload"), "str", int64(-99),
+		[][]byte{[]byte("a"), []byte("bb")}, &testRec{A: 5, B: "x"}} {
+		enc, err := Append(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(enc); i++ {
+			if _, _, err := Decode(enc[:i]); err == nil {
+				t.Errorf("%T: %d-byte prefix decoded", v, i)
+			}
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(testRecID, "dup", func([]byte) (any, error) { return nil, nil })
+}
+
+// TestAllocCeilings pins the allocation behaviour of the hot paths:
+// encoding into a buffer with capacity is allocation-free, and decoding
+// costs only the output value itself.
+func TestAllocCeilings(t *testing.T) {
+	payload := []byte("a modest line of pipeline data\n")
+	var boxed any = payload // box once; the hot paths pass pre-boxed payloads
+	dst := make([]byte, 0, 1024)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := Append(dst[:0], boxed); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("Append([]byte) allocates %.1f/op, want 0", n)
+	}
+	enc, _ := Append(nil, payload)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, err := Decode(enc); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 2 {
+		t.Errorf("Decode(bytes) allocates %.1f/op, want <=2 (copy + boxing)", n)
+	}
+	encInt, _ := Append(nil, int64(7))
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, err := Decode(encInt); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Errorf("Decode(int64) allocates %.1f/op, want <=1 (boxing)", n)
+	}
+}
+
+func ExampleAppend() {
+	enc, _ := Append(nil, []byte("hi"))
+	v, n, _ := Decode(enc)
+	fmt.Printf("%q %d\n", v, n)
+	// Output: "hi" 7
+}

@@ -1,0 +1,44 @@
+package wire
+
+import "testing"
+
+// FuzzDecode pins the package contract that hostile input is an error,
+// never a panic: truncated frames, foreign tags, lying length fields,
+// malformed varints and garbage gob streams must all return cleanly.
+func FuzzDecode(f *testing.F) {
+	seed := [][]byte{
+		nil,
+		{0},
+		{TagBytes, 0, 0, 0, 0},
+		{TagBytes, 0, 0, 0, 9, 'x'}, // length past end
+		{TagString, 0, 0, 0, 2, 'h', 'i'},
+		{TagInt64, 0, 0, 0, 1, 0x04},
+		{TagInt64, 0, 0, 0, 0},                  // empty varint
+		{TagByteSlices, 0, 0, 0, 1, 0xFF},       // count varint truncated
+		{TagRecord, 0, 0, 0, 2, 0xFE, 0x7F},     // unregistered id
+		{TagGob, 0, 0, 0, 2, 0xde, 0xad},        // garbage gob
+		{0x7F, 0, 0, 0, 0},                      // foreign tag
+		{TagBytes, 0xFF, 0xFF, 0xFF, 0xFF, 'x'}, // absurd length
+	}
+	if enc, err := Append(nil, [][]byte{[]byte("a"), []byte("bb")}); err == nil {
+		seed = append(seed, enc)
+	}
+	if enc, err := Append(nil, int64(-1983)); err == nil {
+		seed = append(seed, enc)
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, n, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if n < HeaderBytes || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if v == nil {
+			t.Fatal("nil value with nil error")
+		}
+	})
+}

@@ -1,0 +1,266 @@
+// Refcounted slab buffers.  Frames on the parallel engine's links are
+// carved out of large arena chunks instead of being allocated (and
+// copied) per hop.  A carve returns a *view* — a sub-slice of a chunk —
+// registered in a package-global table keyed by the view's base
+// pointer, so any code that ends up holding a view can Release it
+// without threading a slab handle through every channel type.  Code
+// that does not know whether a slice is a view calls Release or Detach
+// anyway: both are tolerant no-ops on ordinary heap slices.
+//
+// Lifecycle rules (documented in DESIGN.md §8):
+//
+//   - Alloc returns a view holding one reference; Retain adds one.
+//   - Release drops one reference.  A chunk recycles onto the slab's
+//     free list once it is sealed (no longer being carved) and every
+//     view carved from it has been released.
+//   - Release/Detach must be passed the exact slice Alloc returned
+//     (same base pointer); interior sub-slices are not tracked.
+//   - Detach replaces "copy because someone downstream might retain
+//     this": if the slice is a live view it returns an ordinary heap
+//     copy and releases the view, otherwise it returns the slice
+//     unchanged.  Bodies and sinks own what they are handed, so views
+//     are detached at the library/user boundary and flow zero-copy
+//     everywhere in between.
+//   - Close seals the slab and reports how many views are still
+//     outstanding — the refcount audit pipelines run at Destroy.
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"asymstream/internal/metrics"
+)
+
+// DefaultChunkBytes is the arena chunk size used when NewSlab is given
+// a non-positive size.
+const DefaultChunkBytes = 64 * 1024
+
+// maxFreeChunks bounds a slab's recycle list.
+const maxFreeChunks = 4
+
+type chunk struct {
+	slab   *Slab
+	buf    []byte
+	refs   atomic.Int64 // live views carved from this chunk
+	sealed atomic.Bool  // no longer the carve target
+}
+
+// viewEntry tracks one live view.  refs counts logical handles on the
+// view (1 from Alloc, +1 per Retain); the chunk reference is dropped
+// when the last handle goes.
+type viewEntry struct {
+	c    *chunk
+	refs atomic.Int64
+}
+
+// views maps a view's base pointer to its entry.  Base pointers are
+// unique among live views: carving always advances a chunk's offset,
+// and a chunk is only re-carved after every prior view was released
+// (and therefore deleted from this table).
+var views sync.Map // map[*byte]*viewEntry
+
+// Slab is an arena that carves refcounted frame buffers.  One slab is
+// shared per pipeline; Alloc is safe for concurrent producers.
+type Slab struct {
+	chunkBytes  int
+	met         *metrics.Set
+	mu          sync.Mutex
+	cur         *chunk
+	free        []*chunk
+	closed      bool
+	outstanding atomic.Int64 // live views carved from this slab
+}
+
+// NewSlab returns a slab carving chunks of the given size (bytes).
+// met may be nil; when set, SlabRetained/SlabReleased/SlabLeaked are
+// maintained on it.
+func NewSlab(met *metrics.Set, chunkBytes int) *Slab {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	return &Slab{chunkBytes: chunkBytes, met: met}
+}
+
+// Alloc carves an n-byte view holding one reference.  Zero-length
+// requests return nil (untracked).  Requests larger than the chunk
+// size get a dedicated chunk.
+func (s *Slab) Alloc(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	c := s.cur
+	if c == nil || len(c.buf)+n > cap(c.buf) {
+		s.sealCurLocked()
+		size := s.chunkBytes
+		if n > size {
+			size = n
+		}
+		if k := len(s.free); k > 0 && n <= cap(s.free[k-1].buf) {
+			c = s.free[k-1]
+			s.free[k-1] = nil
+			s.free = s.free[:k-1]
+		} else {
+			c = &chunk{slab: s, buf: make([]byte, 0, size)}
+		}
+		s.cur = c
+	}
+	off := len(c.buf)
+	c.buf = c.buf[:off+n]
+	view := c.buf[off : off+n : off+n]
+	c.refs.Add(1)
+	s.mu.Unlock()
+
+	e := &viewEntry{c: c}
+	e.refs.Store(1)
+	views.Store(&view[0], e)
+	s.outstanding.Add(1)
+	if s.met != nil {
+		s.met.SlabRetained.Inc()
+	}
+	return view
+}
+
+func (s *Slab) sealCurLocked() {
+	if c := s.cur; c != nil {
+		c.sealed.Store(true)
+		if c.refs.Load() == 0 {
+			s.recycleLocked(c)
+		}
+		s.cur = nil
+	}
+}
+
+func (s *Slab) recycle(c *chunk) {
+	s.mu.Lock()
+	s.recycleLocked(c)
+	s.mu.Unlock()
+}
+
+func (s *Slab) recycleLocked(c *chunk) {
+	if s.closed || len(s.free) >= maxFreeChunks {
+		return // drop; the GC reclaims it
+	}
+	c.buf = c.buf[:0]
+	c.sealed.Store(false)
+	s.free = append(s.free, c)
+}
+
+// Close seals the slab and returns the number of views still
+// outstanding (leaked if nobody is going to release them).  Late
+// releases still work — their chunks are simply dropped to the GC
+// instead of being recycled.  Close is idempotent; only the first call
+// charges SlabLeaked.
+func (s *Slab) Close() int64 {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.outstanding.Load()
+	}
+	s.closed = true
+	if c := s.cur; c != nil {
+		c.sealed.Store(true)
+		s.cur = nil
+	}
+	s.free = nil
+	s.mu.Unlock()
+	leaked := s.outstanding.Load()
+	if s.met != nil && leaked > 0 {
+		s.met.SlabLeaked.Add(leaked)
+	}
+	return leaked
+}
+
+// Outstanding returns the number of live views carved from this slab.
+func (s *Slab) Outstanding() int64 { return s.outstanding.Load() }
+
+// IsView reports whether b is (the base of) a live slab view.
+func IsView(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	_, ok := views.Load(&b[0])
+	return ok
+}
+
+// Retain adds a reference to a live view.  It reports whether b was a
+// view; on ordinary slices it is a no-op.
+func Retain(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	v, ok := views.Load(&b[0])
+	if !ok {
+		return false
+	}
+	e := v.(*viewEntry)
+	e.refs.Add(1)
+	s := e.c.slab
+	s.outstanding.Add(1)
+	if s.met != nil {
+		s.met.SlabRetained.Inc()
+	}
+	return true
+}
+
+// Release drops one reference from a view, recycling its chunk when it
+// was the last reference on a sealed chunk.  It reports whether b was
+// a live view; on ordinary slices (or an already-released view) it is
+// a tolerant no-op.
+func Release(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	key := &b[0]
+	v, ok := views.Load(key)
+	if !ok {
+		return false
+	}
+	e := v.(*viewEntry)
+	if e.refs.Add(-1) != 0 {
+		s := e.c.slab
+		s.outstanding.Add(-1)
+		if s.met != nil {
+			s.met.SlabReleased.Inc()
+		}
+		return true
+	}
+	views.Delete(key)
+	c := e.c
+	s := c.slab
+	s.outstanding.Add(-1)
+	if s.met != nil {
+		s.met.SlabReleased.Inc()
+	}
+	if c.refs.Add(-1) == 0 && c.sealed.Load() {
+		s.recycle(c)
+	}
+	return true
+}
+
+// ReleaseAll releases every view in items (tolerant of non-views) and
+// returns how many were live views.
+func ReleaseAll(items [][]byte) int {
+	n := 0
+	for _, it := range items {
+		if Release(it) {
+			n++
+		}
+	}
+	return n
+}
+
+// Detach converts b into an ordinary heap slice the caller owns
+// outright.  If b is a live view the bytes are copied out and the view
+// released; otherwise b is returned unchanged.  This is the one copy
+// the data plane still pays, at the boundary where items leave
+// library-controlled lifetimes (user bodies, collecting sinks).
+func Detach(b []byte) []byte {
+	if len(b) == 0 || !IsView(b) {
+		return b
+	}
+	out := append([]byte(nil), b...)
+	Release(b)
+	return out
+}

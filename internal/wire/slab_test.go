@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"asymstream/internal/metrics"
+)
+
+func TestSlabAllocRelease(t *testing.T) {
+	met := &metrics.Set{}
+	s := NewSlab(met, 0)
+	v := s.Alloc(16)
+	if len(v) != 16 {
+		t.Fatalf("len = %d", len(v))
+	}
+	if !IsView(v) {
+		t.Fatal("Alloc result is not a view")
+	}
+	if s.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", s.Outstanding())
+	}
+	if !Release(v) {
+		t.Fatal("Release returned false for a live view")
+	}
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding after release = %d", s.Outstanding())
+	}
+	if Release(v) {
+		t.Fatal("double Release reported a live view")
+	}
+	if met.SlabRetained.Value() != 1 || met.SlabReleased.Value() != 1 {
+		t.Errorf("retained/released = %d/%d, want 1/1",
+			met.SlabRetained.Value(), met.SlabReleased.Value())
+	}
+	if leaked := s.Close(); leaked != 0 {
+		t.Errorf("leaked = %d", leaked)
+	}
+}
+
+func TestSlabZeroLengthAndForeignSlices(t *testing.T) {
+	s := NewSlab(nil, 0)
+	defer s.Close()
+	if v := s.Alloc(0); v != nil {
+		t.Error("Alloc(0) must return nil")
+	}
+	plain := []byte("not a view")
+	if IsView(plain) || Retain(plain) || Release(plain) {
+		t.Error("ordinary slices must be no-ops")
+	}
+	if got := Detach(plain); &got[0] != &plain[0] {
+		t.Error("Detach must pass ordinary slices through")
+	}
+}
+
+func TestSlabRetainAddsHandle(t *testing.T) {
+	s := NewSlab(nil, 0)
+	defer s.Close()
+	v := s.Alloc(8)
+	if !Retain(v) {
+		t.Fatal("Retain returned false")
+	}
+	if s.Outstanding() != 2 {
+		t.Fatalf("outstanding = %d, want 2", s.Outstanding())
+	}
+	Release(v)
+	if !IsView(v) {
+		t.Fatal("view vanished while a handle remained")
+	}
+	Release(v)
+	if IsView(v) {
+		t.Fatal("view survived its last release")
+	}
+}
+
+func TestSlabDetachCopies(t *testing.T) {
+	s := NewSlab(nil, 0)
+	defer s.Close()
+	v := s.Alloc(4)
+	copy(v, "data")
+	out := Detach(v)
+	if IsView(out) || &out[0] == &v[0] {
+		t.Fatal("Detach must copy out of the arena")
+	}
+	if !bytes.Equal(out, []byte("data")) {
+		t.Fatalf("detached %q", out)
+	}
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after detach", s.Outstanding())
+	}
+}
+
+// TestSlabRecyclesChunks pins the arena behaviour: once every view of a
+// sealed chunk is released the chunk is carved again, observable as the
+// same base pointer coming back.
+func TestSlabRecyclesChunks(t *testing.T) {
+	s := NewSlab(nil, 64)
+	defer s.Close()
+	v1 := s.Alloc(64) // fills chunk exactly
+	base := &v1[0]
+	s.Alloc(64) // seals chunk 1, carves chunk 2
+	Release(v1)
+	v3 := s.Alloc(64) // chunk 1 should be back on the free list
+	if &v3[0] != base {
+		t.Error("released chunk was not recycled")
+	}
+}
+
+func TestSlabCloseAuditsLeaks(t *testing.T) {
+	met := &metrics.Set{}
+	s := NewSlab(met, 0)
+	v := s.Alloc(10)
+	_ = s.Alloc(20)
+	if leaked := s.Close(); leaked != 2 {
+		t.Fatalf("leaked = %d, want 2", leaked)
+	}
+	if met.SlabLeaked.Value() != 2 {
+		t.Fatalf("SlabLeaked = %d, want 2", met.SlabLeaked.Value())
+	}
+	// Idempotent: a second Close does not double-charge.
+	s.Close()
+	if met.SlabLeaked.Value() != 2 {
+		t.Fatalf("SlabLeaked after re-Close = %d, want 2", met.SlabLeaked.Value())
+	}
+	// Late release still works on a closed slab.
+	if !Release(v) {
+		t.Error("late release failed")
+	}
+}
+
+func TestReleaseAllCounts(t *testing.T) {
+	s := NewSlab(nil, 0)
+	defer s.Close()
+	items := [][]byte{s.Alloc(3), []byte("plain"), s.Alloc(5), nil}
+	if n := ReleaseAll(items); n != 2 {
+		t.Fatalf("ReleaseAll = %d, want 2", n)
+	}
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", s.Outstanding())
+	}
+}
+
+// TestSlabConcurrent hammers Alloc/Retain/Release from many goroutines;
+// run under -race this is the data-plane safety check.
+func TestSlabConcurrent(t *testing.T) {
+	s := NewSlab(nil, 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := s.Alloc(1 + (g+i)%40)
+				v[0] = byte(g)
+				if i%3 == 0 {
+					Retain(v)
+					Release(v)
+				}
+				Release(v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", s.Outstanding())
+	}
+	if leaked := s.Close(); leaked != 0 {
+		t.Fatalf("leaked = %d", leaked)
+	}
+}
