@@ -1,0 +1,77 @@
+// Command transput-vet runs the module's custom static analyzers
+// (internal/analysis) over the whole repository:
+//
+//	transput-vet            # run every analyzer over the module
+//	transput-vet -run slab  # only analyzers matching the regex
+//	transput-vet -list      # list analyzers and exit
+//
+// Diagnostics print as file:line:col: [analyzer] message; any finding
+// exits 1, which is how `make vet-custom` gates CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"asymstream/internal/analysis"
+)
+
+func main() {
+	var (
+		dir  = flag.String("dir", ".", "module root to analyze")
+		run  = flag.String("run", "", "regex selecting analyzers to run (default all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	selected := all
+	if *run != "" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "transput-vet: bad -run regex: %v\n", err)
+			os.Exit(2)
+		}
+		selected = nil
+		for _, a := range all {
+			if re.MatchString(a.Name) {
+				selected = append(selected, a)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "transput-vet: no analyzers match %q\n", *run)
+			os.Exit(2)
+		}
+	}
+
+	loader, err := analysis.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "transput-vet: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := loader.Load()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "transput-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "transput-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "transput-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SlabOwn is the static twin of TestSlabLeakAudit: it tracks slab
+// views ([]byte values produced by (*wire.Slab).Alloc or pinned by
+// wire.Retain) through each function and reports paths — including
+// error, abort and Cancel returns — where a view reaches a return
+// without being released (wire.Release/ReleaseAll/Detach), handed off
+// (any call argument, e.g. transput.PutOwned), stored, sent, or
+// returned.  Ownership transfer is deliberately generous: the runtime
+// audit catches deep leaks; this analyzer catches the shallow ones
+// where a function plainly drops a view on an early return.
+var SlabOwn = &Analyzer{
+	Name: "slabown",
+	Doc:  "report slab views that can escape a function without Release/Detach/handoff",
+	Run:  runSlabOwn,
+}
+
+func runSlabOwn(pass *Pass) error {
+	for _, pkg := range pass.Prog.Pkgs {
+		spec := slabSpec(pkg)
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				reportSlabLeaks(pass, pkg, spec, fd.Body)
+				// Function literals get their own pass: the engine's CFG
+				// does not descend into them.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						reportSlabLeaks(pass, pkg, spec, lit.Body)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+func reportSlabLeaks(pass *Pass, pkg *Package, spec lifetimeSpec, body *ast.BlockStmt) {
+	lt := runLifetime(spec, body, false)
+	for _, l := range lt.leaks() {
+		exit := pass.Prog.Fset.Position(l.exitPos)
+		pass.Reportf(l.allocPos,
+			"slab view %s may escape without Release/Detach/handoff on the path returning at line %d",
+			l.v.Name(), exit.Line)
+	}
+}
+
+func slabSpec(pkg *Package) lifetimeSpec {
+	info := pkg.Info
+	return lifetimeSpec{
+		pkg: pkg,
+		isAlloc: func(call *ast.CallExpr) bool {
+			return isMethodOn(info, call, isWirePackage, "Slab", "Alloc")
+		},
+		retainArgs: func(call *ast.CallExpr) []ast.Expr {
+			if isPkgFunc(info, call, isWirePackage, "Retain") && len(call.Args) == 1 {
+				return call.Args[:1]
+			}
+			return nil
+		},
+		releaseArgs: func(call *ast.CallExpr) []ast.Expr {
+			if isPkgFunc(info, call, isWirePackage, "Release", "Detach", "ReleaseAll") && len(call.Args) == 1 {
+				return call.Args[:1]
+			}
+			return nil
+		},
+		trackable: func(v *types.Var) bool {
+			// Locals of type []byte only: fields and globals have
+			// lifetimes beyond one function.
+			return !v.IsField() && v.Pkg() != nil && isByteSlice(v.Type())
+		},
+	}
+}

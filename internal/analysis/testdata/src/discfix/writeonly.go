@@ -1,0 +1,23 @@
+//transput:discipline writeonly
+
+package discfix
+
+import (
+	"asymstream/internal/transput"
+)
+
+// pushOnly is clean: the push side belongs to the write-only
+// discipline.
+func pushOnly(w *transput.Pusher, item []byte) error {
+	return w.Put(item)
+}
+
+// wrongSidePull names a pull-side symbol from write-only code.
+func wrongSidePull() string {
+	return transput.OpTransfer // want "uses pull-side symbol transput.OpTransfer"
+}
+
+// wrongSideIndirect reaches the pull side through an untagged helper.
+func wrongSideIndirect() any { // want "reaches pull-side symbol"
+	return readerMaker()
+}

@@ -1,0 +1,72 @@
+// Package lockfix exercises the lockorder analyzer with a two-class
+// inversion, both direct and through a callee, plus clean patterns
+// (nested order used consistently, defer-unlock, RWMutex).
+package lockfix
+
+import "sync"
+
+type alpha struct {
+	mu    sync.Mutex
+	state int
+}
+
+type beta struct {
+	mu    sync.RWMutex
+	state int
+}
+
+// nestAB establishes the order alpha.mu -> beta.mu.
+func nestAB(a *alpha, b *beta) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.state = a.state
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// nestBA acquires the same pair in the opposite order: inversion.
+func nestBA(a *alpha, b *beta) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock order inversion"
+	a.state = b.state
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// lockBeta only takes beta.mu.
+func lockBeta(b *beta) {
+	b.mu.Lock()
+	b.state++
+	b.mu.Unlock()
+}
+
+// nestIndirect repeats the alpha->beta order through a callee; it is
+// consistent with nestAB, so only the nestBA inversion is reported.
+func nestIndirect(a *alpha, b *beta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockBeta(b)
+}
+
+// deferUnlock is clean: branches under a deferred unlock never leave
+// the lock held inconsistently.
+func deferUnlock(a *alpha, n int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n > 0 {
+		return a.state + n
+	}
+	return a.state
+}
+
+// readThenWrite is clean: sequential (non-nested) acquisitions impose
+// no order.
+func readThenWrite(a *alpha, b *beta) int {
+	b.mu.RLock()
+	n := b.state
+	b.mu.RUnlock()
+	a.mu.Lock()
+	a.state = n
+	a.mu.Unlock()
+	return n
+}

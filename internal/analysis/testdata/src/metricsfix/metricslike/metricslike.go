@@ -1,0 +1,67 @@
+// Package metricslike is a miniature of internal/metrics, shaped so
+// the metricstable analyzer recognizes it: a Set struct of counters
+// plus a package-level fieldTable.  Two deliberate table bugs live
+// here: Dropped is missing from the table, and "ops" is declared
+// twice.
+package metricslike
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// HighWater tracks a maximum.
+type HighWater struct{ v atomic.Int64 }
+
+// Observe raises the high-water mark.
+func (h *HighWater) Observe(n int64) {
+	for {
+		cur := h.v.Load()
+		if n <= cur || h.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value reads the mark.
+func (h *HighWater) Value() int64 { return h.v.Load() }
+
+// Set is the package's metric surface.
+type Set struct {
+	Ops     Counter
+	Dropped Counter
+	PeakHW  HighWater
+}
+
+var fieldTable = []struct { // want "Set field Dropped is missing from fieldTable"
+	name string
+	get  func(*Set) int64
+}{
+	{"ops", func(s *Set) int64 { return s.Ops.Value() }},
+	{"ops", func(s *Set) int64 { return s.Ops.Value() }}, // want "fieldTable declares duplicate metric name .ops." "fieldTable references Set field Ops more than once"
+	{"peak_hw", func(s *Set) int64 { return s.PeakHW.Value() }},
+}
+
+// Snapshot is a point-in-time copy.
+type Snapshot struct{ Values map[string]int64 }
+
+// Snapshot captures every tabled metric.
+func (s *Set) Snapshot() Snapshot {
+	snap := Snapshot{Values: make(map[string]int64, len(fieldTable))}
+	for _, f := range fieldTable {
+		snap.Values[f.name] = f.get(s)
+	}
+	return snap
+}
+
+// Get reads one metric by table name.
+func (s Snapshot) Get(name string) int64 { return s.Values[name] }

@@ -1,0 +1,103 @@
+// Package slabfix exercises the slabown analyzer: slab views must be
+// released, detached, or handed off on every path out of a function.
+package slabfix
+
+import (
+	"errors"
+
+	"asymstream/internal/wire"
+)
+
+var errBoom = errors.New("boom")
+
+// leakOnError drops the view on the early error return.
+func leakOnError(s *wire.Slab, fail bool) error {
+	b := s.Alloc(8) // want "slab view b may escape"
+	if fail {
+		return errBoom
+	}
+	copy(b, "payload!")
+	wire.Release(b)
+	return nil
+}
+
+// leakRetained re-pins a view and forgets the extra reference.
+func leakRetained(s *wire.Slab, item []byte) {
+	wire.Retain(item) // want "slab view item may escape"
+}
+
+// releasedEverywhere is clean: both paths discharge the view.
+func releasedEverywhere(s *wire.Slab, fail bool) error {
+	b := s.Alloc(8)
+	if fail {
+		wire.Release(b)
+		return errBoom
+	}
+	wire.Release(b)
+	return nil
+}
+
+// detached is clean: Detach transfers ownership to the caller.
+func detached(s *wire.Slab) []byte {
+	b := s.Alloc(4)
+	return wire.Detach(b)
+}
+
+// handedOff is clean: passing the view to any callee transfers
+// ownership (the callee or its downstream must release).
+func handedOff(s *wire.Slab, sink func([]byte)) {
+	b := s.Alloc(4)
+	sink(b)
+}
+
+// returned is clean: the caller owns the result.
+func returned(s *wire.Slab) []byte {
+	return s.Alloc(16)
+}
+
+// storedInField is clean: escaping into a structure transfers
+// ownership to the structure's lifecycle.
+type holder struct{ buf []byte }
+
+func storedInField(s *wire.Slab, h *holder) {
+	b := s.Alloc(4)
+	h.buf = b
+}
+
+// deferRelease is clean: the deferred release covers every later exit.
+func deferRelease(s *wire.Slab, n int) int {
+	b := s.Alloc(8)
+	defer wire.Release(b)
+	if n > len(b) {
+		return len(b)
+	}
+	return n
+}
+
+// loopAlloc is clean: every iteration hands its view off.
+func loopAlloc(s *wire.Slab, sink func([]byte), n int) {
+	for i := 0; i < n; i++ {
+		b := s.Alloc(i + 1)
+		sink(b)
+	}
+}
+
+// loopLeak drops the view allocated in the last iteration when the
+// break fires before the handoff.
+func loopLeak(s *wire.Slab, sink func([]byte), n int) {
+	for i := 0; i < n; i++ {
+		b := s.Alloc(i + 1) // want "slab view b may escape"
+		if i == n-1 {
+			break
+		}
+		sink(b)
+	}
+}
+
+// observersDoNotConsume: len/cap/index reads keep the obligation live,
+// so dropping the view after reading it still reports.
+func observersDoNotConsume(s *wire.Slab) int {
+	b := s.Alloc(8) // want "slab view b may escape"
+	n := len(b) + cap(b) + int(b[0])
+	return n
+}

@@ -1,3 +1,5 @@
+//transput:discipline readonly
+
 package transput
 
 import (

@@ -1,3 +1,5 @@
+//transput:discipline writeonly
+
 package transput
 
 import (

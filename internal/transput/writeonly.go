@@ -1,3 +1,5 @@
+//transput:discipline writeonly
+
 package transput
 
 import (
@@ -267,6 +269,17 @@ func (p *WOInPort) ServeAbort(inv *kernel.Invocation) {
 		if ch.abortErr == nil {
 			ch.abortErr = &AbortedError{Msg: req.Msg}
 		}
+		// An aborted channel never serves its backlog (Next returns the
+		// abort error once the buffer is empty, and nothing refills it),
+		// so drop the undrained items now, releasing any slab views —
+		// the same discipline outChannel.abort and ChannelReader.Cancel
+		// apply on their teardown paths.
+		wire.ReleaseAll(ch.buf[ch.head:])
+		for i := ch.head; i < len(ch.buf); i++ {
+			ch.buf[i] = nil
+		}
+		ch.buf = ch.buf[:0]
+		ch.head = 0
 		ch.cond.Broadcast()
 		ch.mu.Unlock()
 	}

@@ -1,6 +1,10 @@
 package wire
 
-import "testing"
+import (
+	"testing"
+
+	"asymstream/internal/metrics"
+)
 
 // FuzzDecode pins the package contract that hostile input is an error,
 // never a panic: truncated frames, foreign tags, lying length fields,
@@ -39,6 +43,137 @@ func FuzzDecode(f *testing.F) {
 		}
 		if v == nil {
 			t.Fatal("nil value with nil error")
+		}
+	})
+}
+
+// FuzzSlabViews drives the slab refcount machinery with an arbitrary
+// op program — alloc, retain, release, detach, integrity sweep — while
+// mirroring every reference in a shadow model.  Invariants checked on
+// every step and at teardown:
+//
+//   - Alloc returns a live view of the requested length and writes to
+//     one view never bleed into another (capacity-clipped subslices);
+//   - Retain/Release on a live view always succeed, and a view dies
+//     exactly when its shadow refcount hits zero;
+//   - Detach hands back the view's bytes intact;
+//   - once the shadow model is drained, Outstanding() == 0, Close()
+//     reports zero leaks, and SlabRetained == SlabReleased.
+func FuzzSlabViews(f *testing.F) {
+	f.Add([]byte{0, 4, 1, 0, 2, 0, 3, 0})
+	f.Add([]byte{0, 64, 0, 64, 1, 1, 3, 0, 2, 0, 2, 1, 4, 0})
+	f.Add([]byte{0, 1, 1, 0, 1, 0, 2, 0, 2, 0, 2, 0})
+	f.Add([]byte{0, 200, 0, 200, 0, 200, 4, 0}) // dedicated oversize chunks
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		met := &metrics.Set{}
+		slab := NewSlab(met, 256)
+		type shadow struct {
+			view []byte
+			refs int
+			want byte
+		}
+		var live []*shadow
+		check := func(s *shadow) {
+			t.Helper()
+			for i, b := range s.view {
+				if b != s.want {
+					t.Fatalf("view content corrupted at [%d]: got %#x want %#x", i, b, s.want)
+				}
+			}
+		}
+		pick := func(arg byte) *shadow {
+			if len(live) == 0 {
+				return nil
+			}
+			return live[int(arg)%len(live)]
+		}
+		drop := func(s *shadow) {
+			for i, x := range live {
+				if x == s {
+					live = append(live[:i], live[i+1:]...)
+					return
+				}
+			}
+		}
+		seq := byte(0)
+		for pc := 0; pc+1 < len(prog); pc += 2 {
+			op, arg := prog[pc]%5, prog[pc+1]
+			switch op {
+			case 0: // alloc
+				n := int(arg)%300 + 1 // crosses the 256-byte chunk size
+				v := slab.Alloc(n)
+				if len(v) != n {
+					t.Fatalf("Alloc(%d) returned %d bytes", n, len(v))
+				}
+				if !IsView(v) {
+					t.Fatal("Alloc result is not a live view")
+				}
+				seq++
+				for i := range v {
+					v[i] = seq
+				}
+				live = append(live, &shadow{view: v, refs: 1, want: seq})
+			case 1: // retain
+				if s := pick(arg); s != nil {
+					if !Retain(s.view) {
+						t.Fatal("Retain on a live view reported non-view")
+					}
+					s.refs++
+				}
+			case 2: // release
+				if s := pick(arg); s != nil {
+					check(s)
+					if !Release(s.view) {
+						t.Fatal("Release on a live view reported non-view")
+					}
+					if s.refs--; s.refs == 0 {
+						drop(s)
+					}
+				}
+			case 3: // detach
+				if s := pick(arg); s != nil {
+					out := Detach(s.view)
+					if len(out) != len(s.view) {
+						t.Fatalf("Detach returned %d bytes, view had %d", len(out), len(s.view))
+					}
+					for i, b := range out {
+						if b != s.want {
+							t.Fatalf("Detach copy corrupted at [%d]: got %#x want %#x", i, b, s.want)
+						}
+					}
+					if s.refs--; s.refs == 0 {
+						drop(s)
+					}
+				}
+			case 4: // integrity sweep over everything still live
+				for _, s := range live {
+					if !IsView(s.view) {
+						t.Fatalf("live view (refs=%d) no longer registered", s.refs)
+					}
+					check(s)
+				}
+			}
+		}
+		// Drain the shadow model; the slab must agree it is empty.
+		for _, s := range live {
+			check(s)
+			for i := 0; i < s.refs; i++ {
+				if !Release(s.view) {
+					t.Fatalf("drain: Release %d/%d reported non-view", i+1, s.refs)
+				}
+			}
+		}
+		if n := slab.Outstanding(); n != 0 {
+			t.Fatalf("Outstanding() = %d after drain", n)
+		}
+		if n := slab.Close(); n != 0 {
+			t.Fatalf("Close() reports %d leaked views after drain", n)
+		}
+		if ret, rel := met.SlabRetained.Value(), met.SlabReleased.Value(); ret != rel {
+			t.Fatalf("metrics out of balance: retained=%d released=%d", ret, rel)
+		}
+		if n := met.SlabLeaked.Value(); n != 0 {
+			t.Fatalf("SlabLeaked = %d on a drained slab", n)
 		}
 	})
 }

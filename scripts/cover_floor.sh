@@ -1,0 +1,25 @@
+#!/bin/sh
+# cover_floor.sh <package-dir> <min-percent>
+# Fails when `go test -cover` statement coverage for ./<package-dir>/
+# drops below <min-percent>.  Used by `make cover-floor`.
+set -eu
+
+pkg=$1
+floor=$2
+
+out=$(${GO:-go} test -cover "./$pkg/" 2>&1) || {
+	echo "$out"
+	exit 1
+}
+pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' | head -1)
+if [ -z "$pct" ]; then
+	echo "cover-floor: could not parse coverage for $pkg:"
+	echo "$out"
+	exit 1
+fi
+ok=$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p >= f) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+	echo "cover-floor: $pkg coverage $pct% is below the $floor% floor"
+	exit 1
+fi
+echo "cover-floor: $pkg $pct% >= $floor%"
