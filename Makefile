@@ -24,9 +24,10 @@ staticcheck:
 ## vet-custom: the repo's own go/analysis-style suite.  Proves slab
 ## ownership (every Alloc/Retain is released on every path), discipline
 ## purity (readonly files never reach the push side and vice versa),
-## pool hygiene (no use-after-Put, no missing Put), metrics-table
-## completeness, and lock-order consistency.  Zero findings is a merge
-## requirement.
+## fusion purity (fusable-tagged plumbing never reaches a port or a
+## kernel invocation), pool hygiene (no use-after-Put, no missing Put),
+## metrics-table completeness, and lock-order consistency.  Zero
+## findings is a merge requirement.
 vet-custom:
 	$(GO) run ./cmd/transput-vet
 
@@ -47,10 +48,11 @@ race:
 	$(GO) test -race ./internal/kernel/... ./internal/transput/...
 
 ## race-sharded: a short, focused race run over the parallel engine
-## (sharded rows, windowed links, merge, redirect) — the subset CI runs
-## on every push in addition to the full gate.
+## (sharded rows, windowed links, merge, redirect) and the fusion
+## compiler (fused groups, fused aborts, fused pools) — the subset CI
+## runs on every push in addition to the full gate.
 race-sharded:
-	$(GO) test -race -run 'TestSharded|TestChained|TestShard|TestWindowed|TestRedirectShardedWindowed|TestPipelinePreservesArbitraryData' ./internal/transput/
+	$(GO) test -race -run 'TestSharded|TestChained|TestShard|TestWindowed|TestRedirectShardedWindowed|TestPipelinePreservesArbitraryData|TestFused|TestFusion|TestRedirectAcrossFusedBoundary|TestPoolHint' ./internal/transput/ ./internal/kernel/
 
 ## bench: the per-hop micro-benchmarks the fast-path work is gated on,
 ## plus the parallel engine's end-to-end throughput benchmark.
@@ -60,8 +62,10 @@ bench:
 
 ## bench-json: regenerate the committed measurement files —
 ## BENCH_kernel.json (Figure 1/2 pipeline costs), BENCH_transput.json
-## (the parallel engine's shards × window grid) and BENCH_codec.json
-## (gob vs wire codec costs and the fixed vs adaptive batching grid).
+## (the parallel engine's shards × window grid), BENCH_codec.json
+## (gob vs wire codec costs and the fixed vs adaptive batching grid)
+## and BENCH_fusion.json (the stage-fusion compiler's fused vs unfused
+## grid).
 bench-json:
 	$(GO) run ./cmd/transput-bench -json
 

@@ -71,6 +71,9 @@ type (
 	NodeID = netsim.NodeID
 	// Role identifies a pipeline element for placement.
 	Role = transput.Role
+	// FusionMode selects whether BuildPipeline compiles adjacent
+	// co-located stages into single Ejects (Options.Fusion).
+	FusionMode = transput.FusionMode
 )
 
 // Re-exported constants.
@@ -83,6 +86,11 @@ const (
 	RoleFilter = transput.RoleFilter
 	RoleSink   = transput.RoleSink
 	RoleBuffer = transput.RoleBuffer
+
+	// FusionOff (the default) builds one Eject per stage — the paper's
+	// exact accounting; FusionOn fuses adjacent co-located stages.
+	FusionOff = transput.FusionOff
+	FusionOn  = transput.FusionOn
 )
 
 // SystemConfig parameterises a simulated Eden system.

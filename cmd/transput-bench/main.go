@@ -14,9 +14,11 @@
 //	transput-bench -json           # write BENCH_kernel.json (ns/op, allocs/op, inv/datum
 //	                               # for the four Figure 1/2 pipeline shapes),
 //	                               # BENCH_transput.json (the parallel engine's
-//	                               # shards × window scaling grid) and
+//	                               # shards × window scaling grid),
 //	                               # BENCH_codec.json (gob vs wire codec costs and the
-//	                               # fixed vs adaptive batching grid)
+//	                               # fixed vs adaptive batching grid) and
+//	                               # BENCH_fusion.json (the stage-fusion compiler's
+//	                               # fused vs unfused grid)
 package main
 
 import (
@@ -39,6 +41,7 @@ func main() {
 		jout  = flag.String("json-out", "BENCH_kernel.json", "output path for the -json kernel costs")
 		tout  = flag.String("json-out-transput", "BENCH_transput.json", "output path for the -json parallel-engine grid")
 		cout  = flag.String("json-out-codec", "BENCH_codec.json", "output path for the -json codec and batching grids")
+		fout  = flag.String("json-out-fusion", "BENCH_fusion.json", "output path for the -json fused-vs-unfused grid")
 		jn    = flag.Int("json-n", 4, "filter count for the -json pipelines")
 	)
 	flag.Parse()
@@ -63,6 +66,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (n=%d, items=%d)\n", *cout, *jn, p.Items)
+		if err := experiments.WriteFusionBenchJSON(*fout, p.Items); err != nil {
+			fmt.Fprintln(os.Stderr, "transput-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (items=%d)\n", *fout, p.Items)
 		return
 	}
 
@@ -75,6 +83,7 @@ func main() {
 		if len(violations) == 0 {
 			fmt.Println("all counting claims hold (n+1 vs 2n+2 invocations, n+2 vs 2n+3 Ejects, duality, Figure 1)")
 			fmt.Println("parallel engine holds (byte-identical sink output at shards=4/window=4, inv/datum unchanged, Ejects scale to n·P+2)")
+			fmt.Println("fusion compiler holds (byte-identical output, 2 Ejects / ~1 inv per datum co-located, fusion off reproduces paper counts)")
 			return
 		}
 		for _, v := range violations {

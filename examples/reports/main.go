@@ -6,12 +6,19 @@
 // tell its reporters apart) and then in the read-only discipline with
 // channel identifiers (Figure 4: the window *pulls* each Report
 // channel and labels it).
+//
+// A final section shows the stage-fusion compiler: the same logical
+// topology can occupy fewer physical Ejects, so the program reports
+// the two counts separately throughout.
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"log"
 
+	"asymstream"
 	"asymstream/internal/experiments"
 )
 
@@ -25,7 +32,8 @@ func main() {
 	}
 	fmt.Printf("data items delivered: %d\n", r3.Items)
 	fmt.Printf("report lines shown:   %d (merged anonymously — push fan-in)\n", r3.ReportLines)
-	fmt.Printf("ejects: %d, data invocations: %d\n\n", r3.Ejects, r3.DataInv)
+	fmt.Printf("physical ejects: %d (unfused: every logical stage is its own Eject), data invocations: %d\n\n",
+		r3.Ejects, r3.DataInv)
 
 	fmt.Println("== Figure 4: read-only discipline, pulled report channels ==")
 	r4, err := experiments.RunFigure4(items, false)
@@ -34,7 +42,8 @@ func main() {
 	}
 	fmt.Printf("data items pulled:    %d\n", r4.Items)
 	fmt.Printf("report lines shown:   %d (each labelled by source — the window knows its UIDs)\n", r4.ReportLines)
-	fmt.Printf("ejects: %d, data invocations: %d\n\n", r4.Ejects, r4.DataInv)
+	fmt.Printf("physical ejects: %d (unfused: every logical stage is its own Eject), data invocations: %d\n\n",
+		r4.Ejects, r4.DataInv)
 
 	fmt.Println("== Figure 4 again, with unforgeable (capability) channel identifiers ==")
 	r4c, err := experiments.RunFigure4(items, true)
@@ -44,4 +53,49 @@ func main() {
 	fmt.Printf("data items pulled:    %d\n", r4c.Items)
 	fmt.Printf("report lines shown:   %d\n", r4c.ReportLines)
 	fmt.Println("only holders of a channel's UID can Read it (§5's security scheme)")
+
+	fmt.Println("\n== Stage fusion: logical stages vs physical Ejects ==")
+	sys := asymstream.NewSystem(asymstream.SystemConfig{})
+	defer sys.Close()
+	upper := func(ins []asymstream.ItemReader, outs []asymstream.ItemWriter) error {
+		for {
+			item, err := ins[0].Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := outs[0].Put(bytes.ToUpper(item)); err != nil {
+				return err
+			}
+		}
+	}
+	fs := []asymstream.Filter{
+		{Name: "f0", Body: upper}, {Name: "f1", Body: upper}, {Name: "f2", Body: upper},
+	}
+	sank := 0
+	p, err := sys.Pipeline(asymstream.ReadOnly,
+		asymstream.LinesSource("a\nb\nc\n"), fs,
+		func(in asymstream.ItemReader) error {
+			for {
+				if _, err := in.Next(); err == io.EOF {
+					return nil
+				} else if err != nil {
+					return err
+				}
+				sank++
+			}
+		},
+		asymstream.Options{Fusion: asymstream.FusionOn})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("items delivered:  %d\n", sank)
+	fmt.Printf("logical stages:   %d (source + 3 filters + sink)\n", p.LogicalStages)
+	fmt.Printf("physical ejects:  %d (%d stages fused into %d group)\n",
+		p.Ejects(), p.FusedStages, p.FusionGroups)
 }

@@ -92,6 +92,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		SlabOwn,
 		Discipline,
+		Fusable,
 		PoolHygiene,
 		MetricsTable,
 		LockOrder,

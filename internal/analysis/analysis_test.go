@@ -30,6 +30,14 @@ func TestDisciplineFixture(t *testing.T) {
 	mustFind(t, diags, "reaches pull-side symbol")
 }
 
+func TestFusableFixture(t *testing.T) {
+	diags := runFixture(t, Fusable, "fusable")
+	mustFind(t, diags, "uses port symbol")
+	mustFind(t, diags, "reaches port symbol")
+	mustFind(t, diags, "uses invocation symbol")
+	mustFind(t, diags, "reaches invocation symbol")
+}
+
 func TestMetricsTableFixture(t *testing.T) {
 	diags := runFixture(t, MetricsTable, "metricsfix")
 	mustFind(t, diags, "missing from fieldTable")
@@ -120,7 +128,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"slabown", "discipline", "poolhygiene", "metricstable", "lockorder"} {
+	for _, want := range []string{"slabown", "discipline", "fusable", "poolhygiene", "metricstable", "lockorder"} {
 		if !names[want] {
 			t.Errorf("missing analyzer %s", want)
 		}

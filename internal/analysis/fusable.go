@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Fusable proves the fusion pass's central claim statically: a fused
+// group's plumbing is pure composition.  The paper's cost model only
+// holds if the in-stack edges the fusion compiler builds never smuggle
+// a port or a kernel invocation back in — otherwise a "fused" chain
+// would still pay the hop it claims to have elided, and the invocation
+// counters the -check mode audits would lie.
+//
+// Files opt in with a comment tag:
+//
+//	//transput:fusable
+//
+// The tag covers every function declared in the file.  From each such
+// function the analyzer walks the direct call graph and reports any
+// path that reaches a port-side transput symbol (either discipline's:
+// InPort, Pusher, OutPort, ...) or a kernel invocation symbol (Invoke,
+// AsyncInvoke, Caller).  Dynamic dispatch through Body function values
+// is not followed — deliberately: the member bodies a fused group
+// composes are user code, checked by the discipline analyzer under
+// their own tags, not fusion plumbing.
+var Fusable = &Analyzer{
+	Name: "fusable",
+	Doc:  "fusable-tagged code must not reach port or kernel-invocation APIs",
+	Run:  runFusable,
+}
+
+const fusableTag = "transput:fusable"
+
+// kernelInvokeNames are the kernel package's invocation entry points; a
+// fused edge reaching one of these would mean the elided hop is fake.
+var kernelInvokeNames = map[string]bool{
+	"Invoke": true, "AsyncInvoke": true, "Caller": true,
+}
+
+func isKernelPackage(path string) bool {
+	return strings.HasSuffix(path, "/internal/kernel")
+}
+
+func runFusable(pass *Pass) error {
+	prog := pass.Prog
+	graph := BuildCallGraph(prog)
+
+	var roots []*FuncNode
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			if !fileHasFusableTag(f) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, _ := pkg.Info.Defs[fd.Name].(*types.Func); obj != nil {
+					if node := graph.ByObj[obj]; node != nil {
+						roots = append(roots, node)
+					}
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	refs := make(map[*FuncNode][]fusableRef)
+	for _, node := range graph.Nodes {
+		refs[node] = impureRefs(node)
+	}
+
+	for _, root := range roots {
+		reportFusableReach(pass, root, refs)
+	}
+	return nil
+}
+
+type fusableRef struct {
+	name string // symbol name
+	kind string // "port symbol transput" or "invocation symbol kernel"
+	pos  token.Pos
+}
+
+// impureRefs lists the port and invocation symbols a function's body
+// (or signature) references directly.
+func impureRefs(node *FuncNode) []fusableRef {
+	body := node.Body()
+	if body == nil {
+		return nil
+	}
+	var out []fusableRef
+	seen := make(map[string]bool)
+	scan := func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok && x != node.Lit {
+				return false // literals are separate graph nodes
+			}
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := node.Pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			name := obj.Name()
+			var kind string
+			switch {
+			case isTransputPackage(path) && (pushSideNames[name] || pullSideNames[name]):
+				kind = "port symbol transput"
+			case isKernelPackage(path) && kernelInvokeNames[name]:
+				kind = "invocation symbol kernel"
+			default:
+				return true
+			}
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, fusableRef{name: name, kind: kind, pos: id.Pos()})
+			}
+			return true
+		})
+	}
+	if node.Decl != nil {
+		if node.Decl.Type != nil {
+			scan(node.Decl.Type) // signatures count: returning *InPort is reaching it
+		}
+		scan(body)
+	} else {
+		scan(node.Lit)
+	}
+	return out
+}
+
+// reportFusableReach BFSes the call graph from root and reports the
+// first impure reference on each path.
+func reportFusableReach(pass *Pass, root *FuncNode, refs map[*FuncNode][]fusableRef) {
+	type hop struct {
+		node *FuncNode
+		via  []string
+	}
+	visited := map[*FuncNode]bool{root: true}
+	queue := []hop{{node: root}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		for _, r := range refs[h.node] {
+			if h.node == root {
+				pass.Reportf(r.pos, "fusable-tagged function %s uses %s.%s",
+					root.Name, r.kind, r.name)
+			} else {
+				pass.Reportf(root.Pos(), "fusable-tagged function %s reaches %s.%s via %s",
+					root.Name, r.kind, r.name, strings.Join(append(h.via, h.node.Name), " -> "))
+			}
+		}
+		for _, e := range h.node.Edges {
+			if visited[e.Callee] {
+				continue
+			}
+			visited[e.Callee] = true
+			via := h.via
+			if h.node != root {
+				via = append(append([]string(nil), h.via...), h.node.Name)
+			}
+			queue = append(queue, hop{node: e.Callee, via: via})
+		}
+	}
+}
+
+// fileHasFusableTag reports whether a file opts its functions into the
+// fusable purity check.
+func fileHasFusableTag(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == fusableTag {
+				return true
+			}
+		}
+	}
+	return false
+}

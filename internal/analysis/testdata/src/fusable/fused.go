@@ -1,0 +1,56 @@
+//transput:fusable
+
+// Package fusable exercises the fusable analyzer.  This file is
+// tagged: its functions are fusion plumbing, so they must compose
+// member bodies in-stack without reaching a port symbol (either
+// discipline's) or a kernel invocation.
+package fusable
+
+import (
+	"io"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// pureCompose is clean: it only touches reader/writer values and plain
+// control flow — exactly what a fused edge is allowed to be.
+func pureCompose(in transput.ItemReader, out transput.ItemWriter) error {
+	for {
+		item, err := in.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := out.Put(item); err != nil {
+			return err
+		}
+	}
+}
+
+// directPort names a port type outright: the "fused" edge would be a
+// real link in disguise.
+func directPort() any {
+	var p *transput.OutPort // want "uses port symbol transput.OutPort"
+	return p
+}
+
+// indirectPort reaches a port through an untagged helper two hops
+// away.
+func indirectPort() any { // want "reaches port symbol"
+	return portHop()
+}
+
+// directInvoke pays a kernel invocation from inside fusion plumbing —
+// the very hop fusion claims to elide.
+func directInvoke(k *kernel.Kernel) {
+	_, _ = k.Invoke(uid.Nil, uid.Nil, "noop", nil) // want "uses invocation symbol kernel.Invoke"
+}
+
+// indirectInvoke hides the invocation behind an untagged helper.
+func indirectInvoke(k *kernel.Kernel) { // want "reaches invocation symbol"
+	invokeHelper(k)
+}

@@ -1,0 +1,21 @@
+package fusable
+
+import (
+	"asymstream/internal/kernel"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// Untagged helpers: free to touch ports and the kernel themselves; the
+// analyzer only constrains what fusable-tagged code can reach.
+
+func portHop() any { return portMaker() }
+
+func portMaker() any {
+	var p *transput.InPort
+	return p
+}
+
+func invokeHelper(k *kernel.Kernel) {
+	_, _ = k.Invoke(uid.Nil, uid.Nil, "noop", nil)
+}

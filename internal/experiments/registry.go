@@ -80,6 +80,13 @@ func Registry() []Spec {
 			}
 			return ParallelTable(items)
 		}},
+		{"e12", "stage fusion: fused vs unfused grid", func(p Params) (Table, error) {
+			items := p.Items / 2
+			if items < 100 {
+				items = 100
+			}
+			return FusionTable(items)
+		}},
 		{"a1", "ablation: Transfer batch size", func(p Params) (Table, error) {
 			return A1BatchSweep(4, p.Items)
 		}},

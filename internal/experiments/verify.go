@@ -94,5 +94,10 @@ func Verify(p Params) []string {
 	// output byte-identical and the per-datum counts at the paper's
 	// figures, with Ejects scaling to n·P+2.
 	bad = append(bad, VerifyParallel(p)...)
+
+	// Fusion compiler: fused pipelines are byte-identical, collapse to
+	// 2 Ejects / ~1 inv per datum when fully co-located, and fusion off
+	// reproduces the paper's exact counts.
+	bad = append(bad, VerifyFusion(p)...)
 	return bad
 }

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"asymstream/internal/netsim"
@@ -71,20 +72,22 @@ type binding struct {
 	epoch uint64
 
 	maxWorkers int
-	workers    int // live workers in the current epoch
-	idle       int // workers parked in cond.Wait in the current epoch
+	pinned     bool // workers lock their OS thread (PoolHint.Pinned)
+	workers    int  // live workers in the current epoch
+	idle       int  // workers parked in cond.Wait in the current epoch
 }
 
 // ringMinCap is the initial mailbox capacity; it grows by doubling.
 const ringMinCap = 8
 
-func newBinding(id uid.UID, node netsim.NodeID, e Eject, workers int) *binding {
+func newBinding(id uid.UID, node netsim.NodeID, e Eject, workers int, pinned bool) *binding {
 	b := &binding{
 		id:         id,
 		node:       node,
 		state:      stateActive,
 		eject:      e,
 		maxWorkers: workers,
+		pinned:     pinned,
 	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
@@ -154,6 +157,13 @@ func (b *binding) enqueue(inv *Invocation) bool {
 // invocations from the mailbox until the binding deactivates (quit) or
 // is superseded by a newer activation (epoch change).
 func (b *binding) worker(epoch uint64) {
+	if b.pinned {
+		// pinned is immutable after newBinding, so the unlocked read is
+		// safe; the thread is held for the worker's whole life so a
+		// fused chain's datum never migrates cores mid-flight.
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
 	b.mu.Lock()
 	for {
 		for b.count == 0 && !b.quit && b.epoch == epoch {

@@ -55,6 +55,25 @@ type Deactivatable interface {
 	OnDeactivate()
 }
 
+// PoolHint lets an Eject shape the worker pool the kernel gives its
+// binding.  Workers > 0 caps the pool below Config.WorkersPerEject;
+// Pinned locks each worker goroutine to an OS thread for the life of
+// the binding.  The transput fusion pass uses both for fused stage
+// groups: a small pinned pool keeps a datum's whole fused chain on one
+// worker (and one core), instead of bouncing between the mailboxes of
+// the stages the fusion elided.
+type PoolHint struct {
+	Workers int
+	Pinned  bool
+}
+
+// PoolHinter is implemented by Ejects that want a non-default worker
+// pool.  The hint is read once, at Create time; re-activation reuses
+// the binding's original pool shape.
+type PoolHinter interface {
+	PoolHint() PoolHint
+}
+
 // ActivationContext is passed to an ActivateFunc when the kernel
 // re-activates a passive Eject.
 type ActivationContext struct {
@@ -194,10 +213,25 @@ func (k *Kernel) CreateWithUID(id uid.UID, e Eject, node netsim.NodeID) error {
 	if _, exists := k.bindings[id]; exists {
 		return fmt.Errorf("kernel: UID %s already bound", id)
 	}
-	b := newBinding(id, node, e, k.cfg.WorkersPerEject)
+	b := k.bindingFor(id, node, e)
 	k.bindings[id] = b
 	k.met.EjectsCreated.Inc()
 	return nil
+}
+
+// bindingFor builds a binding for e, honoring its PoolHint if it has
+// one.
+func (k *Kernel) bindingFor(id uid.UID, node netsim.NodeID, e Eject) *binding {
+	workers := k.cfg.WorkersPerEject
+	pinned := false
+	if h, ok := e.(PoolHinter); ok {
+		hint := h.PoolHint()
+		if hint.Workers > 0 {
+			workers = hint.Workers
+		}
+		pinned = hint.Pinned
+	}
+	return newBinding(id, node, e, workers, pinned)
 }
 
 // NodeOf reports the home node of an Eject.
@@ -324,7 +358,7 @@ func (k *Kernel) activate(target uid.UID) (*binding, error) {
 	defer k.mu.Unlock()
 	b = k.bindings[target]
 	if b == nil {
-		b = newBinding(target, node, e, k.cfg.WorkersPerEject)
+		b = k.bindingFor(target, node, e)
 		b.state = statePassive // reactivate below flips it
 		k.bindings[target] = b
 	}

@@ -1,0 +1,178 @@
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asymstream/internal/uid"
+)
+
+// hintedPinger is a pinger whose binding shape is driven by a PoolHint
+// instead of the kernel-wide WorkersPerEject default.
+type hintedPinger struct {
+	pinger
+	hint PoolHint
+
+	mu      sync.Mutex
+	active  int
+	highest int
+}
+
+func (h *hintedPinger) PoolHint() PoolHint { return h.hint }
+
+func (h *hintedPinger) Serve(inv *Invocation) {
+	h.mu.Lock()
+	h.active++
+	if h.active > h.highest {
+		h.highest = h.active
+	}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		h.active--
+		h.mu.Unlock()
+	}()
+	h.pinger.Serve(inv)
+}
+
+// TestPoolHintBoundsWorkers: an Eject advertising a small pool must
+// never see more concurrent Serve calls than its hint, even with far
+// more invocations in flight than the kernel default would allow.
+func TestPoolHintBoundsWorkers(t *testing.T) {
+	k := newTestKernel(t, Config{WorkersPerEject: 32})
+	h := &hintedPinger{hint: PoolHint{Workers: 2}}
+	id, err := k.Create(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := make([]*Call, 16)
+	for i := range calls {
+		calls[i] = k.AsyncInvoke(uid.Nil, id, "slow", &pingReq{})
+	}
+	for _, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.mu.Lock()
+	highest := h.highest
+	h.mu.Unlock()
+	if highest > 2 {
+		t.Fatalf("saw %d concurrent Serve calls, hint caps the pool at 2", highest)
+	}
+	if h.served.Load() != 16 {
+		t.Fatalf("served %d invocations, want 16", h.served.Load())
+	}
+}
+
+// TestPoolHintZeroKeepsDefault: a zero Workers hint defers to the
+// kernel-wide pool size rather than creating a zero-worker binding
+// that could never serve.
+func TestPoolHintZeroKeepsDefault(t *testing.T) {
+	k := newTestKernel(t, Config{WorkersPerEject: 4})
+	h := &hintedPinger{hint: PoolHint{Pinned: true}} // Workers: 0
+	id, err := k.Create(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := k.Invoke(uid.Nil, id, "ping", &pingReq{N: 1}); err != nil {
+				failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d pinned invocations failed", failed.Load())
+	}
+	h.mu.Lock()
+	highest := h.highest
+	h.mu.Unlock()
+	if highest > 4 {
+		t.Fatalf("saw %d concurrent Serve calls, kernel default is 4", highest)
+	}
+}
+
+// hintedPersistent is a checkpointable hintedPinger, so the kernel can
+// take it passive and bring it back.
+type hintedPersistent struct {
+	hintedPinger
+}
+
+func (h *hintedPersistent) EdenType() string { return "test.HintedPersistent" }
+
+func (h *hintedPersistent) PassiveRepresentation() ([]byte, error) { return []byte{1}, nil }
+
+// TestPoolHintSurvivesReactivation: the hint is read once at Create and
+// lives on the binding; deactivating and poking the Eject back to life
+// must serve through the original single-worker pool shape, not the
+// kernel default.
+func TestPoolHintSurvivesReactivation(t *testing.T) {
+	k := newTestKernel(t, Config{WorkersPerEject: 32})
+	var current *hintedPersistent // the instance serving right now
+	var mu sync.Mutex
+	k.RegisterType("test.HintedPersistent", func(ActivationContext) (Eject, error) {
+		h := &hintedPersistent{}
+		h.hint = PoolHint{Workers: 1, Pinned: true}
+		mu.Lock()
+		current = h
+		mu.Unlock()
+		return h, nil
+	})
+	first := &hintedPersistent{}
+	first.hint = PoolHint{Workers: 1, Pinned: true}
+	mu.Lock()
+	current = first
+	mu.Unlock()
+	id, err := k.Create(first, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Checkpoint(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Deactivate(id); err != nil {
+		t.Fatal(err)
+	}
+	// Invoking a passive Eject re-activates it (§1) — the revived pool
+	// must still be the hinted single pinned worker.
+	calls := make([]*Call, 6)
+	for i := range calls {
+		calls[i] = k.AsyncInvoke(uid.Nil, id, "slow", &pingReq{})
+	}
+	for _, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	h := current
+	mu.Unlock()
+	if h == first {
+		t.Fatal("Eject was never re-activated")
+	}
+	h.mu.Lock()
+	highest := h.highest
+	h.mu.Unlock()
+	if highest > 1 {
+		t.Fatalf("reactivated pool ran %d workers, hint pins it to 1", highest)
+	}
+	// Sanity: the pool still drains promptly after all of that.
+	done := make(chan struct{})
+	go func() {
+		_, _ = k.Invoke(uid.Nil, id, "ping", &pingReq{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("hinted pool wedged after reactivation")
+	}
+}

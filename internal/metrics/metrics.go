@@ -123,6 +123,14 @@ type Set struct {
 	// closed (pipeline teardown) — the refcount-audit failure counter.
 	// It stays zero when every drop path releases its views.
 	SlabLeaked Counter
+	// FusionGroups counts fusion groups the pipeline builder compiled
+	// (adjacent co-located stages collapsed into one Eject), and
+	// FusedStages the member stages inside them — so FusedStages minus
+	// FusionGroups is the number of port hops the fusion pass elided.
+	// Both stay zero with Options.Fusion off, keeping the paper's
+	// stage-per-Eject accounting intact.
+	FusionGroups Counter
+	FusedStages  Counter
 	// WindowDepthHighWater tracks the peak number of concurrently
 	// outstanding Transfer/Deliver invocations on any windowed port.
 	WindowDepthHighWater HighWater
@@ -166,6 +174,8 @@ var fieldTable = []struct {
 	{"slab_retained", func(s *Set) int64 { return s.SlabRetained.Value() }},
 	{"slab_released", func(s *Set) int64 { return s.SlabReleased.Value() }},
 	{"slab_leaked", func(s *Set) int64 { return s.SlabLeaked.Value() }},
+	{"fusion_groups", func(s *Set) int64 { return s.FusionGroups.Value() }},
+	{"fused_stages", func(s *Set) int64 { return s.FusedStages.Value() }},
 	{"window_depth_hw", func(s *Set) int64 { return s.WindowDepthHighWater.Value() }},
 	{"merge_reorder_hw", func(s *Set) int64 { return s.MergeReorderHighWater.Value() }},
 	{"batch_size_hw", func(s *Set) int64 { return s.BatchSizeHighWater.Value() }},

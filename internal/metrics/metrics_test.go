@@ -102,6 +102,7 @@ func TestSnapshotCoversEveryCounter(t *testing.T) {
 		"transfer_invocations", "deliver_invocations", "items_moved",
 		"shard_frames", "wire_frames_encoded", "wire_bytes_saved",
 		"slab_retained", "slab_released", "slab_leaked",
+		"fusion_groups", "fused_stages",
 		"window_depth_hw", "merge_reorder_hw", "batch_size_hw",
 	}
 	if len(snap.Values) != len(want) {

@@ -50,6 +50,7 @@ func TestSlabLeakAudit(t *testing.T) {
 		{Shards: 2},
 		{Shards: 3, Window: 4, Batch: 4, Prefetch: 2},
 		{Shards: 2, Window: 2, BatchMin: 1, BatchMax: 8},
+		{Window: 2, Batch: 2, Fusion: FusionOn},
 	}
 	for _, d := range []Discipline{ReadOnly, WriteOnly, Buffered} {
 		for oi, opt := range opts {
@@ -59,6 +60,17 @@ func TestSlabLeakAudit(t *testing.T) {
 				fs := []Filter{
 					{Name: "f0", Body: upcaseFilter},
 					{Name: "f1", Body: upcaseFilter},
+				}
+				if opt.Fusion == FusionOn {
+					// Mixed row: a sharded head keeps carving slab
+					// frames while the fusable tail compiles into a
+					// single Eject — the audit must balance across
+					// both kinds of link in one pipeline.
+					fs = []Filter{
+						{Name: "f0", Body: upcaseFilter, Shards: 2},
+						{Name: "f1", Body: upcaseFilter},
+						{Name: "f2", Body: upcaseFilter},
+					}
 				}
 				var got [][]byte
 				p, err := BuildPipeline(k, d, numbersSource(items), fs, collectSink(&got), opt)

@@ -1,0 +1,355 @@
+//transput:fusable
+
+// Stage fusion — the pipeline builder's answer to §6's cost model.
+// Invocation is dear *because* it is location-independent; between two
+// stages that share a node the port hop (frame codec, windowed link,
+// mailbox bounce) buys nothing.  Fusion partitions the filter chain
+// into groups of adjacent co-located stages at Build time and compiles
+// each group into a single Eject whose body is the direct composition
+// of the member bodies: items flow from member to member through an
+// in-stack coroutine edge, with no frame, no port and no invocation.
+//
+// Boundaries stay real.  A shard split (counts[i] > 1), an explicit
+// Filter.NoFuse, a cross-node edge, and every buffered-discipline
+// PassiveBuffer remain genuine windowed links — fusion only elides
+// hops that are provably unobservable, which is what the discipline
+// tags guarantee (cf. Palamidessi's encodings between the synchronous
+// and asynchronous π-calculi: semantics-preserving exactly when no
+// observable choice depends on the intermediate link).
+//
+// This file is tagged //transput:fusable: the `fusable` analyzer in
+// internal/analysis proves that nothing reachable from the fusion
+// plumbing touches a port-side symbol of either discipline or a kernel
+// invocation — the fused edge is pure function composition.
+package transput
+
+import (
+	"io"
+	"iter"
+	"runtime"
+	"strings"
+
+	"asymstream/internal/netsim"
+	"asymstream/internal/wire"
+)
+
+// FusionMode selects whether BuildPipeline runs the fusion pass.
+type FusionMode int
+
+const (
+	// FusionOff (the zero value) builds one Eject per stage, the
+	// paper's exact accounting: n+2 Ejects and n+1 invocations per
+	// datum in the asymmetric disciplines.
+	FusionOff FusionMode = iota
+	// FusionOn fuses adjacent co-located sequential stages into single
+	// Ejects.  Counts drop below the paper's figures; the elision is
+	// recorded in the FusionGroups/FusedStages metrics.
+	FusionOn
+)
+
+// String names the mode for logs and benchmark labels.
+func (m FusionMode) String() string {
+	if m == FusionOn {
+		return "on"
+	}
+	return "off"
+}
+
+// fusionResult reports what fuseChain did, for Pipeline bookkeeping.
+type fusionResult struct {
+	groups int // fusion groups compiled
+	stages int // member stages inside them (folded source/sink included)
+}
+
+// fusedEdge is the in-stack link between two composed bodies: the
+// upstream member's primary output and the downstream member's primary
+// input share it.  The coroutine hand-off of iter.Pull orders every
+// field access — the two sides never run concurrently.
+type fusedEdge struct {
+	yield  func([]byte) bool
+	upErr  error // upstream body's return value, set before next() reports done
+	abort  error // upstream CloseWithError reason
+	closed bool
+}
+
+// fusedEdgeWriter is the upstream side: an ItemWriter whose Put is a
+// coroutine switch instead of an invocation.
+type fusedEdgeWriter struct{ e *fusedEdge }
+
+// Put hands a copy of item downstream.  The copy preserves the
+// ItemWriter contract — the caller may reuse item's backing array the
+// moment Put returns, while the consumer owns what Next returned.
+func (w *fusedEdgeWriter) Put(item []byte) error {
+	if w.e.closed {
+		return ErrClosed
+	}
+	if !w.e.yield(append([]byte(nil), item...)) {
+		return &AbortedError{Msg: "fused consumer stopped"}
+	}
+	return nil
+}
+
+// PutOwned hands item downstream without copying; ownership transfers
+// even on failure (a dropped slab view is released here).
+func (w *fusedEdgeWriter) PutOwned(item []byte) error {
+	if w.e.closed {
+		wire.Release(item)
+		return ErrClosed
+	}
+	if !w.e.yield(item) {
+		wire.Release(item)
+		return &AbortedError{Msg: "fused consumer stopped"}
+	}
+	return nil
+}
+
+// Close marks normal end of stream; later Puts fail with ErrClosed.
+func (w *fusedEdgeWriter) Close() error {
+	w.e.closed = true
+	return nil
+}
+
+// CloseWithError records the abort reason the downstream reader will
+// surface once the upstream body returns.
+func (w *fusedEdgeWriter) CloseWithError(err error) error {
+	w.e.closed = true
+	if err != nil && w.e.abort == nil {
+		w.e.abort = err
+	}
+	return nil
+}
+
+// fusedEdgeReader is the downstream side.  next resumes the upstream
+// coroutine; when it reports done the upstream body has returned
+// (iter.Pull guarantees the ordering), so upErr/abort are settled.
+type fusedEdgeReader struct {
+	e    *fusedEdge
+	next func() ([]byte, bool)
+	err  error
+}
+
+func (r *fusedEdgeReader) Next() ([]byte, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	item, ok := r.next()
+	if ok {
+		return item, nil
+	}
+	switch {
+	case r.e.upErr != nil:
+		r.err = r.e.upErr
+	case r.e.abort != nil:
+		r.err = r.e.abort
+	default:
+		r.err = io.EOF
+	}
+	if r.err == io.EOF {
+		return nil, io.EOF
+	}
+	return nil, r.err
+}
+
+// fuse2 composes up | down into one body.  up runs as a coroutine
+// (iter.Pull) producing items on a fusedEdge; down consumes them on
+// the caller's own stack.  The composed body's inputs go to up, its
+// outputs to down.
+//
+// Error semantics mirror the unfused wiring: an upstream failure
+// surfaces on the downstream reader (the stage harness would have
+// aborted the link); a downstream body that returns early unwinds the
+// upstream via stop(), whose induced abort is discarded — exactly as
+// Pipeline.Wait prefers a clean sink exit over the cancellation it
+// caused.  stop() can never hang: when down has control, up is
+// suspended at a yield (or unstarted, or finished), never blocked
+// elsewhere.
+func fuse2(up, down Body) Body {
+	return func(ins []ItemReader, outs []ItemWriter) error {
+		e := &fusedEdge{}
+		next, stop := iter.Pull(func(yield func([]byte) bool) {
+			e.yield = yield
+			e.upErr = up(ins, []ItemWriter{&fusedEdgeWriter{e: e}})
+		})
+		defer stop()
+		return down([]ItemReader{&fusedEdgeReader{e: e, next: next}}, outs)
+	}
+}
+
+// composeBodies folds a fusion group into one body, first member
+// outermost: bodies[0]'s inputs are the group's inputs, the last
+// member's outputs are the group's outputs.
+func composeBodies(bodies []Body) Body {
+	composed := bodies[len(bodies)-1]
+	for i := len(bodies) - 2; i >= 0; i-- {
+		composed = fuse2(bodies[i], composed)
+	}
+	return composed
+}
+
+// sourceAsBody adapts a SourceFunc into a Body so it can lead a fusion
+// group (read-only discipline: the source is co-located with the first
+// filters and folds into their Eject).
+func sourceAsBody(src SourceFunc) Body {
+	return func(_ []ItemReader, outs []ItemWriter) error { return src(outs[0]) }
+}
+
+// sinkAsBody adapts a SinkFunc dually (write-only discipline: the sink
+// folds into the last group).
+func sinkAsBody(sink SinkFunc) Body {
+	return func(ins []ItemReader, _ []ItemWriter) error { return sink(ins[0]) }
+}
+
+// fuseChain is the fusion pass: a pre-pass over the user's chain that
+// rewrites (src, fs, sink, opt) before the per-discipline builders
+// run.  It groups maximal runs of adjacent sequential (effective shard
+// count 1), co-located, fusion-eligible filters; in the read-only
+// discipline the source folds into a leading group (the sink remains
+// the separate pump that drives the pipeline), and in the write-only
+// discipline the sink folds into a trailing group (the source remains
+// the driver).  The buffered discipline refuses fusion outright: every
+// one of its links is an explicit PassiveBuffer boundary.
+//
+// With everything co-located the asymmetric pipelines collapse to two
+// Ejects — driver plus fused chain — and one stream invocation per
+// datum, against the paper's n+2 and n+1.
+func fuseChain(d Discipline, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (SourceFunc, []Filter, SinkFunc, Options, fusionResult) {
+	var res fusionResult
+	if opt.Fusion != FusionOn || d == Buffered || len(fs) == 0 {
+		return src, fs, sink, opt, res
+	}
+	counts := shardCounts(fs, opt)
+	fusable := func(i int) bool { return counts[i] == 1 && !fs[i].NoFuse }
+
+	// Maximal runs of adjacent fusable filters on one node.
+	type run struct{ a, b int }
+	var runs []run
+	for i := 0; i < len(fs); {
+		if !fusable(i) {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < len(fs) && fusable(j+1) && opt.node(RoleFilter, j+1) == opt.node(RoleFilter, i) {
+			j++
+		}
+		runs = append(runs, run{i, j})
+		i = j + 1
+	}
+
+	foldSrc := d == ReadOnly && len(runs) > 0 && runs[0].a == 0 &&
+		opt.node(RoleSource, 0) == opt.node(RoleFilter, 0)
+	foldSink := d == WriteOnly && len(runs) > 0 && runs[len(runs)-1].b == len(fs)-1 &&
+		opt.node(RoleSink, 0) == opt.node(RoleFilter, len(fs)-1)
+
+	newSrc, newSink := src, sink
+	var newFs []Filter
+	var nodes []netsim.NodeID
+	ri := 0
+	for i := 0; i < len(fs); {
+		if ri >= len(runs) || runs[ri].a != i {
+			newFs = append(newFs, fs[i])
+			nodes = append(nodes, opt.node(RoleFilter, i))
+			i++
+			continue
+		}
+		r := runs[ri]
+		ri++
+		srcHere := foldSrc && r.a == 0
+		sinkHere := foldSink && r.b == len(fs)-1
+		size := r.b - r.a + 1
+		if srcHere {
+			size++
+		}
+		if sinkHere {
+			size++
+		}
+		if size < 2 {
+			// A lone fusable filter with no neighbour to join: there is
+			// no hop to elide, so it stays an ordinary stage.
+			newFs = append(newFs, fs[i])
+			nodes = append(nodes, opt.node(RoleFilter, i))
+			i++
+			continue
+		}
+		bodies := make([]Body, 0, size)
+		names := make([]string, 0, size)
+		if srcHere {
+			bodies = append(bodies, sourceAsBody(src))
+			names = append(names, "source")
+		}
+		for _, m := range fs[r.a : r.b+1] {
+			bodies = append(bodies, m.Body)
+			names = append(names, m.Name)
+		}
+		if sinkHere {
+			bodies = append(bodies, sinkAsBody(sink))
+			names = append(names, "sink")
+		}
+		composed := composeBodies(bodies)
+		res.groups++
+		res.stages += size
+		switch {
+		case srcHere:
+			newSrc = func(out ItemWriter) error { return composed(nil, []ItemWriter{out}) }
+			opt.srcFused = true
+		case sinkHere:
+			newSink = func(in ItemReader) error { return composed([]ItemReader{in}, nil) }
+			opt.sinkFused = true
+		default:
+			newFs = append(newFs, Filter{
+				Name:   strings.Join(names, "+"),
+				Body:   composed,
+				Shards: 1,
+				fused:  true,
+			})
+			nodes = append(nodes, opt.node(RoleFilter, r.a))
+		}
+		i = r.b + 1
+	}
+
+	if res.groups == 0 {
+		return src, fs, sink, opt, res
+	}
+	// Filter indices shifted: remap placement through the node table
+	// recorded while assembling the new list.  Other roles keep their
+	// original (index-stable) placement.
+	if opt.Placement != nil {
+		orig := opt.Placement
+		table := nodes
+		opt.Placement = func(role Role, index int) netsim.NodeID {
+			if role == RoleFilter {
+				if index >= 0 && index < len(table) {
+					return table[index]
+				}
+				return 0
+			}
+			return orig(role, index)
+		}
+	}
+	return newSrc, newFs, newSink, opt, res
+}
+
+// fusedPoolWorkers sizes a fused stage's kernel worker pool: enough
+// for the link's in-flight window plus control traffic (Channels,
+// Abort), small enough that dedicated OS threads stay scarce when the
+// pool is pinned.
+func fusedPoolWorkers(opt Options) int {
+	w := opt.Window
+	if w < 1 {
+		w = 1
+	}
+	if w+2 > 8 {
+		return w + 2
+	}
+	return 8
+}
+
+// fusedPoolPinned decides whether a fused group's workers (and its
+// body goroutine) lock their OS threads so a datum runs its whole
+// chain without migrating cores.  Pinning only pays when there are
+// cores to pin to: on a single-CPU host every locked thread turns each
+// coroutine yield and invocation handoff into a full OS context
+// switch, which is exactly the cost fusion exists to elide.
+func fusedPoolPinned() bool {
+	return runtime.NumCPU() > 1
+}

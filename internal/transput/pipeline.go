@@ -61,6 +61,14 @@ type Filter struct {
 	// is per-item (each output a function of the current input);
 	// stateful bodies (sort, uniq, wc) compute per-shard results.
 	Shards int
+	// NoFuse pins the filter to its own Eject even under
+	// Options.Fusion: its links stay real ports, so they can be
+	// redirected, metered or cut independently.
+	NoFuse bool
+
+	// fused marks a filter the fusion pass synthesised from a group of
+	// member bodies; the builders give it a pinned worker pool.
+	fused bool
 }
 
 // Role identifies a pipeline element for placement decisions.
@@ -114,11 +122,22 @@ type Options struct {
 	// LazyStart (read-only only) delays every producing stage until
 	// it is first invoked, demonstrating §4's laziness.
 	LazyStart bool
+	// Fusion, when FusionOn, lets BuildPipeline fuse adjacent
+	// co-located sequential stages into single Ejects (see fusion.go).
+	// The zero value keeps the paper's one-Eject-per-stage wiring, so
+	// every published count reproduces exactly.
+	Fusion FusionMode
 	// Placement maps each element to a simulated node; nil places
 	// everything on node 0.  index is the filter index for RoleFilter
 	// (all shards of a filter share its node) and the buffer index for
 	// RoleBuffer, 0 otherwise.
 	Placement func(role Role, index int) netsim.NodeID
+
+	// srcFused / sinkFused are set by the fusion pass when the source
+	// (read-only) or sink (write-only) was folded into a fusion group,
+	// so the builders give that endpoint the fused pool treatment.
+	srcFused  bool
+	sinkFused bool
 }
 
 func (o Options) node(role Role, index int) netsim.NodeID {
@@ -204,6 +223,13 @@ type Pipeline struct {
 	// ShardCounts records the effective shard count per filter.
 	ShardCounts []int
 
+	// LogicalStages is the user's chain length (source + filters +
+	// sink) before fusion; FusionGroups and FusedStages record how
+	// much of it the fusion pass collapsed (0 with Fusion off).
+	LogicalStages int
+	FusionGroups  int
+	FusedStages   int
+
 	shardLoads [][]*atomic.Int64
 	slabs      []*wire.Slab
 
@@ -214,9 +240,12 @@ type Pipeline struct {
 	allUIDs  []uid.UID
 }
 
-// Ejects reports how many Ejects the pipeline comprises — the paper's
-// n+2 (asymmetric) vs 2n+3 (buffered) comparison; each shard is its
-// own Eject, so a fully sharded asymmetric pipeline has n·P+2.
+// Ejects reports how many *physical* Ejects the pipeline comprises.
+// With Options.Fusion off this equals the paper's logical accounting —
+// n+2 (asymmetric) vs 2n+3 (buffered), each shard its own Eject so a
+// fully sharded asymmetric pipeline has n·P+2.  With fusion on it is
+// smaller: fused groups occupy one Eject each, and LogicalStages /
+// FusedStages / FusionGroups record the logical-to-physical mapping.
 func (p *Pipeline) Ejects() int { return len(p.allUIDs) }
 
 // ShardLoads reports, per filter, how many items each shard processed
@@ -299,18 +328,38 @@ func (p *Pipeline) frameSlab(met *metrics.Set, counts []int) *wire.Slab {
 }
 
 // BuildPipeline wires src | filters... | sink under the given
-// discipline and returns the (not yet started) pipeline.
+// discipline and returns the (not yet started) pipeline.  When
+// opt.Fusion is on, the fusion pass first collapses adjacent
+// co-located sequential stages (see fusion.go); the per-discipline
+// builders then wire the reduced chain exactly as they would any
+// other.
 func BuildPipeline(k *kernel.Kernel, d Discipline, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (*Pipeline, error) {
+	logical := len(fs) + 2
+	src, fs, sink, opt, fr := fuseChain(d, src, fs, sink, opt)
+	var p *Pipeline
+	var err error
 	switch d {
 	case ReadOnly:
-		return buildReadOnly(k, src, fs, sink, opt)
+		p, err = buildReadOnly(k, src, fs, sink, opt)
 	case WriteOnly:
-		return buildWriteOnly(k, src, fs, sink, opt)
+		p, err = buildWriteOnly(k, src, fs, sink, opt)
 	case Buffered:
-		return buildBuffered(k, src, fs, sink, opt)
+		p, err = buildBuffered(k, src, fs, sink, opt)
 	default:
 		return nil, fmt.Errorf("transput: unknown discipline %v", d)
 	}
+	if err != nil {
+		return nil, err
+	}
+	p.LogicalStages = logical
+	p.FusionGroups = fr.groups
+	p.FusedStages = fr.stages
+	if fr.groups > 0 {
+		met := k.Metrics()
+		met.FusionGroups.Add(int64(fr.groups))
+		met.FusedStages.Add(int64(fr.stages))
+	}
+	return p, nil
 }
 
 // addShardRow appends a filter's shard bookkeeping to the pipeline.
@@ -337,14 +386,19 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		Batch: opt.Batch, Prefetch: opt.Prefetch, Window: opt.Window,
 		BatchMin: opt.BatchMin, BatchMax: opt.BatchMax,
 	}
-	roCfg := func(name string, outs int) ROStageConfig {
-		return ROStageConfig{
+	roCfg := func(name string, outs int, fused bool) ROStageConfig {
+		cfg := ROStageConfig{
 			Name:           name,
 			OutNames:       channelNames("Output", outs),
 			Anticipation:   opt.Anticipation,
 			CapabilityMode: opt.CapabilityMode,
 			LazyStart:      opt.LazyStart,
 		}
+		if fused {
+			cfg.PoolWorkers = fusedPoolWorkers(opt)
+			cfg.PoolPinned = fusedPoolPinned()
+		}
+		return cfg
 	}
 	// width reports the fan-out a producer must declare toward the
 	// element after filter i (the sink is sequential).
@@ -363,7 +417,7 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 	if width(0) > 1 {
 		srcBody = splitBody(met, slab, srcBody)
 	}
-	srcStage := NewROStage(k, roCfg("source", width(0)), srcBody)
+	srcStage := NewROStage(k, roCfg("source", width(0), opt.srcFused), srcBody)
 	if err := k.CreateWithUID(srcUID, srcStage, opt.node(RoleSource, 0)); err != nil {
 		return nil, err
 	}
@@ -392,7 +446,7 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 				fUID := k.NewUID()
 				in := NewInPort(k, fUID, prev[j].u, prev[j].c, inCfg)
 				loads[j] = new(atomic.Int64)
-				st := NewROStage(k, roCfg(fmt.Sprintf("%s#%d", f.Name, j), 1),
+				st := NewROStage(k, roCfg(fmt.Sprintf("%s#%d", f.Name, j), 1, false),
 					shardBody(met, slab, loads[j], f.Body), in)
 				if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 					return nil, err
@@ -424,7 +478,7 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		for j := range prev {
 			ins[j] = NewInPort(k, fUID, prev[j].u, prev[j].c, inCfg)
 		}
-		st := NewROStage(k, roCfg(f.Name, width(i+1)), body, ins...)
+		st := NewROStage(k, roCfg(f.Name, width(i+1), f.fused), body, ins...)
 		if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 			return nil, err
 		}
@@ -481,13 +535,18 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 	}
 	p := &Pipeline{K: k, Discipline: WriteOnly}
 	slab := p.frameSlab(met, counts)
-	woCfg := func(name string, ins int) WOStageConfig {
-		return WOStageConfig{
+	woCfg := func(name string, ins int, fused bool) WOStageConfig {
+		cfg := WOStageConfig{
 			Name:           name,
 			InNames:        channelNames("Input", ins),
 			Capacity:       opt.Anticipation,
 			CapabilityMode: opt.CapabilityMode,
 		}
+		if fused {
+			cfg.PoolWorkers = fusedPoolWorkers(opt)
+			cfg.PoolPinned = fusedPoolPinned()
+		}
+		return cfg
 	}
 	// upWidth reports the fan-in an element must declare toward the
 	// element before filter i (the source is sequential).
@@ -507,7 +566,7 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 	if lastP > 1 {
 		sinkBody = mergeBody(met, sinkBody)
 	}
-	sinkStage := NewWOStage(k, woCfg("sink", lastP), sinkBody)
+	sinkStage := NewWOStage(k, woCfg("sink", lastP, opt.sinkFused), sinkBody)
 	if err := k.CreateWithUID(sinkUID, sinkStage, opt.node(RoleSink, 0)); err != nil {
 		return nil, err
 	}
@@ -537,7 +596,7 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 				fUID := k.NewUID()
 				out := newActiveOut(k, fUID, next[j].u, next[j].c, opt)
 				loads[j] = new(atomic.Int64)
-				st := NewWOStage(k, woCfg(fmt.Sprintf("%s#%d", f.Name, j), 1),
+				st := NewWOStage(k, woCfg(fmt.Sprintf("%s#%d", f.Name, j), 1, false),
 					shardBody(met, slab, loads[j], f.Body), out)
 				if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 					return nil, err
@@ -568,7 +627,7 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 		if inW > 1 {
 			body = mergeBody(met, body)
 		}
-		st := NewWOStage(k, woCfg(f.Name, inW), body, outs...)
+		st := NewWOStage(k, woCfg(f.Name, inW, f.fused), body, outs...)
 		if err := k.CreateWithUID(fUID, st, opt.node(RoleFilter, i)); err != nil {
 			return nil, err
 		}

@@ -34,9 +34,10 @@ func TestPipelinePreservesArbitraryData(t *testing.T) {
 			v[4] = reflect.ValueOf(r.Intn(3))     // prefetch
 			v[5] = reflect.ValueOf(r.Intn(4) + 1) // shards
 			v[6] = reflect.ValueOf(r.Intn(4) + 1) // window
+			v[7] = reflect.ValueOf(r.Intn(2))     // fusion
 		},
 	}
-	f := func(items [][]byte, n, disc, batch, pref, shards, window int) bool {
+	f := func(items [][]byte, n, disc, batch, pref, shards, window, fusion int) bool {
 		k := testKernel(t)
 		var fs []Filter
 		for i := 0; i < n; i++ {
@@ -78,6 +79,7 @@ func TestPipelinePreservesArbitraryData(t *testing.T) {
 		}
 		p, err := BuildPipeline(k, Discipline(disc), src, fs, sink, Options{
 			Batch: batch, Prefetch: pref, Shards: shards, Window: window,
+			Fusion: FusionMode(fusion),
 		})
 		if err != nil {
 			t.Log(err)

@@ -2,6 +2,7 @@ package transput
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"asymstream/internal/kernel"
@@ -41,6 +42,7 @@ type ROStage struct {
 	outs []ItemWriter
 
 	lazy  bool
+	pool  kernel.PoolHint
 	once  sync.Once
 	wg    sync.WaitGroup
 	errMu sync.Mutex
@@ -64,6 +66,13 @@ type ROStageConfig struct {
 	// requested").  When false the body starts immediately and runs
 	// ahead until its output buffers fill (anticipatory computation).
 	LazyStart bool
+	// PoolWorkers, when >0, caps the stage's kernel worker pool;
+	// PoolPinned locks the pool's workers and the body goroutine to OS
+	// threads.  The fusion pass sets both on fused groups so a datum
+	// runs its whole fused chain to completion on one worker, with no
+	// cross-worker mailbox bounce between member stages.
+	PoolWorkers int
+	PoolPinned  bool
 }
 
 // NewROStage builds a read-only stage.  ins are the stage's input
@@ -83,6 +92,7 @@ func NewROStage(k *kernel.Kernel, cfg ROStageConfig, body Body, ins ...ItemReade
 		ins:  ins,
 		body: body,
 		lazy: cfg.LazyStart,
+		pool: kernel.PoolHint{Workers: cfg.PoolWorkers, Pinned: cfg.PoolPinned},
 	}
 	for i, nm := range outNames {
 		w := port.Declare(nm, ChannelNum(i), cfg.Anticipation)
@@ -93,6 +103,9 @@ func NewROStage(k *kernel.Kernel, cfg ROStageConfig, body Body, ins ...ItemReade
 
 // EdenType implements kernel.Eject.
 func (s *ROStage) EdenType() string { return TypeROStage }
+
+// PoolHint implements kernel.PoolHinter.
+func (s *ROStage) PoolHint() kernel.PoolHint { return s.pool }
 
 // Out returns the stage's OutPort (for channel adverts and laziness
 // probes).
@@ -108,6 +121,10 @@ func (s *ROStage) Start() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			if s.pool.Pinned {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			s.run()
 		}()
 	})
@@ -178,6 +195,7 @@ type WOStage struct {
 	readers []ItemReader
 	outs    []ItemWriter
 	body    Body
+	pool    kernel.PoolHint
 
 	once  sync.Once
 	wg    sync.WaitGroup
@@ -199,6 +217,11 @@ type WOStageConfig struct {
 	Writers []int
 	// CapabilityMode mints UID channel identifiers.
 	CapabilityMode bool
+	// PoolWorkers / PoolPinned mirror ROStageConfig: the fusion pass
+	// sets them on fused groups (write-only discipline) so the group's
+	// worker pool is bounded and core-pinned.
+	PoolWorkers int
+	PoolPinned  bool
 }
 
 // NewWOStage builds a write-only stage.  outs are the stage's output
@@ -215,6 +238,7 @@ func NewWOStage(k *kernel.Kernel, cfg WOStageConfig, body Body, outs ...ItemWrit
 		in:   port,
 		outs: outs,
 		body: body,
+		pool: kernel.PoolHint{Workers: cfg.PoolWorkers, Pinned: cfg.PoolPinned},
 		done: make(chan struct{}),
 	}
 	for i, nm := range inNames {
@@ -230,6 +254,9 @@ func NewWOStage(k *kernel.Kernel, cfg WOStageConfig, body Body, outs ...ItemWrit
 
 // EdenType implements kernel.Eject.
 func (s *WOStage) EdenType() string { return TypeWOStage }
+
+// PoolHint implements kernel.PoolHinter.
+func (s *WOStage) PoolHint() kernel.PoolHint { return s.pool }
 
 // In returns the stage's passive-input port.
 func (s *WOStage) In() *WOInPort { return s.in }
@@ -247,6 +274,10 @@ func (s *WOStage) Start() {
 		go func() {
 			defer s.wg.Done()
 			defer close(s.done)
+			if s.pool.Pinned {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			err := s.body(s.readers, s.outs)
 			s.errMu.Lock()
 			s.err = err

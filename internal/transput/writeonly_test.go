@@ -9,8 +9,8 @@ import (
 	"time"
 
 	"asymstream/internal/kernel"
-	"asymstream/internal/wire"
 	"asymstream/internal/uid"
+	"asymstream/internal/wire"
 )
 
 // registerWOSink creates and registers a WOStage that collects its
