@@ -63,9 +63,10 @@ bench:
 ## bench-json: regenerate the committed measurement files —
 ## BENCH_kernel.json (Figure 1/2 pipeline costs), BENCH_transput.json
 ## (the parallel engine's shards × window grid), BENCH_codec.json
-## (gob vs wire codec costs and the fixed vs adaptive batching grid)
-## and BENCH_fusion.json (the stage-fusion compiler's fused vs unfused
-## grid).
+## (gob vs wire codec costs and the fixed vs adaptive batching grid),
+## BENCH_fusion.json (the stage-fusion compiler's fused vs unfused
+## grid) and BENCH_gateway.json (the ingress-gateway control-plane
+## run: admission, idle footprint, steady state, churn).
 bench-json:
 	$(GO) run ./cmd/transput-bench -json
 

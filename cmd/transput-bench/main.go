@@ -18,7 +18,10 @@
 //	                               # BENCH_codec.json (gob vs wire codec costs and the
 //	                               # fixed vs adaptive batching grid) and
 //	                               # BENCH_fusion.json (the stage-fusion compiler's
-//	                               # fused vs unfused grid)
+//	                               # fused vs unfused grid) and
+//	                               # BENCH_gateway.json (the ingress-gateway
+//	                               # control-plane run: admission, idle footprint,
+//	                               # steady-state throughput, churn)
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 		tout  = flag.String("json-out-transput", "BENCH_transput.json", "output path for the -json parallel-engine grid")
 		cout  = flag.String("json-out-codec", "BENCH_codec.json", "output path for the -json codec and batching grids")
 		fout  = flag.String("json-out-fusion", "BENCH_fusion.json", "output path for the -json fused-vs-unfused grid")
+		gout  = flag.String("json-out-gateway", "BENCH_gateway.json", "output path for the -json ingress-gateway control-plane run")
 		jn    = flag.Int("json-n", 4, "filter count for the -json pipelines")
 	)
 	flag.Parse()
@@ -71,6 +75,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (items=%d)\n", *fout, p.Items)
+		pairs, hot, gi := 100_000, 256, 2_000
+		if *quick {
+			pairs, hot, gi = 2_000, 16, 200
+		}
+		if err := experiments.WriteGatewayBenchJSON(*gout, pairs, hot, gi); err != nil {
+			fmt.Fprintln(os.Stderr, "transput-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (pairs=%d, hot=%d, items=%d)\n", *gout, pairs, hot, gi)
 		return
 	}
 

@@ -5,25 +5,27 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
 // MetricsTable keeps the metrics surface honest.  It recognizes any
 // package shaped like internal/metrics — a struct type `Set` whose
-// fields are that package's Counter/HighWater types, next to a
+// fields are that package's Counter/Gauge/HighWater types, next to a
 // package-level `fieldTable` composite literal mapping snapshot names
 // to getters — and checks three things:
 //
-//  1. every Counter/HighWater field of Set appears exactly once in
-//     fieldTable (a field missing from the table silently vanishes
+//  1. every Counter/Gauge/HighWater field of Set appears exactly once
+//     in fieldTable (a field missing from the table silently vanishes
 //     from Snapshot/Diff, the bug class this table was built to stop);
 //  2. no two table entries claim the same name;
 //  3. Snapshot.Get("name") calls anywhere in the program use names the
 //     table actually declares;
-//  4. hot-path mutations (Inc/Add/Observe) act on hoisted handles —
-//     a receiver chain that re-fetches the Set through a call on every
-//     increment (k.Metrics().Invocations.Inc()) is flagged.  Reads
-//     (Value, Snapshot) are exempt: they belong to cold paths.
+//  4. hot-path mutations (Inc/Dec/Add/Sub/Observe) act on hoisted
+//     handles — a receiver chain that re-fetches the Set through a
+//     call on every increment (k.Metrics().Invocations.Inc()) is
+//     flagged.  Reads (Value, Snapshot) are exempt: they belong to
+//     cold paths.
 var MetricsTable = &Analyzer{
 	Name: "metricstable",
 	Doc:  "metrics must be declared in the package metrics table and mutated via hoisted handles",
@@ -135,10 +137,15 @@ func findMetricsShapes(pass *Pass) []*metricsShape {
 				fieldsSeen[fr] = true
 			}
 		}
+		var missing []string
 		for fname := range shape.counters {
 			if !fieldsSeen[fname] {
-				pass.Reportf(litPos, "Set field %s is missing from fieldTable; Snapshot will not capture it", fname)
+				missing = append(missing, fname)
 			}
+		}
+		sort.Strings(missing) // deterministic diagnostic order
+		for _, fname := range missing {
+			pass.Reportf(litPos, "Set field %s is missing from fieldTable; Snapshot will not capture it", fname)
 		}
 		shapes = append(shapes, shape)
 	}
@@ -173,17 +180,18 @@ func findTableLiteral(pkg *Package, tableVar *types.Var) (*ast.CompositeLit, tok
 	return nil, 0
 }
 
-// isCounterLike reports whether t is a Counter/HighWater-style type
-// declared in tpkg (a named struct whose name ends in Counter or
-// HighWater, or exactly those names).
+// isCounterLike reports whether t is a Counter/Gauge/HighWater-style
+// type declared in tpkg (a named struct whose name ends in Counter,
+// Gauge or HighWater, or exactly those names).
 func isCounterLike(tpkg *types.Package, t types.Type) bool {
 	n := namedOrPtr(t)
 	if n == nil || n.Obj().Pkg() != tpkg {
 		return false
 	}
 	name := n.Obj().Name()
-	return name == "Counter" || name == "HighWater" ||
-		strings.HasSuffix(name, "Counter") || strings.HasSuffix(name, "HighWater")
+	return name == "Counter" || name == "Gauge" || name == "HighWater" ||
+		strings.HasSuffix(name, "Counter") || strings.HasSuffix(name, "Gauge") ||
+		strings.HasSuffix(name, "HighWater")
 }
 
 // checkMetricsUses enforces the hoisted-handle rule and Get-name
@@ -207,7 +215,7 @@ func checkMetricsUses(pass *Pass, pkg *Package, shapes map[*types.Package]*metri
 				return true
 			}
 			switch sel.Sel.Name {
-			case "Inc", "Add", "Observe":
+			case "Inc", "Dec", "Add", "Sub", "Observe":
 				tv, ok := pkg.Info.Types[sel.X]
 				if !ok {
 					return true

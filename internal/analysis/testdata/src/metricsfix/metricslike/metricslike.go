@@ -1,8 +1,8 @@
 // Package metricslike is a miniature of internal/metrics, shaped so
 // the metricstable analyzer recognizes it: a Set struct of counters
-// plus a package-level fieldTable.  Two deliberate table bugs live
-// here: Dropped is missing from the table, and "ops" is declared
-// twice.
+// plus a package-level fieldTable.  Three deliberate table bugs live
+// here: the Dropped counter and the IdleBytes gauge are missing from
+// the table, and "ops" is declared twice.
 package metricslike
 
 import "sync/atomic"
@@ -18,6 +18,21 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value reads the counter.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a bidirectional level meter.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Sub subtracts n.
+func (g *Gauge) Sub(n int64) { g.v.Add(-n) }
+
+// Value reads the level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // HighWater tracks a maximum.
 type HighWater struct{ v atomic.Int64 }
@@ -37,17 +52,20 @@ func (h *HighWater) Value() int64 { return h.v.Load() }
 
 // Set is the package's metric surface.
 type Set struct {
-	Ops     Counter
-	Dropped Counter
-	PeakHW  HighWater
+	Ops       Counter
+	Dropped   Counter
+	Live      Gauge
+	IdleBytes Gauge
+	PeakHW    HighWater
 }
 
-var fieldTable = []struct { // want "Set field Dropped is missing from fieldTable"
+var fieldTable = []struct { // want "Set field Dropped is missing from fieldTable" "Set field IdleBytes is missing from fieldTable"
 	name string
 	get  func(*Set) int64
 }{
 	{"ops", func(s *Set) int64 { return s.Ops.Value() }},
 	{"ops", func(s *Set) int64 { return s.Ops.Value() }}, // want "fieldTable declares duplicate metric name .ops." "fieldTable references Set field Ops more than once"
+	{"live", func(s *Set) int64 { return s.Live.Value() }},
 	{"peak_hw", func(s *Set) int64 { return s.PeakHW.Value() }},
 }
 

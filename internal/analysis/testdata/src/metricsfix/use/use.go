@@ -16,6 +16,8 @@ func hotLoop(n *node, iters int) {
 		n.Metrics().Ops.Inc() // want "hoist the Inc handle"
 	}
 	n.Metrics().PeakHW.Observe(int64(iters)) // want "hoist the Observe handle"
+	n.Metrics().Live.Dec()                   // want "hoist the Dec handle"
+	n.Metrics().IdleBytes.Sub(64)            // want "hoist the Sub handle"
 }
 
 // hoisted is clean: the handle is fetched once, outside the loop.
@@ -25,6 +27,9 @@ func hoisted(n *node, iters int) {
 		ops.Inc()
 	}
 	n.met.Dropped.Add(2) // selector chain without calls: fine
+	live := &n.met.Live
+	live.Inc()
+	live.Dec() // hoisted gauge handle: fine
 }
 
 // coldRead is clean: Value/Snapshot reads are exempt from the rule.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -256,5 +257,48 @@ func TestTableFormat(t *testing.T) {
 	lines := strings.Split(out, "\n")
 	if len(lines) < 5 {
 		t.Fatalf("format lines = %d", len(lines))
+	}
+}
+
+func TestGatewaySmall(t *testing.T) {
+	// A miniature run of the E13 ingress-gateway workload: every phase
+	// (admission, steady state, churn) executes and the invariants the
+	// full benchmark asserts — items conserved, no slab leaks, channel
+	// population restored — hold at toy scale too.
+	rep, err := RunGateway(300, 8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChannelsLiveEnd != 600 {
+		t.Errorf("ChannelsLiveEnd = %d, want 600", rep.ChannelsLiveEnd)
+	}
+	if rep.SlabLeaked != 0 {
+		t.Errorf("SlabLeaked = %d", rep.SlabLeaked)
+	}
+	if rep.SteadyItemsPerSec <= 0 || rep.AdmitChannelsPerSec <= 0 || rep.ChurnChannelsPerSec <= 0 {
+		t.Errorf("degenerate rates: %+v", rep)
+	}
+	if rep.CapCacheHits == 0 {
+		t.Error("steady phase produced no capability-cache hits")
+	}
+	if rep.GaugeBytesPerIdleChannel <= 0 {
+		t.Errorf("gauge bytes/idle channel = %.1f", rep.GaugeBytesPerIdleChannel)
+	}
+}
+
+func TestGatewaySoak(t *testing.T) {
+	// Scaled-down soak for the nightly -race job: big enough to churn
+	// the pooled records and thrash the capability cache under the
+	// race detector, small enough to finish in minutes.  Gated behind
+	// an env var so the per-push `make check` stays fast.
+	if os.Getenv("GATEWAY_SOAK") == "" {
+		t.Skip("set GATEWAY_SOAK=1 to run the gateway soak (nightly CI)")
+	}
+	rep, err := RunGateway(20_000, 64, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SlabLeaked != 0 || rep.ChannelsLiveEnd != 40_000 {
+		t.Errorf("soak invariants: leaked=%d live=%d", rep.SlabLeaked, rep.ChannelsLiveEnd)
 	}
 }

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/transput"
+	"asymstream/internal/uid"
+)
+
+// The ingress-gateway workload (E13) is the control-plane stress test
+// the million-channel refactor was built for: one write-only ingest
+// front door and one read-only egress, each carrying a very large
+// population of capability-addressed channels of which only a small
+// working set is hot at any instant.  It exercises exactly the three
+// structures PR 7 introduced — the striped channel tables (admission
+// storms), the pooled alloc-free channel records (churn), and the
+// capability-check cache (steady-state lookups) — and reports the
+// figures the design advertises: channels/sec admitted, bytes per
+// idle channel, steady-state items/sec, capability-cache hit rate,
+// lookup contention, and churn cycles/sec with zero slab leaks.
+
+// gatewayIngress is the front door: a single Eject whose WOInPort
+// carries one passive-input channel per tenant stream.  Producers
+// Deliver into their capability channel; the gateway's pump reads the
+// stream locally and forwards it to the egress side.
+type gatewayIngress struct {
+	port *transput.WOInPort
+}
+
+func (g *gatewayIngress) EdenType() string { return "experiments.gatewayIngress" }
+
+func (g *gatewayIngress) Serve(inv *kernel.Invocation) {
+	if !g.port.Serve(inv) {
+		inv.Fail(kernel.ErrNoSuchOperation)
+	}
+}
+
+// gatewayEgress is the read-only back door: one OutPort channel per
+// tenant stream, drained by subscriber InPorts via Transfer.
+type gatewayEgress struct {
+	port *transput.OutPort
+}
+
+func (g *gatewayEgress) EdenType() string { return "experiments.gatewayEgress" }
+
+func (g *gatewayEgress) Serve(inv *kernel.Invocation) {
+	if !g.port.Serve(inv) {
+		inv.Fail(kernel.ErrNoSuchOperation)
+	}
+}
+
+// GatewayReport is the document transput-bench -json writes to
+// BENCH_gateway.json.  All figures come from one process-local run;
+// ChannelsTotal counts both sides (ingest + egress).
+type GatewayReport struct {
+	ChannelPairs  int `json:"channel_pairs"`
+	ChannelsTotal int `json:"channels_total"`
+	HotPairs      int `json:"hot_pairs"`
+	ItemsPerHot   int `json:"items_per_hot_pair"`
+
+	// Admission: declaring every channel on both ports, timed cold.
+	AdmitChannelsPerSec float64 `json:"admit_channels_per_sec"`
+	AdmitNsPerChannel   float64 `json:"admit_ns_per_channel"`
+
+	// Idle footprint: measured heap growth across admission, and the
+	// engine's own IdleChannelBytes gauge, both divided by the
+	// channel population.
+	HeapBytesPerIdleChannel  float64 `json:"heap_bytes_per_idle_channel"`
+	GaugeBytesPerIdleChannel float64 `json:"gauge_bytes_per_idle_channel"`
+
+	// Steady state: hot pairs streaming end to end (Deliver in,
+	// Transfer out) while the idle population sits in the tables.
+	SteadyItemsPerSec   float64 `json:"steady_items_per_sec"`
+	SteadyAllocsPerItem float64 `json:"steady_allocs_per_item"`
+	CapCacheHits        int64   `json:"cap_cache_hits"`
+	CapCacheMisses      int64   `json:"cap_cache_misses"`
+	CapCacheHitRate     float64 `json:"cap_cache_hit_rate"`
+	LookupContention    int64   `json:"lookup_contention"`
+
+	// Churn: retire + re-admit cycles over a window of idle channels.
+	ChurnChannelsPerSec float64 `json:"churn_channels_per_sec"`
+	ChurnAllocsPerCycle float64 `json:"churn_allocs_per_cycle"`
+	SlabLeaked          int64   `json:"slab_leaked"`
+	ChannelsLiveEnd     int64   `json:"channels_live_end"`
+}
+
+// heapBytes settles the collector and returns live heap bytes, so two
+// readings bracket a phase's resident growth.
+func heapBytes() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// RunGateway builds the gateway pair, admits `pairs` capability
+// channel pairs, streams `items` items through each of `hot` pairs,
+// then churns a window of idle channels.  The per-channel buffer is
+// kept small (8 items) because the population, not the depth, is what
+// this workload measures.
+func RunGateway(pairs, hot, items int) (GatewayReport, error) {
+	rep := GatewayReport{
+		ChannelPairs:  pairs,
+		ChannelsTotal: 2 * pairs,
+		HotPairs:      hot,
+		ItemsPerHot:   items,
+	}
+	if hot > pairs {
+		hot = pairs
+		rep.HotPairs = hot
+	}
+	const chanCap = 8
+
+	// Parked workers are the back-pressure mechanism: every hot sink
+	// can hold one Transfer withheld on an empty channel and every hot
+	// producer one Deliver withheld on a full one, so the pools must
+	// exceed the hot set or the gateway livelocks on pool starvation.
+	k := kernel.New(kernel.Config{WorkersPerEject: hot + 8})
+	defer k.Shutdown()
+	met := k.Metrics()
+
+	ing := &gatewayIngress{port: transput.NewWOInPort(k, transput.WOInPortConfig{
+		Capacity:       chanCap,
+		CapabilityMode: true,
+	})}
+	eg := &gatewayEgress{port: transput.NewOutPort(k, transput.OutPortConfig{
+		Capacity:       chanCap,
+		CapabilityMode: true,
+	})}
+	ingUID, err := k.Create(ing, 0)
+	if err != nil {
+		return rep, fmt.Errorf("gateway ingress: %w", err)
+	}
+	egUID, err := k.Create(eg, 0)
+	if err != nil {
+		return rep, fmt.Errorf("gateway egress: %w", err)
+	}
+
+	// --- Phase 1: admission storm ---------------------------------
+	readers := make([]*transput.ChannelReader, pairs)
+	writers := make([]*transput.ChannelWriter, pairs)
+	heapBefore := heapBytes()
+	start := time.Now()
+	for i := 0; i < pairs; i++ {
+		readers[i] = ing.port.Declare("in", transput.ChannelNum(i), chanCap, 1)
+		writers[i] = eg.port.Declare("out", transput.ChannelNum(i), chanCap)
+	}
+	admitElapsed := time.Since(start)
+	heapAfter := heapBytes()
+
+	total := float64(2 * pairs)
+	rep.AdmitChannelsPerSec = total / admitElapsed.Seconds()
+	rep.AdmitNsPerChannel = float64(admitElapsed.Nanoseconds()) / total
+	rep.HeapBytesPerIdleChannel = float64(heapAfter-heapBefore) / total
+	rep.GaugeBytesPerIdleChannel = float64(met.IdleChannelBytes.Value()) / total
+
+	// --- Phase 2: steady state over the hot set -------------------
+	hitsBefore := met.CapabilityCacheHits.Value()
+	missBefore := met.CapabilityCacheMisses.Value()
+	payload := []byte("gateway item payload 0123456789abcdef\n")
+
+	var moved atomic.Int64
+	errCh := make(chan error, 3*hot)
+	var wg sync.WaitGroup
+	allocsBefore := mallocs()
+	start = time.Now()
+	for j := 0; j < hot; j++ {
+		r, w := readers[j], writers[j]
+
+		// Pump: the gateway's own thread of control, forwarding the
+		// ingest stream to the egress channel with ownership handoff
+		// (no copy between the two ports).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				item, err := r.Next()
+				if err == io.EOF {
+					_ = w.Close()
+					return
+				}
+				if err != nil {
+					_ = w.CloseWithError(err)
+					return
+				}
+				if err := w.PutOwned(item); err != nil {
+					errCh <- fmt.Errorf("gateway pump: %w", err)
+					return
+				}
+			}
+		}()
+
+		// Producer: an external writer pushing at the front door.
+		wg.Add(1)
+		go func(ch transput.ChannelID) {
+			defer wg.Done()
+			p := transput.NewPusher(k, uid.Nil, ingUID, ch, transput.PusherConfig{Batch: 16})
+			for n := 0; n < items; n++ {
+				if err := p.Put(payload); err != nil {
+					errCh <- fmt.Errorf("gateway producer: %w", err)
+					return
+				}
+			}
+			if err := p.Close(); err != nil {
+				errCh <- fmt.Errorf("gateway producer close: %w", err)
+			}
+		}(r.ID())
+
+		// Subscriber: an external reader pulling at the back door.
+		wg.Add(1)
+		go func(ch transput.ChannelID) {
+			defer wg.Done()
+			in := transput.NewInPort(k, uid.Nil, egUID, ch, transput.InPortConfig{Batch: 16})
+			for {
+				_, err := in.Next()
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("gateway subscriber: %w", err)
+					return
+				}
+				moved.Add(1)
+			}
+		}(w.ID())
+	}
+	wg.Wait()
+	steadyElapsed := time.Since(start)
+	steadyAllocs := mallocs() - allocsBefore
+	select {
+	case err := <-errCh:
+		return rep, err
+	default:
+	}
+	if got, want := moved.Load(), int64(hot)*int64(items); got != want {
+		return rep, fmt.Errorf("gateway moved %d items end to end, want %d", got, want)
+	}
+
+	rep.SteadyItemsPerSec = float64(moved.Load()) / steadyElapsed.Seconds()
+	rep.SteadyAllocsPerItem = float64(steadyAllocs) / float64(moved.Load())
+	rep.CapCacheHits = met.CapabilityCacheHits.Value() - hitsBefore
+	rep.CapCacheMisses = met.CapabilityCacheMisses.Value() - missBefore
+	if lookups := rep.CapCacheHits + rep.CapCacheMisses; lookups > 0 {
+		rep.CapCacheHitRate = float64(rep.CapCacheHits) / float64(lookups)
+	}
+	rep.LookupContention = met.ChannelLookupContention.Value()
+
+	// --- Phase 3: churn over the idle population ------------------
+	// Retire and re-admit channels drawn from the cold tail while the
+	// full population stays resident.  The pooled records make each
+	// cycle alloc-bounded; SlabLeaked proves no buffered view escaped.
+	span := pairs - hot
+	if span > 4096 {
+		span = 4096
+	}
+	cycles := 4 * span
+	if span > 0 {
+		allocsBefore = mallocs()
+		start = time.Now()
+		for c := 0; c < cycles; c++ {
+			i := hot + c%span
+			if !ing.port.Retire(readers[i]) {
+				return rep, fmt.Errorf("churn: ingest retire %d failed", i)
+			}
+			readers[i] = ing.port.Declare("in", transput.ChannelNum(i), chanCap, 1)
+			if !eg.port.Retire(writers[i]) {
+				return rep, fmt.Errorf("churn: egress retire %d failed", i)
+			}
+			writers[i] = eg.port.Declare("out", transput.ChannelNum(i), chanCap)
+		}
+		churnElapsed := time.Since(start)
+		churnAllocs := mallocs() - allocsBefore
+		rep.ChurnChannelsPerSec = float64(2*cycles) / churnElapsed.Seconds()
+		rep.ChurnAllocsPerCycle = float64(churnAllocs) / float64(cycles)
+	}
+
+	rep.SlabLeaked = met.SlabLeaked.Value()
+	rep.ChannelsLiveEnd = met.ChannelsLive.Value()
+	if rep.SlabLeaked != 0 {
+		return rep, fmt.Errorf("gateway leaked %d slab views", rep.SlabLeaked)
+	}
+	if want := int64(2 * pairs); rep.ChannelsLiveEnd != want {
+		return rep, fmt.Errorf("ChannelsLive = %d after churn, want %d", rep.ChannelsLiveEnd, want)
+	}
+	return rep, nil
+}
+
+// WriteGatewayBenchJSON runs the gateway workload and writes the
+// report to path as indented JSON.
+func WriteGatewayBenchJSON(path string, pairs, hot, items int) error {
+	rep, err := RunGateway(pairs, hot, items)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// E13Gateway renders the gateway workload as an experiment table.  The
+// quick profile keeps the population small enough for CI; the full
+// profile is the headline run committed to BENCH_gateway.json.
+func E13Gateway(p Params) (Table, error) {
+	pairs, hot, items := 100_000, 256, 2_000
+	if p.Items <= 300 { // quick profile
+		pairs, hot, items = 2_000, 16, 200
+	}
+	t := Table{
+		ID:      "E13",
+		Title:   "ingress gateway — million-channel control plane under load",
+		Columns: []string{"figure", "value"},
+		Notes: []string{
+			"striped channel tables + pooled records + capability cache (PR 7)",
+			fmt.Sprintf("%d capability channel pairs, %d hot, %d items per hot pair", pairs, hot, items),
+		},
+	}
+	rep, err := RunGateway(pairs, hot, items)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"channels admitted/sec", fmt.Sprintf("%.0f (%.0f ns/channel)", rep.AdmitChannelsPerSec, rep.AdmitNsPerChannel)},
+		[]string{"heap bytes/idle channel", fmt.Sprintf("%.0f (gauge %.0f)", rep.HeapBytesPerIdleChannel, rep.GaugeBytesPerIdleChannel)},
+		[]string{"steady items/sec", fmt.Sprintf("%.0f", rep.SteadyItemsPerSec)},
+		[]string{"steady allocs/item", fmt.Sprintf("%.2f", rep.SteadyAllocsPerItem)},
+		[]string{"capability cache hit rate", fmt.Sprintf("%.4f (%d hits, %d misses)", rep.CapCacheHitRate, rep.CapCacheHits, rep.CapCacheMisses)},
+		[]string{"lookup contention (locked lookups)", fmt.Sprintf("%d", rep.LookupContention)},
+		[]string{"churn channels/sec", fmt.Sprintf("%.0f (%.1f allocs/cycle)", rep.ChurnChannelsPerSec, rep.ChurnAllocsPerCycle)},
+		[]string{"slab views leaked", fmt.Sprintf("%d", rep.SlabLeaked)},
+		[]string{"channels live at end", fmt.Sprintf("%d", rep.ChannelsLiveEnd)},
+	)
+	return t, nil
+}

@@ -87,6 +87,9 @@ func Registry() []Spec {
 			}
 			return FusionTable(items)
 		}},
+		{"e13", "ingress gateway: million-channel control plane", func(p Params) (Table, error) {
+			return E13Gateway(p)
+		}},
 		{"a1", "ablation: Transfer batch size", func(p Params) (Table, error) {
 			return A1BatchSweep(4, p.Items)
 		}},

@@ -68,3 +68,31 @@ func TestInvokeDirectDispatchAllocs(t *testing.T) {
 		t.Errorf("warm DirectDispatch Invoke: %.1f allocs/op, ceiling %d", n, ceiling)
 	}
 }
+
+// TestCreateDestroyChurnAllocs pins the control-plane churn path: a
+// Create→bind→Destroy cycle must cost a fixed number of allocations
+// (the binding record, its cond, the stripe-table entries and the UID
+// machinery) regardless of how long the kernel has been running —
+// million-channel admission must not degrade as the table fills and
+// drains.
+func TestCreateDestroyChurnAllocs(t *testing.T) {
+	k := New(Config{})
+	defer k.Shutdown()
+	e := &pinger{}
+	cycle := func() {
+		id, err := k.Create(e, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Destroy(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		cycle()
+	}
+	const ceiling = 12
+	if n := testing.AllocsPerRun(500, cycle); n > ceiling {
+		t.Errorf("create/destroy churn: %.1f allocs/cycle, ceiling %d", n, ceiling)
+	}
+}

@@ -237,16 +237,23 @@ func (b *binding) stop(next ejectState) (Eject, bool) {
 	return e, true
 }
 
-// reactivate installs a fresh Eject instance and a fresh worker pool
-// epoch.  Workers of the old epoch exit on their next mailbox visit.
-func (b *binding) reactivate(e Eject) uint64 {
+// tryReactivate installs a fresh Eject instance and a fresh worker
+// pool epoch, if and only if the binding is still inactive.  Workers
+// of the old epoch exit on their next mailbox visit.  The state check
+// and the install are one critical section so concurrent activations
+// race safely: exactly one wins, and the losers keep their instances
+// (the kernel discards them).
+func (b *binding) tryReactivate(e Eject) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != statePassive {
+		return false
+	}
 	b.state = stateActive
 	b.eject = e
 	b.quit = false
 	b.epoch++
 	b.workers = 0
 	b.idle = 0
-	return b.epoch
+	return true
 }

@@ -27,6 +27,7 @@ import (
 	"asymstream/internal/metrics"
 	"asymstream/internal/netsim"
 	"asymstream/internal/storage"
+	"asymstream/internal/stripemap"
 	"asymstream/internal/uid"
 )
 
@@ -118,6 +119,11 @@ type Config struct {
 	Store *storage.Store
 }
 
+// bindingStripes is the kernel table's stripe count.  Power of two;
+// 128 keeps worst-case stripe population around 8k bindings at the
+// million-channel mark while costing ~16KiB per kernel when idle.
+const bindingStripes = 128
+
 // Kernel hosts Ejects and routes invocations.
 type Kernel struct {
 	cfg   Config
@@ -128,10 +134,18 @@ type Kernel struct {
 
 	msgID atomic.Uint64
 
-	mu       sync.RWMutex
-	bindings map[uid.UID]*binding
-	types    map[string]ActivateFunc
-	down     bool
+	// bindings is the striped UID→binding table.  Lookups on the
+	// invocation hot path are lock-free snapshot hits; Create and
+	// teardown lock only one stripe, so million-channel storms never
+	// serialise on a kernel-wide mutex (the pre-PR-7 design).  Deleted
+	// entries may linger in a stripe snapshot until its next
+	// promotion; every reader therefore checks the binding's lifecycle
+	// state, which is authoritative.
+	bindings *stripemap.Map[uid.UID, *binding]
+	down     atomic.Bool
+
+	mu    sync.RWMutex // guards types only
+	types map[string]ActivateFunc
 }
 
 // New creates a Kernel with its own metrics set, network and stable
@@ -160,7 +174,7 @@ func New(cfg Config) *Kernel {
 		net:      netsim.New(cfg.Net, met),
 		store:    store,
 		gen:      gen,
-		bindings: make(map[uid.UID]*binding),
+		bindings: stripemap.New[uid.UID, *binding](bindingStripes, uid.UID.Hash, &met.ChannelLookupContention),
 		types:    make(map[string]ActivateFunc),
 	}
 }
@@ -205,16 +219,21 @@ func (k *Kernel) CreateWithUID(id uid.UID, e Eject, node netsim.NodeID) error {
 	if int(node) < 0 || int(node) >= k.net.Nodes() {
 		return fmt.Errorf("kernel: create on node %d: only %d nodes", node, k.net.Nodes())
 	}
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if k.down {
+	if k.down.Load() {
 		return ErrKernelDown
 	}
-	if _, exists := k.bindings[id]; exists {
+	b := k.bindingFor(id, node, e)
+	if _, loaded := k.bindings.LoadOrStore(id, b); loaded {
 		return fmt.Errorf("kernel: UID %s already bound", id)
 	}
-	b := k.bindingFor(id, node, e)
-	k.bindings[id] = b
+	// Close the create/shutdown race: a Shutdown that ran between the
+	// down check and the insert may have missed this binding in its
+	// sweep, so stop it here rather than leaving it live forever.
+	if k.down.Load() {
+		b.stop(stateDestroyed)
+		k.bindings.Delete(id)
+		return ErrKernelDown
+	}
 	k.met.EjectsCreated.Inc()
 	return nil
 }
@@ -236,9 +255,7 @@ func (k *Kernel) bindingFor(id uid.UID, node netsim.NodeID, e Eject) *binding {
 
 // NodeOf reports the home node of an Eject.
 func (k *Kernel) NodeOf(id uid.UID) (netsim.NodeID, error) {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	if b, ok := k.bindings[id]; ok {
+	if b, ok := k.bindings.Load(id); ok {
 		return b.node, nil
 	}
 	return 0, ErrNoSuchEject
@@ -247,9 +264,7 @@ func (k *Kernel) NodeOf(id uid.UID) (netsim.NodeID, error) {
 // State returns "active", "passive" or "destroyed" for diagnostics,
 // or an error for unknown UIDs.
 func (k *Kernel) State(id uid.UID) (string, error) {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	if b, ok := k.bindings[id]; ok {
+	if b, ok := k.bindings.Load(id); ok {
 		b.mu.Lock()
 		s := b.state.String()
 		b.mu.Unlock()
@@ -263,29 +278,27 @@ func (k *Kernel) State(id uid.UID) (string, error) {
 
 // ActiveCount returns the number of currently active Ejects.
 func (k *Kernel) ActiveCount() int {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
 	n := 0
-	for _, b := range k.bindings {
+	k.bindings.Range(func(_ uid.UID, b *binding) bool {
 		b.mu.Lock()
 		if b.state == stateActive {
 			n++
 		}
 		b.mu.Unlock()
-	}
+		return true
+	})
 	return n
 }
 
 // resolve finds the active binding for target, activating a passive
-// Eject if necessary (the kernel behaviour §1 promises).
+// Eject if necessary (the kernel behaviour §1 promises).  The warm
+// path — an active binding — is a lock-free stripe-snapshot hit plus
+// one binding-local state check.
 func (k *Kernel) resolve(target uid.UID) (*binding, error) {
-	k.mu.RLock()
-	if k.down {
-		k.mu.RUnlock()
+	if k.down.Load() {
 		return nil, ErrKernelDown
 	}
-	b, ok := k.bindings[target]
-	k.mu.RUnlock()
+	b, ok := k.bindings.Load(target)
 	if ok {
 		b.mu.Lock()
 		st := b.state
@@ -310,39 +323,34 @@ func (k *Kernel) activate(target uid.UID) (*binding, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s (no passive representation)", ErrNoSuchEject, target)
 	}
-	k.mu.Lock()
-	if k.down {
-		k.mu.Unlock()
+	if k.down.Load() {
 		return nil, ErrKernelDown
 	}
+	k.mu.RLock()
 	fn, ok := k.types[rep.EdenType]
+	k.mu.RUnlock()
 	if !ok {
-		k.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownType, rep.EdenType)
 	}
-	b := k.bindings[target]
+	b, _ := k.bindings.Load(target)
 	if b != nil {
 		b.mu.Lock()
-		if b.state == stateActive { // lost a race; someone else activated
-			b.mu.Unlock()
-			k.mu.Unlock()
+		st := b.state
+		b.mu.Unlock()
+		if st == stateActive { // lost a race; someone else activated
 			return b, nil
 		}
-		if b.state == stateDestroyed {
-			b.mu.Unlock()
-			k.mu.Unlock()
+		if st == stateDestroyed {
 			return nil, ErrNoSuchEject
 		}
-		b.mu.Unlock()
 	}
 	node := netsim.NodeID(0)
 	if b != nil {
 		node = b.node
 	}
-	k.mu.Unlock()
 
-	// Run the type's activation code outside the kernel lock: it may
-	// itself create Ejects or invoke.
+	// Run the type's activation code without any table lock held: it
+	// may itself create Ejects or invoke.
 	e, err := fn(ActivationContext{
 		Kernel:  k,
 		Self:    target,
@@ -354,25 +362,40 @@ func (k *Kernel) activate(target uid.UID) (*binding, error) {
 		return nil, fmt.Errorf("kernel: activate %s (%s): %w", target, rep.EdenType, err)
 	}
 
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	b = k.bindings[target]
 	if b == nil {
-		b = k.bindingFor(target, node, e)
-		b.state = statePassive // reactivate below flips it
-		k.bindings[target] = b
+		nb := k.bindingFor(target, node, e)
+		nb.state = statePassive // tryReactivate below flips it
+		if cur, loaded := k.bindings.LoadOrStore(target, nb); loaded {
+			b = cur // a concurrent activation installed the binding first
+		} else {
+			b = nb
+		}
 	}
-	b.mu.Lock()
-	if b.state == stateActive {
-		// Concurrent activation won; discard our instance.
+	// tryReactivate installs our instance only if the binding is still
+	// inactive — the check and the install are one critical section, so
+	// concurrent activations cannot both win.
+	if !b.tryReactivate(e) {
+		b.mu.Lock()
+		st := b.state
 		b.mu.Unlock()
 		if d, ok := e.(Deactivatable); ok {
-			d.OnDeactivate()
+			d.OnDeactivate() // discard our instance
 		}
-		return b, nil
+		if st == stateDestroyed {
+			return nil, ErrNoSuchEject
+		}
+		return b, nil // concurrent activation won
 	}
-	b.mu.Unlock()
-	b.reactivate(e)
+	if k.down.Load() {
+		// Shutdown raced the reactivation and may have missed this
+		// binding in its sweep.
+		if e, was := b.stop(stateDestroyed); was {
+			if d, ok := e.(Deactivatable); ok {
+				d.OnDeactivate()
+			}
+		}
+		return nil, ErrKernelDown
+	}
 	k.met.Activations.Inc()
 	return b, nil
 }
@@ -383,10 +406,7 @@ func (k *Kernel) lookupNode(id uid.UID) (netsim.NodeID, bool) {
 	if id.IsNil() {
 		return 0, true
 	}
-	k.mu.RLock()
-	b, ok := k.bindings[id]
-	k.mu.RUnlock()
-	if ok {
+	if b, ok := k.bindings.Load(id); ok {
 		return b.node, true
 	}
 	return 0, false
@@ -560,9 +580,7 @@ func (k *Kernel) Invoke(from, target uid.UID, op string, payload any) (any, erro
 // Checkpoint creates a new passive representation for the Eject (§1).
 // It returns the stored version number.
 func (k *Kernel) Checkpoint(id uid.UID) (uint64, error) {
-	k.mu.RLock()
-	b, ok := k.bindings[id]
-	k.mu.RUnlock()
+	b, ok := k.bindings.Load(id)
 	if !ok {
 		return 0, ErrNoSuchEject
 	}
@@ -600,9 +618,7 @@ func (k *Kernel) Checkpoint(id uid.UID) (uint64, error) {
 func (k *Kernel) CheckpointGroup(ids []uid.UID) ([]uint64, error) {
 	entries := make([]storage.GroupEntry, 0, len(ids))
 	for _, id := range ids {
-		k.mu.RLock()
-		b, ok := k.bindings[id]
-		k.mu.RUnlock()
+		b, ok := k.bindings.Load(id)
 		if !ok {
 			return nil, fmt.Errorf("%w: %s", ErrNoSuchEject, id)
 		}
@@ -635,9 +651,7 @@ func (k *Kernel) CheckpointGroup(ids []uid.UID) ([]uint64, error) {
 // passive (re-activatable on the next invocation); otherwise, per §7,
 // it "disappears".
 func (k *Kernel) Deactivate(id uid.UID) error {
-	k.mu.RLock()
-	b, ok := k.bindings[id]
-	k.mu.RUnlock()
+	b, ok := k.bindings.Load(id)
 	if !ok {
 		return ErrNoSuchEject
 	}
@@ -646,6 +660,12 @@ func (k *Kernel) Deactivate(id uid.UID) error {
 		next = statePassive
 	}
 	e, was := b.stop(next)
+	if next == stateDestroyed {
+		// No passive representation: the Eject "disappears" (§7), so
+		// its table entry is garbage — reclaim it.  Million-channel
+		// churn would otherwise grow the table without bound.
+		k.bindings.Delete(id)
+	}
 	if !was {
 		return nil // already inactive; idempotent
 	}
@@ -657,11 +677,10 @@ func (k *Kernel) Deactivate(id uid.UID) error {
 
 // Destroy removes an Eject entirely, including its checkpoints.
 func (k *Kernel) Destroy(id uid.UID) error {
-	k.mu.RLock()
-	b, ok := k.bindings[id]
-	k.mu.RUnlock()
+	b, ok := k.bindings.Load(id)
 	if ok {
 		e, was := b.stop(stateDestroyed)
+		k.bindings.Delete(id)
 		if was {
 			if d, ok := e.(Deactivatable); ok {
 				d.OnDeactivate()
@@ -680,14 +699,13 @@ func (k *Kernel) Destroy(id uid.UID) error {
 // become passive (they will re-activate from stable storage on the
 // next invocation); the rest are lost.
 func (k *Kernel) CrashNode(node netsim.NodeID) {
-	k.mu.RLock()
 	var victims []*binding
-	for _, b := range k.bindings {
+	k.bindings.Range(func(_ uid.UID, b *binding) bool {
 		if b.node == node {
 			victims = append(victims, b)
 		}
-	}
-	k.mu.RUnlock()
+		return true
+	})
 	for _, b := range victims {
 		next := stateDestroyed
 		if k.store.Exists(b.id) {
@@ -696,29 +714,25 @@ func (k *Kernel) CrashNode(node netsim.NodeID) {
 		// A crash gives the Eject no chance to clean up: volatile
 		// state simply vanishes, so OnDeactivate is NOT called.
 		b.stop(next)
+		if next == stateDestroyed {
+			k.bindings.Delete(b.id)
+		}
 	}
 }
 
 // Shutdown stops every Eject and refuses further work.  In-flight
 // workers finish naturally.
 func (k *Kernel) Shutdown() {
-	k.mu.Lock()
-	if k.down {
-		k.mu.Unlock()
+	if !k.down.CompareAndSwap(false, true) {
 		return
 	}
-	k.down = true
-	all := make([]*binding, 0, len(k.bindings))
-	for _, b := range k.bindings {
-		all = append(all, b)
-	}
-	k.mu.Unlock()
-	for _, b := range all {
+	k.bindings.Range(func(_ uid.UID, b *binding) bool {
 		e, was := b.stop(stateDestroyed)
 		if was {
 			if d, ok := e.(Deactivatable); ok {
 				d.OnDeactivate()
 			}
 		}
-	}
+		return true
+	})
 }

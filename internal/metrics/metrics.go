@@ -59,6 +59,33 @@ func (h *HighWater) Observe(n int64) {
 // Value returns the largest observed sample (0 if none).
 func (h *HighWater) Value() int64 { return h.v.Load() }
 
+// Gauge is an atomic level meter: unlike a Counter it moves in both
+// directions, so it reports how much of something exists *now* (live
+// channels, resident idle-channel bytes) rather than how much has ever
+// happened.  The control-plane metrics use it for quantities that
+// shrink on teardown.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc raises the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Sub lowers the gauge by n.
+func (g *Gauge) Sub(n int64) { g.v.Add(-n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Set forces the gauge to n.  Only tests use this.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
 // Set is the fixed collection of counters the reproduction meters.  A
 // single Set is shared by one simulated Eden system (kernel + network
 // + devices); independent systems have independent Sets, so parallel
@@ -131,6 +158,27 @@ type Set struct {
 	// stage-per-Eject accounting intact.
 	FusionGroups Counter
 	FusedStages  Counter
+	// ChannelsLive gauges the number of transput channels currently
+	// declared and not yet retired, across every port in the system —
+	// the control plane's primary scaling axis (the gateway workload
+	// drives it to 10⁵–10⁶).
+	ChannelsLive Gauge
+	// IdleChannelBytes gauges the fixed resident footprint of the live
+	// channels: per-channel record size plus the amortised index-entry
+	// share, added on Declare and subtracted on Retire.  Dividing by
+	// ChannelsLive gives the advertised bytes-per-idle-channel figure.
+	IdleChannelBytes Gauge
+	// ChannelLookupContention counts lookups (kernel binding resolution
+	// and port channel resolution) that missed the lock-free snapshot
+	// and fell back to the striped table's locked slow path — the
+	// control plane's serialisation meter.  Zero in steady state.
+	ChannelLookupContention Counter
+	// CapabilityCacheHits / CapabilityCacheMisses count capability-mode
+	// channel verifications served by the direct-mapped capability
+	// cache versus those that had to re-verify against the striped
+	// table (first use per channel-binding epoch, or cache eviction).
+	CapabilityCacheHits   Counter
+	CapabilityCacheMisses Counter
 	// WindowDepthHighWater tracks the peak number of concurrently
 	// outstanding Transfer/Deliver invocations on any windowed port.
 	WindowDepthHighWater HighWater
@@ -176,6 +224,11 @@ var fieldTable = []struct {
 	{"slab_leaked", func(s *Set) int64 { return s.SlabLeaked.Value() }},
 	{"fusion_groups", func(s *Set) int64 { return s.FusionGroups.Value() }},
 	{"fused_stages", func(s *Set) int64 { return s.FusedStages.Value() }},
+	{"channels_live", func(s *Set) int64 { return s.ChannelsLive.Value() }},
+	{"idle_channel_bytes", func(s *Set) int64 { return s.IdleChannelBytes.Value() }},
+	{"channel_lookup_contention", func(s *Set) int64 { return s.ChannelLookupContention.Value() }},
+	{"cap_cache_hits", func(s *Set) int64 { return s.CapabilityCacheHits.Value() }},
+	{"cap_cache_misses", func(s *Set) int64 { return s.CapabilityCacheMisses.Value() }},
 	{"window_depth_hw", func(s *Set) int64 { return s.WindowDepthHighWater.Value() }},
 	{"merge_reorder_hw", func(s *Set) int64 { return s.MergeReorderHighWater.Value() }},
 	{"batch_size_hw", func(s *Set) int64 { return s.BatchSizeHighWater.Value() }},

@@ -92,6 +92,21 @@ func TestSnapshotDiff(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Add(10)
+	g.Dec()
+	g.Sub(4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge after Set = %d, want -3", got)
+	}
+}
+
 func TestSnapshotCoversEveryCounter(t *testing.T) {
 	var s Set
 	snap := s.Snapshot()
@@ -103,6 +118,8 @@ func TestSnapshotCoversEveryCounter(t *testing.T) {
 		"shard_frames", "wire_frames_encoded", "wire_bytes_saved",
 		"slab_retained", "slab_released", "slab_leaked",
 		"fusion_groups", "fused_stages",
+		"channels_live", "idle_channel_bytes", "channel_lookup_contention",
+		"cap_cache_hits", "cap_cache_misses",
 		"window_depth_hw", "merge_reorder_hw", "batch_size_hw",
 	}
 	if len(snap.Values) != len(want) {

@@ -1,0 +1,194 @@
+package stripemap
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"asymstream/internal/metrics"
+)
+
+func hashInt(k int) uint64 {
+	x := uint64(k) * 0x9e3779b97f4a7c15
+	return x ^ (x >> 29)
+}
+
+func TestBasicOps(t *testing.T) {
+	m := New[int, string](8, hashInt, nil)
+	if _, ok := m.Load(1); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	m.Store(1, "one")
+	m.Store(2, "two")
+	if v, ok := m.Load(1); !ok || v != "one" {
+		t.Fatalf("Load(1) = %q, %v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Store(1, "uno")
+	if v, _ := m.Load(1); v != "uno" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	m.Delete(1)
+	// Staleness contract: the entry must be gone from the
+	// authoritative view even if a stale snapshot could linger.
+	if m.Len() != 1 {
+		t.Fatalf("Len after delete = %d, want 1", m.Len())
+	}
+}
+
+func TestLoadOrStore(t *testing.T) {
+	m := New[int, int](4, hashInt, nil)
+	if v, loaded := m.LoadOrStore(7, 70); loaded || v != 70 {
+		t.Fatalf("first LoadOrStore = %d, %v", v, loaded)
+	}
+	if v, loaded := m.LoadOrStore(7, 71); !loaded || v != 70 {
+		t.Fatalf("second LoadOrStore = %d, %v", v, loaded)
+	}
+	// After a promotion cycle the check must still be exact.
+	for i := 0; i < 100; i++ {
+		m.Load(1000 + i) // misses drive promotion
+	}
+	if v, loaded := m.LoadOrStore(7, 72); !loaded || v != 70 {
+		t.Fatalf("post-promotion LoadOrStore = %d, %v", v, loaded)
+	}
+}
+
+// TestPromotionHeals verifies that repeated slow-path lookups promote
+// the overlay: after enough misses, Load hits become lock-free again
+// (observable through the contention counter going quiet).
+func TestPromotionHeals(t *testing.T) {
+	var contention metrics.Counter
+	m := New[int, int](1, hashInt, &contention)
+	m.Store(1, 1) // dirty overlay created; snapshot amended
+	m.Store(2, 2)
+
+	// Loads of fresh keys go through the slow path until promotion.
+	for i := 0; i < 16; i++ {
+		m.Load(1)
+		m.Load(2)
+	}
+	settled := contention.Value()
+	if settled == 0 {
+		t.Fatal("expected some slow-path lookups before promotion")
+	}
+	for i := 0; i < 64; i++ {
+		if v, ok := m.Load(1); !ok || v != 1 {
+			t.Fatalf("Load(1) = %d, %v", v, ok)
+		}
+	}
+	if got := contention.Value(); got != settled {
+		t.Fatalf("slow path still taken after promotion: %d -> %d", settled, got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New[int, int](16, hashInt, nil)
+	want := map[int]int{}
+	for i := 0; i < 500; i++ {
+		m.Store(i, i*i)
+		want[i] = i * i
+	}
+	for i := 0; i < 500; i += 3 {
+		m.Delete(i)
+		delete(want, i)
+	}
+	got := map[int]int{}
+	m.Range(func(k, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestConcurrentChurn exercises the create/lookup/teardown storm the
+// table was built for: many goroutines inserting, resolving and
+// deleting disjoint key ranges concurrently.  Run under -race this is
+// the table's memory-model audit.
+func TestConcurrentChurn(t *testing.T) {
+	m := New[int, int](64, hashInt, nil)
+	const (
+		workers = 8
+		keys    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * keys
+			for i := 0; i < keys; i++ {
+				k := base + i
+				m.Store(k, k)
+				if v, ok := m.Load(k); !ok || v != k {
+					t.Errorf("worker %d: Load(%d) = %d, %v", w, k, v, ok)
+					return
+				}
+				if i%2 == 0 {
+					m.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := m.Len(), workers*keys/2; got != want {
+		t.Fatalf("Len after churn = %d, want %d", got, want)
+	}
+}
+
+// TestStripeCountRounding checks power-of-two rounding.
+func TestStripeCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128},
+	} {
+		m := New[int, int](tc.in, hashInt, nil)
+		if len(m.stripes) != tc.want {
+			t.Errorf("New(%d): %d stripes, want %d", tc.in, len(m.stripes), tc.want)
+		}
+	}
+}
+
+func BenchmarkLoadHit(b *testing.B) {
+	m := New[int, int](256, hashInt, nil)
+	for i := 0; i < 1<<16; i++ {
+		m.Store(i, i)
+	}
+	// Promote every stripe so the benchmark measures the steady state.
+	for i := 0; i < 1<<20; i++ {
+		m.Load(i & (1<<16 - 1))
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Load(i & (1<<16 - 1))
+			i++
+		}
+	})
+}
+
+func BenchmarkCreateStorm(b *testing.B) {
+	for _, stripes := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			m := New[int, int](stripes, hashInt, nil)
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				base := int(next.Add(1)) << 24 // disjoint key range per goroutine
+				seq := 0
+				for pb.Next() {
+					m.Store(base+seq, seq)
+					seq++
+				}
+			})
+		})
+	}
+}

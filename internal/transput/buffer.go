@@ -6,7 +6,6 @@ import (
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
-	"asymstream/internal/uid"
 	"asymstream/internal/wire"
 )
 
@@ -36,11 +35,11 @@ type PassiveBuffer struct {
 	ends         int
 	abortErr     *AbortedError
 
-	// writerSeqs orders concurrent deliveries from windowed writers
-	// (see woChannel.writerSeqs); itemsOut stamps TransferReply.Base so
-	// windowed readers can reassemble batches in stream order.
-	writerSeqs map[uid.UID]uint64
-	itemsOut   int64
+	// seq orders concurrent deliveries from windowed writers (see
+	// woChannel.seq); itemsOut stamps TransferReply.Base so windowed
+	// readers can reassemble batches in stream order.
+	seq      seqGate
+	itemsOut int64
 
 	deliversServed  int64
 	transfersServed int64
@@ -132,10 +131,7 @@ func (b *PassiveBuffer) serveDeliver(inv *kernel.Invocation) {
 	b.met.DeliverInvocations.Inc()
 	b.mu.Lock()
 	if !req.Writer.IsNil() {
-		if b.writerSeqs == nil {
-			b.writerSeqs = make(map[uid.UID]uint64)
-		}
-		for b.writerSeqs[req.Writer] != req.Seq && b.abortErr == nil {
+		for b.seq.expected(req.Writer) != req.Seq && b.abortErr == nil {
 			b.cond.Wait()
 		}
 	}
@@ -169,9 +165,9 @@ func (b *PassiveBuffer) serveDeliver(inv *kernel.Invocation) {
 	}
 	if !req.Writer.IsNil() {
 		if req.End {
-			delete(b.writerSeqs, req.Writer)
+			b.seq.drop(req.Writer)
 		} else {
-			b.writerSeqs[req.Writer] = req.Seq + 1
+			b.seq.advance(req.Writer, req.Seq+1)
 		}
 		b.cond.Broadcast()
 	}

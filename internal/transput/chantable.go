@@ -1,0 +1,297 @@
+package transput
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"asymstream/internal/metrics"
+	"asymstream/internal/stripemap"
+	"asymstream/internal/uid"
+)
+
+// This file is the transput half of the million-channel control plane:
+// the striped channel table the ports look channels up in, the
+// capability-check cache in front of it, the pooled generation-checked
+// channel core every channel record embeds, and the alloc-free
+// writer-sequence gate.  The kernel half (striped UID→binding table)
+// lives in internal/stripemap and internal/kernel.
+//
+// The design target is an ingress gateway: one port holding 10⁵–10⁶
+// capability-checked channels under sustained open-loop load.  At that
+// scale three things in the old ports stop working:
+//
+//   - the immutable whole-port index snapshot (chanIndex) made every
+//     Declare an O(live channels) copy — O(n²) admission;
+//   - each Declare allocated a fresh record, cond and buffer, and each
+//     teardown dropped them, so churn allocated without bound;
+//   - the per-writer sequence map allocated a map entry per windowed
+//     writer on a path that runs once per Deliver.
+//
+// chanTable replaces the snapshot with striped amortised-COW maps
+// (lock-free hits, O(1) amortised writes); chanCore + the per-port
+// free lists make records reusable under a generation discipline; and
+// seqGate keeps writer sequencing inline and alloc-free for the
+// common fan-in degrees.
+
+// chanStripes is the stripe count for per-port channel tables.  Large
+// enough that a gateway-scale create storm spreads, small enough that
+// an ordinary few-channel port does not pay noticeable fixed cost.
+const chanStripes = 64
+
+// chanCore is the concurrency core every pooled channel record embeds:
+// the lock, the condition variable, the waiter count that gates
+// pooling, and the generation that makes stale references detectable.
+//
+// Generation discipline: a record's gen is bumped exactly once per
+// retire.  Everything that holds a reference across time — the
+// application-side writer/reader handle, a table entry, a capability
+// cache entry — captures the gen it was issued under and revalidates
+// before use; the authoritative check is under mu.  This is what makes
+// both the stripemap staleness contract (deletes visible lazily) and
+// sync.Pool reuse safe: a stale reference cannot touch the wrong
+// stream, it can only observe "generation moved on" and fail cleanly.
+//
+// Waiter discipline: every cond.Wait goes through wait(), so retire
+// can tell whether any kernel worker is still parked inside the
+// record.  A record is returned to its pool only when waiters == 0;
+// otherwise it is left to the GC (rare — retire broadcasts first, so
+// waiters drain promptly).
+//
+// The trailing pad keeps the hot lock word and generation off the
+// cache line of whatever the allocator packs next to the record, so a
+// million idle records do not false-share under concurrent lookup
+// validation; it also makes the per-record footprint a stable number
+// the gateway bench can report.
+type chanCore struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters int
+	gen     atomic.Uint64
+
+	_ [64]byte
+}
+
+// generation implements genChecked.
+func (c *chanCore) generation() uint64 { return c.gen.Load() }
+
+// wait parks the caller on cond with waiter accounting.  Caller holds
+// mu (as for cond.Wait).
+func (c *chanCore) wait() {
+	c.waiters++
+	c.cond.Wait()
+	c.waiters--
+}
+
+// genChecked is the contract chanTable needs from its records: a
+// lock-free read of the current generation.
+type genChecked interface{ generation() uint64 }
+
+// tableEntry binds a record to the generation it was declared under.
+// A lookup that finds the record but not the generation is stale — the
+// channel was retired (and the record possibly reissued) after this
+// entry was written.
+type tableEntry[C genChecked] struct {
+	ch  C
+	gen uint64
+}
+
+// capCacheSlots sizes the direct-mapped capability cache.  Power of
+// two; at 1<<10 slots a gateway's hot working set (the channels
+// actively streaming, not the million idle ones) fits with few
+// conflict evictions while the cache itself stays at pointer-array
+// scale.
+const capCacheSlots = 1 << 10
+
+// capEntry is one cached capability verification: this UID named this
+// record at this generation.  Immutable after publication.
+type capEntry[C genChecked] struct {
+	cap uid.UID
+	ch  C
+	gen uint64
+}
+
+// capCache is a direct-mapped, lossy cache in front of the byCap
+// stripemap: one atomic load and two compares on a hit, versus a hash,
+// a snapshot load and a map probe on a miss.  Entries are installed on
+// miss and evicted only by conflict — invalidation is free because
+// every entry carries its generation, and a retired channel's bumped
+// generation makes the entry fail validation (§5's rights check is
+// therefore performed once per channel-binding epoch, exactly as the
+// kernel caches binding lookups per activation epoch).
+type capCache[C genChecked] struct {
+	slots [capCacheSlots]atomic.Pointer[capEntry[C]]
+}
+
+// chanTable is a port's channel registry: striped lookup maps plus the
+// capability cache.  All methods are safe for concurrent use.
+type chanTable[C genChecked] struct {
+	capMode bool
+	met     *metrics.Set
+
+	byNum *stripemap.Map[ChannelNum, tableEntry[C]]
+	byCap *stripemap.Map[uid.UID, tableEntry[C]] // nil unless capMode
+	cache *capCache[C]                           // nil unless capMode
+}
+
+// numHash mixes a channel number for stripe placement (small
+// sequential numbers must not pile onto one stripe).
+func numHash(n ChannelNum) uint64 {
+	x := uint64(n) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func newChanTable[C genChecked](capMode bool, met *metrics.Set) *chanTable[C] {
+	t := &chanTable[C]{
+		capMode: capMode,
+		met:     met,
+		byNum:   stripemap.New[ChannelNum, tableEntry[C]](chanStripes, numHash, &met.ChannelLookupContention),
+	}
+	if capMode {
+		t.byCap = stripemap.New[uid.UID, tableEntry[C]](chanStripes, uid.UID.Hash, &met.ChannelLookupContention)
+		t.cache = new(capCache[C])
+	}
+	return t
+}
+
+// missStatus is the status a failed lookup reports under the table's
+// addressing mode.
+func (t *chanTable[C]) missStatus() Status {
+	if t.capMode {
+		return StatusNotPermitted
+	}
+	return StatusNoSuchChannel
+}
+
+// register publishes a record under its number (and capability, in
+// capability mode) at generation gen.
+func (t *chanTable[C]) register(num ChannelNum, cp uid.UID, ch C, gen uint64) {
+	e := tableEntry[C]{ch: ch, gen: gen}
+	t.byNum.Store(num, e)
+	if t.capMode {
+		t.byCap.Store(cp, e)
+	}
+}
+
+// unregister removes a channel's entries.  Per the stripemap staleness
+// contract the entries may keep resolving until the next promotion;
+// the generation check rejects them.
+func (t *chanTable[C]) unregister(num ChannelNum, cp uid.UID) {
+	t.byNum.Delete(num)
+	if t.capMode {
+		t.byCap.Delete(cp)
+	}
+}
+
+// lookup resolves id to a live record and the generation it must still
+// carry.  Callers re-verify gen under the record's lock before acting
+// (the window between this check and the lock is exactly the window a
+// concurrent retire could win).
+func (t *chanTable[C]) lookup(id ChannelID) (C, uint64, Status) {
+	var zero C
+	if t.capMode {
+		if !id.IsCap() {
+			return zero, 0, StatusNotPermitted
+		}
+		slot := &t.cache.slots[id.Cap.Hash()&(capCacheSlots-1)]
+		if e := slot.Load(); e != nil && e.cap == id.Cap && e.ch.generation() == e.gen {
+			t.met.CapabilityCacheHits.Inc()
+			return e.ch, e.gen, StatusOK
+		}
+		t.met.CapabilityCacheMisses.Inc()
+		ent, ok := t.byCap.Load(id.Cap)
+		if !ok || ent.ch.generation() != ent.gen {
+			return zero, 0, StatusNotPermitted
+		}
+		slot.Store(&capEntry[C]{cap: id.Cap, ch: ent.ch, gen: ent.gen})
+		return ent.ch, ent.gen, StatusOK
+	}
+	ent, ok := t.byNum.Load(id.Num)
+	if !ok || ent.ch.generation() != ent.gen {
+		return zero, 0, StatusNoSuchChannel
+	}
+	return ent.ch, ent.gen, StatusOK
+}
+
+// seqGate orders concurrent deliveries from windowed writers without
+// allocating on the per-Deliver path.  It replaces the old
+// map[uid.UID]uint64: the common fan-in degrees live in an inline
+// lane array (zero allocations, linear scan over four entries beats a
+// map probe), and only a fan-in wider than the lanes spills to a map.
+// All methods are called under the owning record's mu.
+type seqLane struct {
+	writer uid.UID
+	next   uint64
+}
+
+const seqGateLanes = 4
+
+type seqGate struct {
+	lanes [seqGateLanes]seqLane
+	spill map[uid.UID]uint64 // nil until fan-in exceeds the lanes
+}
+
+// expected returns the next sequence number owed by writer w (zero for
+// a writer not yet seen, matching the map's default the protocol
+// relies on for a stream's first Deliver).
+func (g *seqGate) expected(w uid.UID) uint64 {
+	for i := range g.lanes {
+		if g.lanes[i].writer == w {
+			return g.lanes[i].next
+		}
+	}
+	if g.spill != nil {
+		return g.spill[w]
+	}
+	return 0
+}
+
+// advance records that writer w's next expected sequence is next.
+func (g *seqGate) advance(w uid.UID, next uint64) {
+	free := -1
+	for i := range g.lanes {
+		if g.lanes[i].writer == w {
+			g.lanes[i].next = next
+			return
+		}
+		if free < 0 && g.lanes[i].writer.IsNil() {
+			free = i
+		}
+	}
+	if g.spill != nil {
+		if _, ok := g.spill[w]; ok {
+			g.spill[w] = next
+			return
+		}
+	}
+	if free >= 0 {
+		g.lanes[free] = seqLane{writer: w, next: next}
+		return
+	}
+	if g.spill == nil {
+		g.spill = make(map[uid.UID]uint64)
+	}
+	g.spill[w] = next
+}
+
+// drop forgets writer w (its End mark arrived).
+func (g *seqGate) drop(w uid.UID) {
+	for i := range g.lanes {
+		if g.lanes[i].writer == w {
+			g.lanes[i] = seqLane{}
+			return
+		}
+	}
+	if g.spill != nil {
+		delete(g.spill, w)
+	}
+}
+
+// reset clears the gate for record reuse.
+func (g *seqGate) reset() {
+	for i := range g.lanes {
+		g.lanes[i] = seqLane{}
+	}
+	g.spill = nil
+}

@@ -4,7 +4,7 @@ package transput
 
 import (
 	"sync"
-	"sync/atomic"
+	"unsafe"
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
@@ -38,69 +38,14 @@ type OutPort struct {
 	capMode bool
 	mintCap func() uid.UID
 
-	// index holds the channel lookup maps behind one atomic pointer:
-	// Declare publishes a fresh immutable snapshot, so the per-hop
-	// lookup is a load and a map read, never a lock.
-	index atomic.Pointer[chanIndex[*outChannel]]
+	// table resolves Transfer requests: striped amortised-COW maps with
+	// a capability cache in front (see chantable.go).  Lookups on the
+	// data path are lock-free; Declare and Retire are O(1) amortised,
+	// which is what makes gateway-scale admission linear.
+	table *chanTable[*outChannel]
 
-	mu    sync.Mutex // guards chans and index rebuilds
+	mu    sync.Mutex // guards chans (advert order and slot indices)
 	chans []*outChannel
-}
-
-// chanIndex is an immutable channel-lookup snapshot shared by the port
-// types.  Ports republish a copy on Declare (rare) so that lookups on
-// the data path (every Transfer/Deliver) stay lock-free.
-type chanIndex[C any] struct {
-	byNum map[ChannelNum]C
-	byCap map[uid.UID]C
-}
-
-// rebuilt copies idx with one more entry.  A nil receiver acts as the
-// empty index.
-func (idx *chanIndex[C]) rebuilt(num ChannelNum, cap uid.UID, ch C, capMode bool) *chanIndex[C] {
-	next := &chanIndex[C]{
-		byNum: make(map[ChannelNum]C),
-		byCap: make(map[uid.UID]C),
-	}
-	if idx != nil {
-		for k, v := range idx.byNum {
-			next.byNum[k] = v
-		}
-		for k, v := range idx.byCap {
-			next.byCap[k] = v
-		}
-	}
-	next.byNum[num] = ch
-	if capMode {
-		next.byCap[cap] = ch
-	}
-	return next
-}
-
-// lookupIn resolves id in idx under the port's addressing mode.
-func lookupIn[C any](idx *chanIndex[C], id ChannelID, capMode bool) (C, Status) {
-	var zero C
-	if idx == nil {
-		if capMode {
-			return zero, StatusNotPermitted
-		}
-		return zero, StatusNoSuchChannel
-	}
-	if capMode {
-		if !id.IsCap() {
-			return zero, StatusNotPermitted
-		}
-		ch, ok := idx.byCap[id.Cap]
-		if !ok {
-			return zero, StatusNotPermitted
-		}
-		return ch, StatusOK
-	}
-	ch, ok := idx.byNum[id.Num]
-	if !ok {
-		return zero, StatusNoSuchChannel
-	}
-	return ch, StatusOK
 }
 
 // OutPortConfig parameterises an OutPort.
@@ -134,6 +79,7 @@ func NewOutPort(k *kernel.Kernel, cfg OutPortConfig) *OutPort {
 		met:     met,
 		capMode: cfg.CapabilityMode,
 		mintCap: mint,
+		table:   newChanTable[*outChannel](cfg.CapabilityMode, met),
 	}
 }
 
@@ -142,14 +88,20 @@ func NewOutPort(k *kernel.Kernel, cfg OutPortConfig) *OutPort {
 // consume from head, and the backing array is compacted only when the
 // dead prefix reaches half the slice — amortized O(1) per item, where
 // compact-on-every-pop was O(capacity) per Transfer at batch 1.
+//
+// Records are pooled: Retire returns them (backing array included) for
+// the next Declare, so channel churn does not allocate in steady
+// state.  The embedded chanCore's generation makes every stale
+// reference — table entry, capability cache entry, application handle
+// — detectably dead (see chantable.go).
 type outChannel struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	chanCore
 
 	met      *metrics.Set
 	name     string
 	id       ChannelID
 	capacity int
+	slot     int // index in the port's chans slice; guarded by port mu
 
 	buf      [][]byte
 	head     int
@@ -163,11 +115,60 @@ type outChannel struct {
 // buffered is the live item count.  Caller holds ch.mu.
 func (ch *outChannel) buffered() int { return len(ch.buf) - ch.head }
 
-func newOutChannel(met *metrics.Set, name string, id ChannelID, capacity int) *outChannel {
-	c := &outChannel{met: met, name: name, id: id, capacity: capacity}
-	c.cond = sync.NewCond(&c.mu)
-	return c
+// outChanPool recycles retired channel records.  A pooled record keeps
+// its cond and its buffer backing array; everything stream-specific is
+// re-initialised by acquireOutChannel.
+var outChanPool = sync.Pool{New: func() any {
+	ch := new(outChannel)
+	ch.cond = sync.NewCond(&ch.mu)
+	return ch
+}}
+
+// acquireOutChannel takes a pooled (or fresh) record and re-initialises
+// it for a new stream.  The re-init runs under mu: a goroutine holding
+// a stale reference from the record's previous life may lock and run
+// its generation check concurrently.
+func acquireOutChannel(met *metrics.Set, name string, id ChannelID, capacity int) *outChannel {
+	ch := outChanPool.Get().(*outChannel)
+	ch.mu.Lock()
+	ch.met = met
+	ch.name = name
+	ch.id = id
+	ch.capacity = capacity
+	ch.buf = ch.buf[:0]
+	ch.head = 0
+	ch.closed = false
+	ch.abortErr = nil
+	ch.transfersServed = 0
+	ch.itemsOut = 0
+	ch.mu.Unlock()
+	return ch
 }
+
+// tableEntryBytes approximates the amortised per-entry share of one
+// lookup index (key, entry struct and map-bucket overhead).  Used only
+// for the IdleChannelBytes accounting gauge; the gateway bench
+// cross-checks the gauge against runtime.MemStats.
+const tableEntryBytes = 64
+
+// idleChanFootprint is the fixed accounting charge for one idle
+// channel: the record itself plus its index entries (two indices and a
+// cache entry in capability mode, one index otherwise).
+func idleChanFootprint(recordBytes int64, capMode bool) int64 {
+	fp := recordBytes + tableEntryBytes
+	if capMode {
+		fp += tableEntryBytes + int64(unsafe.Sizeof(capEntry[*outChannel]{}))
+	}
+	return fp
+}
+
+func (p *OutPort) chanFootprint() int64 {
+	return idleChanFootprint(int64(unsafe.Sizeof(outChannel{})), p.capMode)
+}
+
+// errRetired marks channels torn down by Retire.  Shared: AbortedError
+// is immutable once published.
+var errRetired = &AbortedError{Msg: "channel retired"}
 
 // Declare creates a channel and returns the writer the Eject's
 // application code uses to fill it.  In capability mode the channel's
@@ -186,18 +187,75 @@ func (p *OutPort) Declare(name string, num ChannelNum, capacity int) *ChannelWri
 	if p.capMode {
 		id.Cap = p.mintCap()
 	}
-	ch := newOutChannel(p.met, name, id, capacity)
+	ch := acquireOutChannel(p.met, name, id, capacity)
+	gen := ch.generation()
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	ch.slot = len(p.chans)
 	p.chans = append(p.chans, ch)
-	p.index.Store(p.index.Load().rebuilt(num, id.Cap, ch, p.capMode))
-	return &ChannelWriter{ch: ch}
+	p.mu.Unlock()
+	p.table.register(num, id.Cap, ch, gen)
+	p.met.ChannelsLive.Inc()
+	p.met.IdleChannelBytes.Add(p.chanFootprint())
+	return &ChannelWriter{ch: ch, gen: gen}
+}
+
+// Retire tears down a channel: stale handles and in-flight Transfers
+// fail cleanly (generation check / StatusAborted), the backlog is
+// dropped with its slab views released, and the record returns to the
+// pool for the next Declare.  It reports whether this call performed
+// the teardown (false if the writer's channel was already retired).
+func (p *OutPort) Retire(w *ChannelWriter) bool {
+	ch := w.ch
+	ch.mu.Lock()
+	if ch.gen.Load() != w.gen {
+		ch.mu.Unlock()
+		return false
+	}
+	num, cp := ch.id.Num, ch.id.Cap
+	if ch.abortErr == nil {
+		ch.abortErr = errRetired
+	}
+	wire.ReleaseAll(ch.buf[ch.head:])
+	for i := range ch.buf {
+		ch.buf[i] = nil
+	}
+	ch.buf = ch.buf[:0]
+	ch.head = 0
+	ch.gen.Add(1) // every outstanding reference is now stale
+	ch.cond.Broadcast()
+	ch.mu.Unlock()
+
+	p.table.unregister(num, cp)
+	p.mu.Lock()
+	last := len(p.chans) - 1
+	if ch.slot <= last && p.chans[ch.slot] == ch {
+		moved := p.chans[last]
+		p.chans[ch.slot] = moved
+		moved.slot = ch.slot
+		p.chans[last] = nil
+		p.chans = p.chans[:last]
+	}
+	p.mu.Unlock()
+	p.met.ChannelsLive.Dec()
+	p.met.IdleChannelBytes.Sub(p.chanFootprint())
+
+	// Pool the record only when no kernel worker is still parked in it;
+	// a record with waiters is left to the GC (rare — the broadcast
+	// above drains them promptly).
+	ch.mu.Lock()
+	idle := ch.waiters == 0
+	ch.mu.Unlock()
+	if idle {
+		outChanPool.Put(ch)
+	}
+	return true
 }
 
 // lookup resolves a requested ChannelID under the port's addressing
-// mode.  Lock-free: it reads the current immutable index snapshot.
-func (p *OutPort) lookup(id ChannelID) (*outChannel, Status) {
-	return lookupIn(p.index.Load(), id, p.capMode)
+// mode.  Lock-free on the steady-state path (capability cache hit or
+// stripe snapshot hit).
+func (p *OutPort) lookup(id ChannelID) (*outChannel, uint64, Status) {
+	return p.table.lookup(id)
 }
 
 // Adverts lists the port's channels for OpChannels.  In capability
@@ -224,7 +282,7 @@ func (p *OutPort) ServeTransfer(inv *kernel.Invocation) {
 		return
 	}
 	p.met.TransferInvocations.Inc()
-	ch, st := p.lookup(req.Channel)
+	ch, gen, st := p.lookup(req.Channel)
 	if st != StatusOK {
 		inv.Reply(&TransferReply{Status: st})
 		return
@@ -235,8 +293,14 @@ func (p *OutPort) ServeTransfer(inv *kernel.Invocation) {
 	}
 
 	ch.mu.Lock()
+	if ch.gen.Load() != gen {
+		// A retire won the race between lookup and lock.
+		ch.mu.Unlock()
+		inv.Reply(&TransferReply{Status: p.table.missStatus()})
+		return
+	}
 	for ch.buffered() == 0 && !ch.closed && ch.abortErr == nil {
-		ch.cond.Wait()
+		ch.wait()
 	}
 	if ch.abortErr != nil {
 		msg := ch.abortErr.Msg
@@ -326,17 +390,19 @@ func (p *OutPort) ServeAbort(inv *kernel.Invocation) {
 		chans := append([]*outChannel(nil), p.chans...)
 		p.mu.Unlock()
 		for _, ch := range chans {
-			ch.abort(&AbortedError{Msg: req.Msg})
+			// If a retire races us the generation check turns the abort
+			// into a no-op, which is the right outcome either way.
+			ch.abort(&AbortedError{Msg: req.Msg}, ch.generation())
 		}
 		inv.Reply(&AbortReply{})
 		return
 	}
-	ch, st := p.lookup(req.Channel)
+	ch, gen, st := p.lookup(req.Channel)
 	if st != StatusOK {
 		inv.Reply(&AbortReply{}) // aborting a nonexistent channel is a no-op
 		return
 	}
-	ch.abort(&AbortedError{Msg: req.Msg})
+	ch.abort(&AbortedError{Msg: req.Msg}, gen)
 	inv.Reply(&AbortReply{})
 }
 
@@ -359,8 +425,8 @@ func (p *OutPort) Serve(inv *kernel.Invocation) bool {
 }
 
 // TransfersServed reports the total Transfer invocations served across
-// all channels.  The laziness experiment (E5) asserts this is zero
-// before any sink is connected.
+// all live (undeclared-to-retired) channels.  The laziness experiment
+// (E5) asserts this is zero before any sink is connected.
 func (p *OutPort) TransfersServed() int64 {
 	p.mu.Lock()
 	chans := append([]*outChannel(nil), p.chans...)
@@ -389,8 +455,15 @@ func (p *OutPort) Buffered() int {
 	return n
 }
 
-func (ch *outChannel) abort(err *AbortedError) {
+// abort marks the channel aborted, provided it still carries gen (a
+// retired channel is already dead; aborting its successor through a
+// stale reference would corrupt an unrelated stream).
+func (ch *outChannel) abort(err *AbortedError, gen uint64) {
 	ch.mu.Lock()
+	if ch.gen.Load() != gen {
+		ch.mu.Unlock()
+		return
+	}
 	if ch.abortErr == nil && !ch.closed {
 		ch.abortErr = err
 	}
@@ -412,9 +485,12 @@ func (ch *outChannel) abort(err *AbortedError) {
 
 // ChannelWriter is the application-side writer for one OutPort
 // channel: the conventional Write interface of §4's standard IO
-// module.  It implements ItemWriter.
+// module.  It implements ItemWriter.  The writer is bound to one
+// incarnation of the channel record; after Retire every method fails
+// with ErrClosed (the generation check).
 type ChannelWriter struct {
-	ch *outChannel
+	ch  *outChannel
+	gen uint64
 }
 
 // ID returns the channel's identifier (including its capability, when
@@ -426,13 +502,13 @@ func (w *ChannelWriter) Name() string { return w.ch.name }
 
 // Put appends one item, blocking while the anticipatory buffer is at
 // capacity.  The item is copied.
-func (w *ChannelWriter) Put(item []byte) error { return w.ch.put(item, false) }
+func (w *ChannelWriter) Put(item []byte) error { return w.ch.put(item, false, w.gen) }
 
 // PutOwned appends the item slice itself, taking ownership (see
 // OwnedItemWriter).  The zero-copy handoff on every intra-node link.
-func (w *ChannelWriter) PutOwned(item []byte) error { return w.ch.put(item, true) }
+func (w *ChannelWriter) PutOwned(item []byte) error { return w.ch.put(item, true, w.gen) }
 
-func (ch *outChannel) put(item []byte, owned bool) error {
+func (ch *outChannel) put(item []byte, owned bool, gen uint64) error {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
 	// fail drops the item on a failed put; an owned item is the
@@ -443,13 +519,16 @@ func (ch *outChannel) put(item []byte, owned bool) error {
 		}
 		return err
 	}
+	if ch.gen.Load() != gen {
+		return fail(ErrClosed)
+	}
 	if ch.capacity == 0 {
 		// Rendezvous semantics: at most one item in flight, and Put
 		// returns only once a Transfer has consumed it.  This is the
 		// "pure laziness" limit of §4: the producer cannot compute
 		// even one item ahead of its consumer.
 		for ch.buffered() > 0 && !ch.closed && ch.abortErr == nil {
-			ch.cond.Wait()
+			ch.wait()
 		}
 		if ch.closed {
 			return fail(ErrClosed)
@@ -460,7 +539,7 @@ func (ch *outChannel) put(item []byte, owned bool) error {
 		ch.appendLocked(item, owned)
 		ch.cond.Broadcast()
 		for ch.buffered() > 0 && ch.abortErr == nil && !ch.closed {
-			ch.cond.Wait()
+			ch.wait()
 		}
 		if ch.abortErr != nil {
 			// The item was stored; abort released it with the backlog.
@@ -469,7 +548,7 @@ func (ch *outChannel) put(item []byte, owned bool) error {
 		return nil
 	}
 	for ch.buffered() >= ch.capacity && !ch.closed && ch.abortErr == nil {
-		ch.cond.Wait()
+		ch.wait()
 	}
 	if ch.closed {
 		return fail(ErrClosed)
@@ -497,6 +576,10 @@ func (ch *outChannel) appendLocked(item []byte, owned bool) {
 func (w *ChannelWriter) Close() error {
 	ch := w.ch
 	ch.mu.Lock()
+	if ch.gen.Load() != w.gen {
+		ch.mu.Unlock()
+		return ErrClosed
+	}
 	ch.closed = true
 	ch.cond.Broadcast()
 	ch.mu.Unlock()
@@ -509,6 +592,6 @@ func (w *ChannelWriter) CloseWithError(err error) error {
 	if err == nil {
 		return w.Close()
 	}
-	w.ch.abort(&AbortedError{Msg: err.Error()})
+	w.ch.abort(&AbortedError{Msg: err.Error()}, w.gen)
 	return nil
 }

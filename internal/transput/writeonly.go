@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
@@ -40,11 +40,11 @@ type WOInPort struct {
 	capMode bool
 	mintCap func() uid.UID
 
-	// index is the lock-free channel lookup snapshot (see chanIndex in
-	// outport.go); Declare republishes it under mu.
-	index atomic.Pointer[chanIndex[*woChannel]]
+	// table resolves Deliver requests (see chantable.go): striped maps
+	// with a capability cache, lock-free on the steady-state path.
+	table *chanTable[*woChannel]
 
-	mu    sync.Mutex // guards chans and index rebuilds
+	mu    sync.Mutex // guards chans (advert order and slot indices)
 	chans []*woChannel
 }
 
@@ -73,16 +73,23 @@ func NewWOInPort(k *kernel.Kernel, cfg WOInPortConfig) *WOInPort {
 		met:     met,
 		capMode: cfg.CapabilityMode,
 		mintCap: mint,
+		table:   newChanTable[*woChannel](cfg.CapabilityMode, met),
 	}
 }
 
+// woChannel is one passive-input stream buffer.  Like outChannel it is
+// a pooled, generation-checked record (see chantable.go); its credit
+// accounting (capacity, buffered, the Credits figure replied to every
+// Deliver) and its writer-sequence gate live inline in the record, so
+// the per-Deliver path allocates nothing.
 type woChannel struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	chanCore
 
+	met      *metrics.Set
 	name     string
 	id       ChannelID
 	capacity int
+	slot     int // index in the port's chans slice; guarded by port mu
 
 	// buf is a head-indexed deque (see outChannel): deliveries append
 	// at the tail, the reader consumes at head, and the dead prefix is
@@ -93,12 +100,12 @@ type woChannel struct {
 	ends         int
 	abortErr     *AbortedError
 
-	// writerSeqs orders concurrent deliveries from windowed writers: a
-	// Deliver carrying a Writer UID is held (cond-wait) until its Seq is
-	// the writer's next expected one, so a window of K in-flight
-	// Delivers cannot reorder the stream.  Legacy writers (nil Writer,
-	// one outstanding Deliver) bypass the map entirely.
-	writerSeqs map[uid.UID]uint64
+	// seq orders concurrent deliveries from windowed writers: a Deliver
+	// carrying a Writer UID is held (cond-wait) until its Seq is the
+	// writer's next expected one, so a window of K in-flight Delivers
+	// cannot reorder the stream.  Legacy writers (nil Writer, one
+	// outstanding Deliver) bypass the gate entirely.
+	seq seqGate
 
 	deliversServed int64
 	itemsIn        int64
@@ -108,6 +115,39 @@ type woChannel struct {
 func (c *woChannel) buffered() int { return len(c.buf) - c.head }
 
 func (c *woChannel) ended() bool { return c.ends >= c.expectedEnds }
+
+// woChanPool recycles retired passive-input records.
+var woChanPool = sync.Pool{New: func() any {
+	ch := new(woChannel)
+	ch.cond = sync.NewCond(&ch.mu)
+	return ch
+}}
+
+// acquireWoChannel takes a pooled (or fresh) record and re-initialises
+// it for a new stream; see acquireOutChannel for why the re-init runs
+// under mu.
+func acquireWoChannel(met *metrics.Set, name string, id ChannelID, capacity, writers int) *woChannel {
+	ch := woChanPool.Get().(*woChannel)
+	ch.mu.Lock()
+	ch.met = met
+	ch.name = name
+	ch.id = id
+	ch.capacity = capacity
+	ch.buf = ch.buf[:0]
+	ch.head = 0
+	ch.expectedEnds = writers
+	ch.ends = 0
+	ch.abortErr = nil
+	ch.seq.reset()
+	ch.deliversServed = 0
+	ch.itemsIn = 0
+	ch.mu.Unlock()
+	return ch
+}
+
+func (p *WOInPort) chanFootprint() int64 {
+	return idleChanFootprint(int64(unsafe.Sizeof(woChannel{})), p.capMode)
+}
 
 // Declare creates a channel accepting deliveries and returns the
 // reader the owning Eject uses to consume it.  writers is the number
@@ -128,17 +168,68 @@ func (p *WOInPort) Declare(name string, num ChannelNum, capacity, writers int) *
 	if p.capMode {
 		id.Cap = p.mintCap()
 	}
-	ch := &woChannel{name: name, id: id, capacity: capacity, expectedEnds: writers}
-	ch.cond = sync.NewCond(&ch.mu)
+	ch := acquireWoChannel(p.met, name, id, capacity, writers)
+	gen := ch.generation()
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	ch.slot = len(p.chans)
 	p.chans = append(p.chans, ch)
-	p.index.Store(p.index.Load().rebuilt(num, id.Cap, ch, p.capMode))
-	return &ChannelReader{ch: ch}
+	p.mu.Unlock()
+	p.table.register(num, id.Cap, ch, gen)
+	p.met.ChannelsLive.Inc()
+	p.met.IdleChannelBytes.Add(p.chanFootprint())
+	return &ChannelReader{ch: ch, gen: gen}
 }
 
-func (p *WOInPort) lookup(id ChannelID) (*woChannel, Status) {
-	return lookupIn(p.index.Load(), id, p.capMode)
+// Retire tears down a channel: parked Deliver workers are released
+// with StatusAborted, stale handles fail their generation checks, the
+// backlog is dropped with slab views released, and the record returns
+// to the pool.  It reports whether this call performed the teardown.
+func (p *WOInPort) Retire(r *ChannelReader) bool {
+	ch := r.ch
+	ch.mu.Lock()
+	if ch.gen.Load() != r.gen {
+		ch.mu.Unlock()
+		return false
+	}
+	num, cp := ch.id.Num, ch.id.Cap
+	if ch.abortErr == nil {
+		ch.abortErr = errRetired
+	}
+	wire.ReleaseAll(ch.buf[ch.head:])
+	for i := range ch.buf {
+		ch.buf[i] = nil
+	}
+	ch.buf = ch.buf[:0]
+	ch.head = 0
+	ch.gen.Add(1)
+	ch.cond.Broadcast()
+	ch.mu.Unlock()
+
+	p.table.unregister(num, cp)
+	p.mu.Lock()
+	last := len(p.chans) - 1
+	if ch.slot <= last && p.chans[ch.slot] == ch {
+		moved := p.chans[last]
+		p.chans[ch.slot] = moved
+		moved.slot = ch.slot
+		p.chans[last] = nil
+		p.chans = p.chans[:last]
+	}
+	p.mu.Unlock()
+	p.met.ChannelsLive.Dec()
+	p.met.IdleChannelBytes.Sub(p.chanFootprint())
+
+	ch.mu.Lock()
+	idle := ch.waiters == 0
+	ch.mu.Unlock()
+	if idle {
+		woChanPool.Put(ch)
+	}
+	return true
+}
+
+func (p *WOInPort) lookup(id ChannelID) (*woChannel, uint64, Status) {
+	return p.table.lookup(id)
 }
 
 // Adverts lists the port's channels for OpChannels.
@@ -162,7 +253,7 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 		return
 	}
 	p.met.DeliverInvocations.Inc()
-	ch, st := p.lookup(req.Channel)
+	ch, gen, st := p.lookup(req.Channel)
 	if st != StatusOK {
 		wire.ReleaseAll(req.Items) // never absorbed
 		inv.Reply(&DeliverReply{Status: st})
@@ -170,15 +261,19 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 	}
 
 	ch.mu.Lock()
+	if ch.gen.Load() != gen {
+		// A retire won the race between lookup and lock.
+		ch.mu.Unlock()
+		wire.ReleaseAll(req.Items)
+		inv.Reply(&DeliverReply{Status: p.table.missStatus()})
+		return
+	}
 	if !req.Writer.IsNil() {
 		// Windowed writer: hold this delivery until it is the writer's
 		// next in sequence.  The parked kernel worker is the window's
 		// cost; MaxWindow keeps it below the pool size.
-		if ch.writerSeqs == nil {
-			ch.writerSeqs = make(map[uid.UID]uint64)
-		}
-		for ch.writerSeqs[req.Writer] != req.Seq && ch.abortErr == nil {
-			ch.cond.Wait()
+		for ch.seq.expected(req.Writer) != req.Seq && ch.abortErr == nil {
+			ch.wait()
 		}
 	}
 	// Absorb the item references themselves.  The writer side always
@@ -190,7 +285,7 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 	var saved int64
 	for _, item := range req.Items {
 		for ch.buffered() >= ch.capacity && ch.abortErr == nil {
-			ch.cond.Wait()
+			ch.wait()
 		}
 		if ch.abortErr != nil {
 			break
@@ -216,9 +311,9 @@ func (p *WOInPort) ServeDeliver(inv *kernel.Invocation) {
 	}
 	if !req.Writer.IsNil() {
 		if req.End {
-			delete(ch.writerSeqs, req.Writer)
+			ch.seq.drop(req.Writer)
 		} else {
-			ch.writerSeqs[req.Writer] = req.Seq + 1
+			ch.seq.advance(req.Writer, req.Seq+1)
 		}
 		ch.cond.Broadcast()
 	}
@@ -264,8 +359,12 @@ func (p *WOInPort) ServeAbort(inv *kernel.Invocation) {
 		inv.Fail(kernel.ErrNoSuchOperation)
 		return
 	}
-	abortOne := func(ch *woChannel) {
+	abortOne := func(ch *woChannel, gen uint64) {
 		ch.mu.Lock()
+		if ch.gen.Load() != gen {
+			ch.mu.Unlock()
+			return
+		}
 		if ch.abortErr == nil {
 			ch.abortErr = &AbortedError{Msg: req.Msg}
 		}
@@ -288,10 +387,10 @@ func (p *WOInPort) ServeAbort(inv *kernel.Invocation) {
 		chans := append([]*woChannel(nil), p.chans...)
 		p.mu.Unlock()
 		for _, ch := range chans {
-			abortOne(ch)
+			abortOne(ch, ch.generation())
 		}
-	} else if ch, st := p.lookup(req.Channel); st == StatusOK {
-		abortOne(ch)
+	} else if ch, gen, st := p.lookup(req.Channel); st == StatusOK {
+		abortOne(ch, gen)
 	}
 	inv.Reply(&AbortReply{})
 }
@@ -329,8 +428,11 @@ func (p *WOInPort) DeliversServed() int64 {
 // ChannelReader is the owning Eject's local consumer for one
 // passive-input channel: §5's "conventional Read routine ...
 // extracting data from an internal buffer".  It implements ItemReader.
+// The reader is bound to one incarnation of the channel record; after
+// Retire, Next reports io.EOF and Cancel is a no-op.
 type ChannelReader struct {
-	ch *woChannel
+	ch  *woChannel
+	gen uint64
 }
 
 // ID returns the channel's identifier.
@@ -342,8 +444,11 @@ func (r *ChannelReader) Next() ([]byte, error) {
 	ch := r.ch
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
+	if ch.gen.Load() != r.gen {
+		return nil, io.EOF
+	}
 	for ch.buffered() == 0 && !ch.ended() && ch.abortErr == nil {
-		ch.cond.Wait()
+		ch.wait()
 	}
 	if ch.buffered() > 0 {
 		item := ch.buf[ch.head]
@@ -372,6 +477,10 @@ func (r *ChannelReader) Next() ([]byte, error) {
 func (r *ChannelReader) Cancel(msg string) {
 	ch := r.ch
 	ch.mu.Lock()
+	if ch.gen.Load() != r.gen {
+		ch.mu.Unlock()
+		return
+	}
 	if ch.abortErr == nil {
 		ch.abortErr = &AbortedError{Msg: msg}
 	}
