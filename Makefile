@@ -45,7 +45,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/kernel/... ./internal/transput/...
+	$(GO) test -race ./internal/kernel/... ./internal/transput/... ./internal/transport/... ./internal/stripemap/...
 
 ## race-sharded: a short, focused race run over the parallel engine
 ## (sharded rows, windowed links, merge, redirect) and the fusion
@@ -65,8 +65,10 @@ bench:
 ## (the parallel engine's shards × window grid), BENCH_codec.json
 ## (gob vs wire codec costs and the fixed vs adaptive batching grid),
 ## BENCH_fusion.json (the stage-fusion compiler's fused vs unfused
-## grid) and BENCH_gateway.json (the ingress-gateway control-plane
-## run: admission, idle footprint, steady state, churn).
+## grid), BENCH_gateway.json (the ingress-gateway control-plane
+## run: admission, idle footprint, steady state, churn) and
+## BENCH_transport.json (the real-wire grid: netsim vs Unix-domain
+## vs TCP loopback latency and throughput).
 bench-json:
 	$(GO) run ./cmd/transput-bench -json
 

@@ -15,6 +15,11 @@
 //
 // One-shot mode: edenfs -c 'mkfile f; write f "hi\n"; cat f'
 // (semicolons separate commands).
+//
+// Separate-OS-process mode: `edenfs -c '...' -serve unix:/tmp/fs.sock`
+// runs the setup commands, then serves committed files to other
+// processes; an edensh in another terminal reads one with
+// `remote unix:/tmp/fs.sock file poem | print`.
 package main
 
 import (
@@ -25,10 +30,12 @@ import (
 	"strings"
 
 	"asymstream/internal/fsshell"
+	"asymstream/internal/transport"
 )
 
 func main() {
 	oneShot := flag.String("c", "", "run semicolon-separated commands and exit")
+	serve := flag.String("serve", "", "after -c commands, serve files to other processes (unix:PATH or tcp:HOST:PORT)")
 	flag.Parse()
 
 	sess, err := fsshell.NewSession(os.Stdout)
@@ -44,6 +51,26 @@ func main() {
 				fmt.Fprintln(os.Stderr, "edenfs:", err)
 				os.Exit(1)
 			}
+		}
+		if *serve == "" {
+			return
+		}
+	}
+
+	if *serve != "" {
+		if err := transport.RegisterControl(sess.Kernel(), sess.Opener()); err != nil {
+			fmt.Fprintln(os.Stderr, "edenfs:", err)
+			os.Exit(1)
+		}
+		ln, err := transport.Listen(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edenfs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("edenfs: serving files on %s (ctrl-C to stop)\n", *serve)
+		if err := transport.Serve(ln, sess.Kernel()); err != nil {
+			fmt.Fprintln(os.Stderr, "edenfs:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -11,6 +11,11 @@
 //
 // One-shot mode: edensh -c 'count 5 | upcase | print'.
 // Script mode:   edensh -f pipeline.eden (one command per line).
+//
+// Separate-OS-process mode: `edensh -serve unix:/tmp/eden.sock` turns
+// the session into a bridge server; another edensh then streams out of
+// it with `remote unix:/tmp/eden.sock count 100 | upcase | print`.
+// TCP works too: -serve tcp:127.0.0.1:7070.
 package main
 
 import (
@@ -21,11 +26,13 @@ import (
 	"strings"
 
 	"asymstream/internal/shell"
+	"asymstream/internal/transport"
 )
 
 func main() {
 	oneShot := flag.String("c", "", "run one line and exit")
 	script := flag.String("f", "", "run a script file (one command per line) and exit")
+	serve := flag.String("serve", "", "serve this session's streams to other processes (unix:PATH or tcp:HOST:PORT)")
 	flag.Parse()
 
 	sess, err := shell.NewSession(os.Stdout)
@@ -34,6 +41,24 @@ func main() {
 		os.Exit(1)
 	}
 	defer sess.Close()
+
+	if *serve != "" {
+		if err := transport.RegisterControl(sess.K, sess.Opener()); err != nil {
+			fmt.Fprintln(os.Stderr, "edensh:", err)
+			os.Exit(1)
+		}
+		ln, err := transport.Listen(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edensh:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("edensh: serving streams on %s (ctrl-C to stop)\n", *serve)
+		if err := transport.Serve(ln, sess.K); err != nil {
+			fmt.Fprintln(os.Stderr, "edensh:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *oneShot != "" {
 		if err := sess.Execute(*oneShot); err != nil {

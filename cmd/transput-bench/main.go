@@ -10,24 +10,29 @@
 //	transput-bench -exp e2,e3      # selected experiments
 //	transput-bench -list           # list experiment ids
 //	transput-bench -check          # verify the paper's counting claims — sequential AND
-//	                               # sharded/windowed pipelines; exit 1 on violation
-//	transput-bench -json           # write BENCH_kernel.json (ns/op, allocs/op, inv/datum
+//	                               # sharded/windowed pipelines AND real-wire transports;
+//	                               # exit 1 on violation
+//	transput-bench -json           # write the BENCH_*.json suite into -json-dir:
+//	                               # BENCH_kernel.json (ns/op, allocs/op, inv/datum
 //	                               # for the four Figure 1/2 pipeline shapes),
 //	                               # BENCH_transput.json (the parallel engine's
 //	                               # shards × window scaling grid),
 //	                               # BENCH_codec.json (gob vs wire codec costs and the
-//	                               # fixed vs adaptive batching grid) and
+//	                               # fixed vs adaptive batching grid),
 //	                               # BENCH_fusion.json (the stage-fusion compiler's
-//	                               # fused vs unfused grid) and
+//	                               # fused vs unfused grid),
 //	                               # BENCH_gateway.json (the ingress-gateway
 //	                               # control-plane run: admission, idle footprint,
-//	                               # steady-state throughput, churn)
+//	                               # steady-state throughput, churn) and
+//	                               # BENCH_transport.json (the real-wire grid:
+//	                               # netsim vs Unix-domain vs TCP loopback)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"asymstream/internal/experiments"
@@ -40,50 +45,80 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		items = flag.Int("items", 0, "override stream length per run")
 		check = flag.Bool("check", false, "verify the paper's counting claims and exit")
-		jsonl = flag.Bool("json", false, "write machine-readable pipeline costs to -json-out, -json-out-transput and -json-out-codec, then exit")
-		jout  = flag.String("json-out", "BENCH_kernel.json", "output path for the -json kernel costs")
-		tout  = flag.String("json-out-transput", "BENCH_transput.json", "output path for the -json parallel-engine grid")
-		cout  = flag.String("json-out-codec", "BENCH_codec.json", "output path for the -json codec and batching grids")
-		fout  = flag.String("json-out-fusion", "BENCH_fusion.json", "output path for the -json fused-vs-unfused grid")
-		gout  = flag.String("json-out-gateway", "BENCH_gateway.json", "output path for the -json ingress-gateway control-plane run")
+		jsonl = flag.Bool("json", false, "write the machine-readable BENCH_*.json suite into -json-dir, then exit")
+		jdir  = flag.String("json-dir", ".", "directory the -json suite is written into")
+		jout  = flag.String("json-out", "", "deprecated: overrides the BENCH_kernel.json path (use -json-dir)")
+		tout  = flag.String("json-out-transput", "", "deprecated: overrides the BENCH_transput.json path (use -json-dir)")
+		cout  = flag.String("json-out-codec", "", "deprecated: overrides the BENCH_codec.json path (use -json-dir)")
+		fout  = flag.String("json-out-fusion", "", "deprecated: overrides the BENCH_fusion.json path (use -json-dir)")
+		gout  = flag.String("json-out-gateway", "", "deprecated: overrides the BENCH_gateway.json path (use -json-dir)")
+		wout  = flag.String("json-out-transport", "", "deprecated: overrides the BENCH_transport.json path (use -json-dir)")
 		jn    = flag.Int("json-n", 4, "filter count for the -json pipelines")
 	)
 	flag.Parse()
 
+	// dest resolves one output file: the deprecated per-file flag wins
+	// when set, otherwise the file lands in -json-dir.
+	dest := func(override *string, name string) string {
+		if *override != "" {
+			return *override
+		}
+		return filepath.Join(*jdir, name)
+	}
+
 	if *jsonl {
+		if err := os.MkdirAll(*jdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "transput-bench:", err)
+			os.Exit(1)
+		}
 		p := experiments.DefaultParams(*quick)
 		if *items > 0 {
 			p.Items = *items
 		}
-		if err := experiments.WriteBenchJSON(*jout, *jn, p.Items); err != nil {
+		out := dest(jout, "BENCH_kernel.json")
+		if err := experiments.WriteBenchJSON(out, *jn, p.Items); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (n=%d, items=%d)\n", *jout, *jn, p.Items)
-		if err := experiments.WriteParallelBenchJSON(*tout, p.Items); err != nil {
+		fmt.Printf("wrote %s (n=%d, items=%d)\n", out, *jn, p.Items)
+		out = dest(tout, "BENCH_transput.json")
+		if err := experiments.WriteParallelBenchJSON(out, p.Items); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (items=%d)\n", *tout, p.Items)
-		if err := experiments.WriteCodecBenchJSON(*cout, *jn, p.Items); err != nil {
+		fmt.Printf("wrote %s (items=%d)\n", out, p.Items)
+		out = dest(cout, "BENCH_codec.json")
+		if err := experiments.WriteCodecBenchJSON(out, *jn, p.Items); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (n=%d, items=%d)\n", *cout, *jn, p.Items)
-		if err := experiments.WriteFusionBenchJSON(*fout, p.Items); err != nil {
+		fmt.Printf("wrote %s (n=%d, items=%d)\n", out, *jn, p.Items)
+		out = dest(fout, "BENCH_fusion.json")
+		if err := experiments.WriteFusionBenchJSON(out, p.Items); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (items=%d)\n", *fout, p.Items)
+		fmt.Printf("wrote %s (items=%d)\n", out, p.Items)
 		pairs, hot, gi := 100_000, 256, 2_000
 		if *quick {
 			pairs, hot, gi = 2_000, 16, 200
 		}
-		if err := experiments.WriteGatewayBenchJSON(*gout, pairs, hot, gi); err != nil {
+		out = dest(gout, "BENCH_gateway.json")
+		if err := experiments.WriteGatewayBenchJSON(out, pairs, hot, gi); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (pairs=%d, hot=%d, items=%d)\n", *gout, pairs, hot, gi)
+		fmt.Printf("wrote %s (pairs=%d, hot=%d, items=%d)\n", out, pairs, hot, gi)
+		rounds, ti := 2_000, p.Items
+		if *quick {
+			rounds = 300
+		}
+		out = dest(wout, "BENCH_transport.json")
+		if err := experiments.WriteTransportBenchJSON(out, rounds, ti); err != nil {
+			fmt.Fprintln(os.Stderr, "transput-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (rounds=%d, items=%d)\n", out, rounds, ti)
 		return
 	}
 
@@ -97,6 +132,7 @@ func main() {
 			fmt.Println("all counting claims hold (n+1 vs 2n+2 invocations, n+2 vs 2n+3 Ejects, duality, Figure 1)")
 			fmt.Println("parallel engine holds (byte-identical sink output at shards=4/window=4, inv/datum unchanged, Ejects scale to n·P+2)")
 			fmt.Println("fusion compiler holds (byte-identical output, 2 Ejects / ~1 inv per datum co-located, fusion off reproduces paper counts)")
+			fmt.Println("real wire holds (byte-identical digests over UDS and TCP, paper counts at batch 1, slab audit clean under abort)")
 			return
 		}
 		for _, v := range violations {

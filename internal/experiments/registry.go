@@ -90,6 +90,9 @@ func Registry() []Spec {
 		{"e13", "ingress gateway: million-channel control plane", func(p Params) (Table, error) {
 			return E13Gateway(p)
 		}},
+		{"e14", "real-wire transput: netsim vs UDS vs TCP", func(p Params) (Table, error) {
+			return E14Transport(p)
+		}},
 		{"a1", "ablation: Transfer batch size", func(p Params) (Table, error) {
 			return A1BatchSweep(4, p.Items)
 		}},

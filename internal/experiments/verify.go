@@ -99,5 +99,10 @@ func Verify(p Params) []string {
 	// 2 Ejects / ~1 inv per datum when fully co-located, and fusion off
 	// reproduces the paper's exact counts.
 	bad = append(bad, VerifyFusion(p)...)
+
+	// Real wire: over Unix-domain and TCP sockets the sink digests stay
+	// byte-identical to netsim's, the paper's counts hold at batch 1,
+	// and the slab leak audit stays clean — including under abort.
+	bad = append(bad, VerifyTransport(p)...)
 	return bad
 }

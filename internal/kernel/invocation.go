@@ -184,7 +184,7 @@ func (c *Call) release() {
 func (c *Call) settle(r reply) reply {
 	k := c.k
 	if r.err == nil {
-		payload, _, terr := k.net.Transmit(c.toNode, c.fromNode, r.payload)
+		payload, _, terr := k.link.Transmit(c.toNode, c.fromNode, r.payload)
 		if terr != nil {
 			r = reply{err: toWire(terr)}
 		} else {

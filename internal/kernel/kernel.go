@@ -94,6 +94,13 @@ type Config struct {
 	// Net configures the simulated network (node count, latencies,
 	// wire encoding, faults).
 	Net netsim.Config
+	// Link, when non-nil, carries cross-node traffic instead of the
+	// simulated network — a real socket transport from
+	// internal/transport, or any other netsim.Link.  The kernel binds
+	// its metrics set to the link at construction and closes the link
+	// on Shutdown; Net.Nodes is overridden by the link's node count so
+	// placement checks and the transport agree.
+	Link netsim.Link
 	// WorkersPerEject bounds concurrent Serve calls per Eject
 	// (default 32) — the paper's pool of worker processes.
 	WorkersPerEject int
@@ -129,6 +136,7 @@ type Kernel struct {
 	cfg   Config
 	met   *metrics.Set
 	net   *netsim.Network
+	link  netsim.Link // cross-node hops; == net unless Config.Link is set
 	store *storage.Store
 	gen   *uid.Generator
 
@@ -168,7 +176,16 @@ func New(cfg Config) *Kernel {
 	if store == nil {
 		store = storage.NewStore(cfg.StoreHistory)
 	}
-	return &Kernel{
+	if cfg.Link != nil {
+		// The transport defines the node topology; the embedded netsim
+		// config must agree or placement checks would reject nodes the
+		// link can reach.
+		cfg.Net.Nodes = cfg.Link.Nodes()
+		if b, ok := cfg.Link.(netsim.MetricsBinder); ok {
+			b.BindMetrics(met)
+		}
+	}
+	k := &Kernel{
 		cfg:      cfg,
 		met:      met,
 		net:      netsim.New(cfg.Net, met),
@@ -177,6 +194,12 @@ func New(cfg Config) *Kernel {
 		bindings: stripemap.New[uid.UID, *binding](bindingStripes, uid.UID.Hash, &met.ChannelLookupContention),
 		types:    make(map[string]ActivateFunc),
 	}
+	if cfg.Link != nil {
+		k.link = cfg.Link
+	} else {
+		k.link = k.net
+	}
+	return k
 }
 
 // Metrics returns the kernel's metric set.
@@ -184,6 +207,10 @@ func (k *Kernel) Metrics() *metrics.Set { return k.met }
 
 // Network returns the simulated network.
 func (k *Kernel) Network() *netsim.Network { return k.net }
+
+// LinkKind names the transport carrying this kernel's cross-node
+// traffic ("netsim" unless Config.Link was supplied).
+func (k *Kernel) LinkKind() string { return k.link.Kind() }
 
 // Store returns the stable store.
 func (k *Kernel) Store() *storage.Store { return k.store }
@@ -493,7 +520,7 @@ func (k *Kernel) asyncInvoke(from uid.UID, fromNode netsim.NodeID, target uid.UI
 		}
 
 		// The request payload crosses the network to the target node.
-		sent, _, terr := k.net.Transmit(fromNode, b.node, payload)
+		sent, _, terr := k.link.Transmit(fromNode, b.node, payload)
 		if terr != nil {
 			if inv != nil {
 				releaseInvocation(inv)
@@ -735,4 +762,10 @@ func (k *Kernel) Shutdown() {
 		}
 		return true
 	})
+	if k.cfg.Link != nil {
+		// The kernel owns a supplied link's lifetime: closing it here
+		// tears down sockets and read slabs (whose leak audit lands in
+		// this kernel's SlabLeaked) once no new invocations can start.
+		_ = k.cfg.Link.Close()
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"asymstream/internal/kernel"
 	"asymstream/internal/metrics"
 	"asymstream/internal/trace"
+	"asymstream/internal/transport"
 	"asymstream/internal/transput"
 	"asymstream/internal/uid"
 	"asymstream/internal/unixfs"
@@ -23,12 +24,13 @@ import (
 // a bootstrap Unix file system, and the state needed to build and run
 // pipelines.
 type Session struct {
-	K    *kernel.Kernel
-	UFS  *unixfs.UnixFS
-	ufs  uid.UID
-	out  io.Writer
-	last metrics.Snapshot
-	ring *trace.Ring
+	K     *kernel.Kernel
+	UFS   *unixfs.UnixFS
+	ufs   uid.UID
+	out   io.Writer
+	last  metrics.Snapshot
+	ring  *trace.Ring
+	peers map[string]*transport.Peer
 }
 
 // NewSession boots a session on its own kernel.  out receives
@@ -45,8 +47,13 @@ func NewSession(out io.Writer) (*Session, error) {
 	return s, nil
 }
 
-// Close shuts the session's kernel down.
-func (s *Session) Close() { s.K.Shutdown() }
+// Close shuts the session's kernel and bridge connections down.
+func (s *Session) Close() {
+	for _, p := range s.peers {
+		_ = p.Close()
+	}
+	s.K.Shutdown()
+}
 
 // Execute runs one line: a pipeline (contains '|' or starts with a
 // source word) or a built-in command.
@@ -317,8 +324,13 @@ func (s *Session) source(st stageSpec) (transput.SourceFunc, error) {
 			_ = fsys.CloseStream(s.K, uid.Nil, ref)
 			return err
 		}, nil
+	case "remote":
+		// remote unix:/tmp/eden.sock count 100 — pull a stream out of
+		// a serving process over the bridge (§5 capability grant: the
+		// server mints a transient source Eject per open).
+		return s.remoteSource(st)
 	default:
-		return nil, fmt.Errorf("shell: unknown source %q (try text, count, file)", st.name)
+		return nil, fmt.Errorf("shell: unknown source %q (try text, count, file, remote)", st.name)
 	}
 }
 
@@ -533,7 +545,7 @@ func FilterNames() []string {
 
 const helpText = `pipelines:
   <source> | <filter>... | <sink>   [options]
-sources: text "..."   count N   file /path   clock N
+sources: text "..."   count N   file /path   clock N   remote ADDR spec...
 sinks:   print   discard   file /path
 filters: ` + "cat upcase lowcase strip grep replace head tail ln sort uniq wc rot13 expand paginate sed fold pretty histogram words" + `
 options: discipline=readonly|writeonly|buffered  batch=N  prefetch=N  anticipation=N  cap=true

@@ -192,3 +192,72 @@ func BenchmarkCreateStorm(b *testing.B) {
 		})
 	}
 }
+
+// TestOneStripeRace funnels every key onto a single stripe (constant
+// hash) so promotion, slow-path misses, Delete tombstones and Range
+// snapshots interleave on one lock domain — the schedule the race
+// detector needs to see.  Run via `make race`/CI with -race; it still
+// asserts linearizable per-key behaviour without it.
+func TestOneStripeRace(t *testing.T) {
+	m := New[int, int](8, func(int) uint64 { return 0 }, nil)
+	const (
+		workers = 8
+		rounds  = 2000
+		hot     = 32 // small key space: constant snapshot/overlay traffic
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (w + i) % hot
+				switch i % 4 {
+				case 0:
+					m.Store(k, w<<20|i)
+				case 1:
+					// Misses on amended snapshots drive promotion.
+					if v, ok := m.Load(k); ok && v < 0 {
+						t.Errorf("Load(%d) = %d", k, v)
+						return
+					}
+				case 2:
+					m.Delete(k)
+				default:
+					if v, loaded := m.LoadOrStore(k, -1); loaded && v == -1 && (v < -1 || v > 1<<30) {
+						t.Errorf("LoadOrStore(%d) = %d", k, v)
+						return
+					}
+					m.Delete(k) // don't let sentinel -1 accumulate
+				}
+			}
+		}(w)
+	}
+	// A concurrent Range walker repeatedly snapshots the stripe while
+	// the writers churn it.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Range(func(k, v int) bool { return k >= 0 })
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	// Per-key sanity after the storm: every surviving value was
+	// written by some worker (or is the LoadOrStore sentinel).
+	m.Range(func(k, v int) bool {
+		if k < 0 || k >= hot {
+			t.Errorf("foreign key %d survived", k)
+		}
+		return true
+	})
+}

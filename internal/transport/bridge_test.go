@@ -1,0 +1,337 @@
+package transport_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asymstream/internal/kernel"
+	"asymstream/internal/transport"
+	"asymstream/internal/uid"
+)
+
+// countSource yields "0\n".."N-1\n", the bridge twin of the shell's
+// count source.
+type countSource struct{ i, n int }
+
+func (c *countSource) Next() ([]byte, error) {
+	if c.i >= c.n {
+		return nil, io.EOF
+	}
+	it := []byte(fmt.Sprintf("%d\n", c.i))
+	c.i++
+	return it, nil
+}
+
+func (c *countSource) Close() error { return nil }
+
+// openCount parses "count N" specs.
+func openCount(spec string) (transport.ItemSource, error) {
+	var n int
+	if _, err := fmt.Sscanf(spec, "count %d", &n); err != nil {
+		return nil, fmt.Errorf("bad spec %q: %w", spec, err)
+	}
+	return &countSource{n: n}, nil
+}
+
+// startServer boots a serving kernel on a Unix listener and returns
+// the dial address plus the echo Eject's UID.
+func startServer(t *testing.T) (addr string, echo uid.UID) {
+	t.Helper()
+	k := kernel.New(kernel.Config{})
+	t.Cleanup(k.Shutdown)
+	id, err := k.Create(echoEject{}, 0)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := transport.RegisterControl(k, openCount); err != nil {
+		t.Fatalf("RegisterControl: %v", err)
+	}
+	sock := filepath.Join(t.TempDir(), "bridge.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() { _ = transport.Serve(ln, k) }()
+	return "unix:" + sock, id
+}
+
+func TestBridgeInvoke(t *testing.T) {
+	addr, echo := startServer(t)
+	p, err := transport.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer p.Close()
+
+	// Concurrent invocations multiplex on the one connection.
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				msg := fmt.Sprintf("w%d-%d", w, i)
+				res, err := p.Invoke(echo, "Echo", msg)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res != msg {
+					errc <- fmt.Errorf("got %v want %v", res, msg)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Errors travel back as errors, not hangs.
+	if _, err := p.Invoke(uid.UID{Hi: 1, Lo: 2}, "Echo", "x"); err == nil {
+		t.Fatal("expected error invoking unknown UID")
+	}
+}
+
+// TestBridgeProxy attaches a proxy for the remote echo Eject in a
+// local kernel and invokes it through ordinary kernel invocation — the
+// UID resolves location-independently across two kernels.
+func TestBridgeProxy(t *testing.T) {
+	addr, echo := startServer(t)
+	p, err := transport.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer p.Close()
+
+	local := kernel.New(kernel.Config{})
+	defer local.Shutdown()
+	if err := transport.AttachProxy(local, p, echo, 0); err != nil {
+		t.Fatalf("AttachProxy: %v", err)
+	}
+	res, err := local.Invoke(uid.Nil, echo, "Echo", "across processes")
+	if err != nil {
+		t.Fatalf("Invoke via proxy: %v", err)
+	}
+	if res != "across processes" {
+		t.Fatalf("got %v", res)
+	}
+}
+
+func TestRemoteSource(t *testing.T) {
+	addr, _ := startServer(t)
+	p, err := transport.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer p.Close()
+
+	src, err := transport.OpenRemote(p, "count 150")
+	if err != nil {
+		t.Fatalf("OpenRemote: %v", err)
+	}
+	var got []string
+	for {
+		it, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, strings.TrimSpace(string(it)))
+	}
+	if len(got) != 150 || got[0] != "0" || got[149] != "149" {
+		t.Fatalf("got %d items (%v...)", len(got), got[:min(3, len(got))])
+	}
+	if err := src.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if _, err := transport.OpenRemote(p, "bogus spec"); err == nil {
+		t.Fatal("expected error for bad spec")
+	}
+}
+
+// TestMultiProcessSoak is the nightly soak: a real second OS process
+// serves the bridge (this test binary re-executed in server mode) and
+// the client hammers it over UDS and TCP.  Gated behind TRANSPORT_SOAK
+// like GATEWAY_SOAK; run with -race.
+func TestMultiProcessSoak(t *testing.T) {
+	if os.Getenv("TRANSPORT_SOAK") == "" {
+		t.Skip("set TRANSPORT_SOAK=1 to run the multi-process soak")
+	}
+	for _, mode := range []string{"unix", "tcp"} {
+		t.Run(mode, func(t *testing.T) {
+			var addr string
+			if mode == "unix" {
+				addr = "unix:" + filepath.Join(t.TempDir(), "soak.sock")
+			} else {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				addr = "tcp:" + ln.Addr().String()
+				ln.Close() // freed port; small race, acceptable for a soak rig
+			}
+			cmd := exec.Command(os.Args[0], "-test.run", "TestSoakServerProcess", "-test.v")
+			cmd.Env = append(os.Environ(), "TRANSPORT_SOAK_SERVER="+addr)
+			out, err := cmd.StdoutPipe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmd.Stderr = cmd.Stdout
+			if err := cmd.Start(); err != nil {
+				t.Fatalf("start server process: %v", err)
+			}
+			defer func() {
+				_ = cmd.Process.Kill()
+				_ = cmd.Wait()
+			}()
+			go io.Copy(io.Discard, out)
+
+			// Wait for the server socket to come up.
+			var p *transport.Peer
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				p, err = transport.Dial(addr)
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("server never came up: %v", err)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			defer p.Close()
+
+			// The server publishes its echo UID via a remote source.
+			src, err := transport.OpenRemote(p, "echo-uid")
+			if err != nil {
+				t.Fatalf("OpenRemote(echo-uid): %v", err)
+			}
+			raw, err := src.Next()
+			if err != nil {
+				t.Fatalf("read echo uid: %v", err)
+			}
+			_ = src.Close()
+			echo, err := uid.ParseUID(strings.TrimSpace(string(raw)))
+			if err != nil {
+				t.Fatalf("parse echo uid %q: %v", raw, err)
+			}
+
+			const workers, per = 16, 500
+			var wg sync.WaitGroup
+			errc := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						msg := fmt.Sprintf("soak-%d-%d", w, i)
+						res, err := p.Invoke(echo, "Echo", msg)
+						if err != nil {
+							errc <- err
+							return
+						}
+						if res != msg {
+							errc <- fmt.Errorf("got %v want %v", res, msg)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+
+			// Streams keep working after the invoke storm.
+			cs, err := transport.OpenRemote(p, "count 1000")
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for {
+				if _, err := cs.Next(); err == io.EOF {
+					break
+				} else if err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+			if n != 1000 {
+				t.Fatalf("streamed %d items, want 1000", n)
+			}
+			_ = cs.Close()
+		})
+	}
+}
+
+// uidSource hands the server's echo UID to the client as a one-item
+// stream (the soak's bootstrap, standing in for a directory Eject).
+type uidSource struct {
+	id   uid.UID
+	done bool
+}
+
+func (u *uidSource) Next() ([]byte, error) {
+	if u.done {
+		return nil, io.EOF
+	}
+	u.done = true
+	return []byte(u.id.String()), nil
+}
+
+func (u *uidSource) Close() error { return nil }
+
+// TestSoakServerProcess is the soak's server half; it only runs when
+// re-executed by TestMultiProcessSoak.
+func TestSoakServerProcess(t *testing.T) {
+	addr := os.Getenv("TRANSPORT_SOAK_SERVER")
+	if addr == "" {
+		t.Skip("not a server process")
+	}
+	k := kernel.New(kernel.Config{})
+	defer k.Shutdown()
+	echo, err := k.Create(echoEject{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = transport.RegisterControl(k, func(spec string) (transport.ItemSource, error) {
+		if spec == "echo-uid" {
+			return &uidSource{id: echo}, nil
+		}
+		return openCount(spec)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network, target := "tcp", addr
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, target = "unix", rest
+	} else if rest, ok := strings.CutPrefix(addr, "tcp:"); ok {
+		target = rest
+	}
+	ln, err := net.Listen(network, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Serve until the parent kills the process.
+	_ = transport.Serve(ln, k)
+}

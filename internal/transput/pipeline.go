@@ -132,6 +132,13 @@ type Options struct {
 	// (all shards of a filter share its node) and the buffer index for
 	// RoleBuffer, 0 otherwise.
 	Placement func(role Role, index int) netsim.NodeID
+	// Transport names the link the kernel's cross-node hops must ride:
+	// "" or "netsim" (the in-process simulator), "unix" (Unix domain
+	// sockets) or "tcp" (TCP loopback).  The link itself belongs to the
+	// kernel (NewTransportKernel builds one); BuildPipeline validates
+	// that the kernel's link matches, so a benchmark row labelled
+	// "unix" provably ran over real sockets.
+	Transport Transport
 
 	// srcFused / sinkFused are set by the fusion pass when the source
 	// (read-only) or sink (write-only) was folded into a fusion group,
@@ -334,6 +341,9 @@ func (p *Pipeline) frameSlab(met *metrics.Set, counts []int) *wire.Slab {
 // builders then wire the reduced chain exactly as they would any
 // other.
 func BuildPipeline(k *kernel.Kernel, d Discipline, src SourceFunc, fs []Filter, sink SinkFunc, opt Options) (*Pipeline, error) {
+	if err := opt.Transport.check(k); err != nil {
+		return nil, err
+	}
 	logical := len(fs) + 2
 	src, fs, sink, opt, fr := fuseChain(d, src, fs, sink, opt)
 	var p *Pipeline
@@ -467,7 +477,7 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		// Sequential filter: merges a sharded upstream, splits toward a
 		// sharded downstream.
 		fUID := k.NewUID()
-		body := f.Body
+		body := detachBody(f.Body)
 		if len(prev) > 1 {
 			body = mergeBody(met, body)
 		}
@@ -502,7 +512,7 @@ func buildReadOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		ins[j] = NewInPort(k, sinkUID, prev[j].u, prev[j].c, inCfg)
 	}
 	sinkBody := func(ins []ItemReader) error {
-		return sink(ins[0])
+		return sink(detachReader{ins[0]})
 	}
 	if len(prev) > 1 {
 		sinkBody = func(ins []ItemReader) error {
@@ -561,7 +571,7 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 	sinkUID := k.NewUID()
 	lastP := upWidth(len(fs))
 	sinkBody := func(ins []ItemReader, _ []ItemWriter) error {
-		return sink(ins[0])
+		return sink(detachReader{ins[0]})
 	}
 	if lastP > 1 {
 		sinkBody = mergeBody(met, sinkBody)
@@ -615,7 +625,7 @@ func buildWriteOnly(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc
 			continue
 		}
 		fUID := k.NewUID()
-		body := f.Body
+		body := detachBody(f.Body)
 		outs := make([]ItemWriter, len(next))
 		for j := range next {
 			outs[j] = newActiveOut(k, fUID, next[j].u, next[j].c, opt)
@@ -773,7 +783,7 @@ func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 			continue
 		}
 		fUID := k.NewUID()
-		body := f.Body
+		body := detachBody(f.Body)
 		ins := make([]ItemReader, len(bufs[i]))
 		for j, b := range bufs[i] {
 			ins[j] = NewInPort(k, fUID, b, Chan(0), inCfg)
@@ -806,7 +816,7 @@ func buildBuffered(k *kernel.Kernel, src SourceFunc, fs []Filter, sink SinkFunc,
 		ins[j] = NewInPort(k, sinkUID, b, Chan(0), inCfg)
 	}
 	sinkBody := func(ins []ItemReader) error {
-		return sink(ins[0])
+		return sink(detachReader{ins[0]})
 	}
 	if len(ins) > 1 {
 		sinkBody = func(ins []ItemReader) error {

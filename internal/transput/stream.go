@@ -53,6 +53,44 @@ func PutOwned(w ItemWriter, item []byte) error {
 	return err
 }
 
+// detachReader hands the consuming body outright ownership of every
+// item.  Over a real link the items surfacing from a port are slab
+// views of the receive buffer; a user body may keep or drop them
+// freely, so they are detached here — the one copy per item the real
+// wire pays, at the same boundary shard frames pay it (detachPayload).
+// Heap items (netsim, sources) pass through untouched.
+type detachReader struct{ r ItemReader }
+
+func (d detachReader) Next() ([]byte, error) {
+	item, err := d.r.Next()
+	if err != nil {
+		return nil, err
+	}
+	return wire.Detach(item), nil
+}
+
+// Cancel forwards early exit to the underlying reader.
+func (d detachReader) Cancel(msg string) {
+	if c, ok := d.r.(interface{ Cancel(string) }); ok {
+		c.Cancel(msg)
+	}
+}
+
+// detachBody wraps a user body so its input readers satisfy the
+// ItemReader ownership contract across real links.  Applied innermost
+// by the pipeline builders: shard and merge plumbing wrap outside it
+// and keep their frame views zero-copy (their surfaced payloads are
+// already detached, making this a pass-through).
+func detachBody(body Body) Body {
+	return func(ins []ItemReader, outs []ItemWriter) error {
+		wrapped := make([]ItemReader, len(ins))
+		for i := range ins {
+			wrapped[i] = detachReader{ins[i]}
+		}
+		return body(wrapped, outs)
+	}
+}
+
 // sliceReader serves items from a fixed slice; used by tests, devices
 // and the record layer.
 type sliceReader struct {

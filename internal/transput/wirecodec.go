@@ -30,6 +30,14 @@ func init() {
 	wire.Register(wireIDTransferReply, "transput.TransferReply", decodeTransferReply)
 	wire.Register(wireIDDeliverRequest, "transput.DeliverRequest", decodeDeliverRequest)
 	wire.Register(wireIDDeliverReply, "transput.DeliverReply", decodeDeliverReply)
+
+	// The two item-bearing records also get in-place decoders: a real
+	// transport's read loop (wire.FrameReader) decodes them straight out
+	// of the receive buffer, registering each item as a slab sub-view
+	// the receiving port then owns — the same ownership-transfer
+	// contract a local hop uses, now across a socket.
+	wire.RegisterView(wireIDTransferReply, decodeTransferReplyView)
+	wire.RegisterView(wireIDDeliverRequest, decodeDeliverRequestView)
 }
 
 // --- ChannelID -----------------------------------------------------
@@ -121,6 +129,38 @@ func decodeTransferReply(b []byte) (any, error) {
 	return r, nil
 }
 
+// decodeTransferReplyView is the zero-copy dual of decodeTransferReply:
+// Items alias the receive buffer as tracked sub-views of owner, which
+// the caller (and ultimately the receiving port) owns and releases.
+func decodeTransferReplyView(b, owner []byte) (any, error) {
+	r := &TransferReply{}
+	st, k, err := wire.ReadVarintField(b)
+	if err != nil {
+		return nil, err
+	}
+	r.Status = Status(st)
+	msg, n, err := wire.ReadStringField(b[k:])
+	if err != nil {
+		return nil, err
+	}
+	r.AbortMsg = msg
+	k += n
+	base, n, err := wire.ReadVarintField(b[k:])
+	if err != nil {
+		return nil, err
+	}
+	r.Base = base
+	k += n
+	items, _, err := wire.ReadItemsFieldView(b[k:], owner)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) > 0 {
+		r.Items = items
+	}
+	return r, nil
+}
+
 // ReleaseWirePayload lets netsim hand slab views back after an encoded
 // cross-node hop: the decoded copy supersedes the originals, so the
 // sender-side views are done.  Tolerant of ordinary heap items.
@@ -168,6 +208,40 @@ func decodeDeliverRequest(b []byte) (any, error) {
 	r.Seq = seq
 	k += n
 	items, _, err := wire.ReadItemsField(b[k:])
+	if err != nil {
+		return nil, err
+	}
+	if len(items) > 0 {
+		r.Items = items
+	}
+	return r, nil
+}
+
+// decodeDeliverRequestView is the zero-copy dual of
+// decodeDeliverRequest — see decodeTransferReplyView.
+func decodeDeliverRequestView(b, owner []byte) (any, error) {
+	r := &DeliverRequest{}
+	ch, k, err := readChannelID(b)
+	if err != nil {
+		return nil, err
+	}
+	r.Channel = ch
+	if len(b)-k < 1+16 {
+		return nil, fmt.Errorf("%w: short deliver header", wire.ErrTruncated)
+	}
+	r.End = b[k] == 1
+	k++
+	var w16 [16]byte
+	copy(w16[:], b[k:k+16])
+	r.Writer = uid.FromBytes(w16)
+	k += 16
+	seq, n, err := wire.ReadUvarintField(b[k:])
+	if err != nil {
+		return nil, err
+	}
+	r.Seq = seq
+	k += n
+	items, _, err := wire.ReadItemsFieldView(b[k:], owner)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,312 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"asymstream/internal/metrics"
+)
+
+// viewRecID is a record with both a copying and an in-place decoder,
+// so decode equivalence across the two paths is testable: one [][]byte
+// field (aliasing under the view decoder) and one varint.
+const viewRecID = 101
+
+type viewRec struct {
+	Items [][]byte
+	Seq   int64
+}
+
+func (r *viewRec) WireID() uint16 { return viewRecID }
+
+func (r *viewRec) AppendWire(dst []byte) ([]byte, error) {
+	dst = AppendItemsField(dst, r.Items)
+	return AppendVarintField(dst, r.Seq), nil
+}
+
+func decodeViewRecFrom(items [][]byte, rest []byte) (any, error) {
+	seq, _, err := ReadVarintField(rest)
+	if err != nil {
+		ReleaseAll(items)
+		return nil, err
+	}
+	return &viewRec{Items: items, Seq: seq}, nil
+}
+
+func init() {
+	Register(viewRecID, "wire.viewRec", func(payload []byte) (any, error) {
+		items, k, err := ReadItemsField(payload)
+		if err != nil {
+			return nil, err
+		}
+		return decodeViewRecFrom(items, payload[k:])
+	})
+	RegisterView(viewRecID, func(payload, owner []byte) (any, error) {
+		items, k, err := ReadItemsFieldView(payload, owner)
+		if err != nil {
+			return nil, err
+		}
+		return decodeViewRecFrom(items, payload[k:])
+	})
+}
+
+// chunkedReader serves a byte stream in caller-chosen cut sizes,
+// simulating a socket that tears frames across arbitrary reads.
+type chunkedReader struct {
+	data []byte
+	cuts []byte // successive read sizes; 0 entries read 1 byte
+	pos  int
+	turn int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if c.pos >= len(c.data) {
+		return 0, io.EOF
+	}
+	n := 1
+	if len(c.cuts) > 0 {
+		n = int(c.cuts[c.turn%len(c.cuts)])
+		c.turn++
+		if n <= 0 {
+			n = 1
+		}
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	if rem := len(c.data) - c.pos; n > rem {
+		n = rem
+	}
+	copy(p, c.data[c.pos:c.pos+n])
+	c.pos += n
+	return n, nil
+}
+
+// encodeStream concatenates the test frames every torn-read test
+// parses back.
+func encodeStream(t testing.TB) ([]byte, []any) {
+	t.Helper()
+	vals := []any{
+		[]byte("alpha"),
+		"grüße",
+		int64(-1983),
+		[][]byte{[]byte("a"), {}, []byte("line\n")},
+		&viewRec{Items: [][]byte{[]byte("x"), []byte("yy")}, Seq: 7},
+		[]byte(bytes.Repeat([]byte("Z"), 300)), // bigger than tiny chunks
+	}
+	var stream []byte
+	for _, v := range vals {
+		enc, err := Append(stream, v)
+		if err != nil {
+			t.Fatalf("Append(%v): %v", v, err)
+		}
+		stream = enc
+	}
+	return stream, vals
+}
+
+// canon normalises a decoded value for comparison across the copying
+// and view decode paths (views detach to plain bytes; empty items and
+// nil items compare equal).
+func canon(v any) string {
+	switch x := v.(type) {
+	case []byte:
+		return fmt.Sprintf("b:%q", x)
+	case [][]byte:
+		s := "v:"
+		for _, it := range x {
+			s += fmt.Sprintf("%q,", it)
+		}
+		return s
+	case *viewRec:
+		return fmt.Sprintf("r:%d:%s", x.Seq, canon(x.Items))
+	default:
+		return fmt.Sprintf("%T:%v", v, v)
+	}
+}
+
+// releaseDecoded drops any slab views a decoded value carries.
+func releaseDecoded(v any) {
+	switch x := v.(type) {
+	case [][]byte:
+		ReleaseAll(x)
+	case *viewRec:
+		ReleaseAll(x.Items)
+	}
+}
+
+func TestFrameReaderTornReads(t *testing.T) {
+	stream, vals := encodeStream(t)
+	for _, cuts := range [][]byte{nil, {1}, {2}, {3, 1, 7}, {64}, {255}} {
+		met := &metrics.Set{}
+		slab := NewSlab(met, 128) // far smaller than the stream: forces rotation
+		fr := NewFrameReader(&chunkedReader{data: stream, cuts: cuts}, slab, 128)
+		var wire int
+		for i, want := range vals {
+			v, n, err := fr.Next()
+			if err != nil {
+				t.Fatalf("cuts %v: frame %d: %v", cuts, i, err)
+			}
+			if got, w := canon(v), canon(want); got != w {
+				t.Fatalf("cuts %v: frame %d: got %s want %s", cuts, i, got, w)
+			}
+			wire += n
+			releaseDecoded(v)
+		}
+		if wire != len(stream) {
+			t.Fatalf("cuts %v: consumed %d wire bytes, stream is %d", cuts, wire, len(stream))
+		}
+		if _, _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("cuts %v: want io.EOF at end, got %v", cuts, err)
+		}
+		fr.Close()
+		if leaked := slab.Close(); leaked != 0 {
+			t.Fatalf("cuts %v: slab leaked %d views", cuts, leaked)
+		}
+	}
+}
+
+// TestFrameReaderViewsSurviveRotation pins the zero-copy contract: an
+// item view handed out stays valid (and owns its chunk) after the
+// reader rotates to fresh buffers and even after the reader closes.
+func TestFrameReaderViewsSurviveRotation(t *testing.T) {
+	var stream []byte
+	first := &viewRec{Items: [][]byte{[]byte("keepme")}, Seq: 1}
+	enc, err := Append(nil, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream = enc
+	// Enough follow-on data to force several 128-byte rotations.
+	for i := 0; i < 8; i++ {
+		if stream, err = Append(stream, bytes.Repeat([]byte{byte('a' + i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	met := &metrics.Set{}
+	slab := NewSlab(met, 128)
+	fr := NewFrameReader(&chunkedReader{data: stream, cuts: []byte{5}}, slab, 128)
+	v, _, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := v.(*viewRec)
+	if !IsView(rec.Items[0]) {
+		t.Fatal("view decoder returned a non-view item")
+	}
+	for {
+		w, _, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		releaseDecoded(w)
+	}
+	fr.Close()
+	if string(rec.Items[0]) != "keepme" {
+		t.Fatalf("view corrupted after rotation/close: %q", rec.Items[0])
+	}
+	ReleaseAll(rec.Items)
+	if leaked := slab.Close(); leaked != 0 {
+		t.Fatalf("slab leaked %d views", leaked)
+	}
+}
+
+func TestFrameReaderErrors(t *testing.T) {
+	stream, _ := encodeStream(t)
+
+	// Mid-frame end of stream.
+	fr := NewFrameReader(&chunkedReader{data: stream[:len(stream)-3]}, nil, 0)
+	for {
+		v, _, err := fr.Next()
+		if err != nil {
+			if err != io.ErrUnexpectedEOF {
+				t.Fatalf("truncated stream: want io.ErrUnexpectedEOF, got %v", err)
+			}
+			break
+		}
+		releaseDecoded(v)
+	}
+	fr.Close()
+
+	// A length prefix above MaxFrameBytes fails before allocating.
+	huge := []byte{TagBytes, 0xFF, 0xFF, 0xFF, 0xFF}
+	fr = NewFrameReader(bytes.NewReader(huge), nil, 0)
+	if _, _, err := fr.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	fr.Close()
+
+	// Empty stream is a clean EOF.
+	fr = NewFrameReader(bytes.NewReader(nil), nil, 0)
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF on empty stream, got %v", err)
+	}
+	fr.Close()
+}
+
+// FuzzFrameReader is the stream-reassembly fuzzer: arbitrary bytes,
+// torn at arbitrary read boundaries, must decode to exactly the frame
+// sequence the in-process Decode sees on the same bytes — and must
+// never panic or leak a slab view, whatever the input.
+func FuzzFrameReader(f *testing.F) {
+	stream, _ := encodeStream(f)
+	f.Add(stream, []byte{1})
+	f.Add(stream, []byte{3, 1, 7})
+	f.Add(stream[:len(stream)-2], []byte{64})
+	f.Add([]byte{TagBytes, 0xFF, 0xFF, 0xFF, 0xFF, 'x'}, []byte{2})
+	f.Add([]byte{TagRecord, 0, 0, 0, 2, viewRecID, 0x00}, []byte{1, 2})
+	f.Fuzz(func(t *testing.T, data, cuts []byte) {
+		// Reference: frame-by-frame copying Decode over the whole
+		// buffer, stopping at the first error.
+		var want []string
+		off := 0
+		for off < len(data) {
+			v, n, err := Decode(data[off:])
+			if err != nil {
+				break
+			}
+			want = append(want, canon(v))
+			off += n
+		}
+
+		met := &metrics.Set{}
+		slab := NewSlab(met, 256)
+		fr := NewFrameReader(&chunkedReader{data: data, cuts: cuts}, slab, 256)
+		for i := 0; ; i++ {
+			v, n, err := fr.Next()
+			if err != nil {
+				// The reassembled stream may legitimately fail where
+				// the reference did (or later at the torn tail), but
+				// it must never decode fewer clean frames.
+				if i < len(want) {
+					t.Fatalf("frame %d: reference decoded it, reader failed: %v", i, err)
+				}
+				break
+			}
+			if i >= len(want) {
+				// A frame the reference rejected must not decode; the
+				// only excuse is the reference stopping on a frame
+				// whose MaxFrameBytes guard tripped differently.
+				releaseDecoded(v)
+				t.Fatalf("frame %d: reader decoded a frame the reference rejected", i)
+			}
+			if got := canon(v); got != want[i] {
+				t.Fatalf("frame %d: got %s want %s", i, got, want[i])
+			}
+			if n < HeaderBytes {
+				t.Fatalf("frame %d: consumed %d < header", i, n)
+			}
+			releaseDecoded(v)
+		}
+		fr.Close()
+		if leaked := slab.Close(); leaked != 0 {
+			t.Fatalf("slab leaked %d views", leaked)
+		}
+	})
+}

@@ -251,6 +251,50 @@ func ReleaseAll(items [][]byte) int {
 	return n
 }
 
+// RegisterSubview promotes sub — a slice of the live view owner — to a
+// tracked view in its own right, holding one reference of its own on
+// owner's chunk.  After registration, sub participates in the normal
+// Retain/Release/Detach lifecycle independently of owner: releasing
+// owner does not invalidate sub, and the chunk recycles only when both
+// are gone.  This is how the transport's read loop hands frame-decoded
+// item slices to ports with ownership transfer instead of a copy: the
+// items alias the receive buffer, and each carries its own refcount.
+//
+// Preconditions (the frame layout guarantees both): sub must lie
+// within owner's chunk, and sub's base pointer must not collide with
+// any other live view except owner itself (frame items are disjoint
+// and each is preceded by at least one length byte).  When sub shares
+// owner's base pointer this degenerates to Retain(owner).  It reports
+// whether owner was a live view; on ordinary slices it is a tolerant
+// no-op and sub stays an untracked alias.
+func RegisterSubview(owner, sub []byte) bool {
+	if len(owner) == 0 || len(sub) == 0 {
+		return false
+	}
+	v, ok := views.Load(&owner[0])
+	if !ok {
+		return false
+	}
+	e := v.(*viewEntry)
+	if &owner[0] == &sub[0] {
+		// Same base pointer: sub and owner share a view entry, so this
+		// degenerates to an extra reference on it (Retain semantics).
+		e.refs.Add(1)
+	} else {
+		c := e.c
+		c.refs.Add(1)
+		ne := &viewEntry{c: c}
+		ne.refs.Store(1)
+		views.Store(&sub[0], ne)
+	}
+	s := e.c.slab
+	s.outstanding.Add(1)
+	if s.met != nil {
+		s.met.SlabRetained.Inc()
+	}
+	return true
+}
+
 // Detach converts b into an ordinary heap slice the caller owns
 // outright.  If b is a live view the bytes are copied out and the view
 // released; otherwise b is returned unchanged.  This is the one copy
