@@ -32,11 +32,14 @@ vet-custom:
 	$(GO) run ./cmd/transput-vet
 
 ## cover-floor: statement-coverage floor for the packages whose
-## correctness arguments lean on tests — the wire codec/slab layer and
-## the analyzer suite itself.
+## correctness arguments lean on tests — the wire codec/slab layer,
+## the analyzer suite itself, the real-wire transport (bridge, remote
+## sources, socket links) and the striped table layer.
 cover-floor:
 	@./scripts/cover_floor.sh internal/wire 70
 	@./scripts/cover_floor.sh internal/analysis 70
+	@./scripts/cover_floor.sh internal/transport 70
+	@./scripts/cover_floor.sh internal/stripemap 70
 
 build:
 	$(GO) build ./...

@@ -38,6 +38,32 @@ import (
 	"asymstream/internal/experiments"
 )
 
+// suiteNames are the files the -json suite writes, in write order.
+// The deprecated -json-out-* flags override them one-for-one.
+var suiteNames = [...]string{
+	"BENCH_kernel.json",
+	"BENCH_transput.json",
+	"BENCH_codec.json",
+	"BENCH_fusion.json",
+	"BENCH_gateway.json",
+	"BENCH_transport.json",
+}
+
+// resolveSuitePaths maps -json-dir plus the deprecated per-file
+// overrides onto the suite's output paths: an override wins only for
+// its own file, everything else lands in dir under its canonical name.
+func resolveSuitePaths(dir string, overrides [len(suiteNames)]string) [len(suiteNames)]string {
+	var out [len(suiteNames)]string
+	for i, name := range suiteNames {
+		if overrides[i] != "" {
+			out[i] = overrides[i]
+			continue
+		}
+		out[i] = filepath.Join(dir, name)
+	}
+	return out
+}
+
 func main() {
 	var (
 		quick = flag.Bool("quick", false, "run reduced workloads")
@@ -57,14 +83,8 @@ func main() {
 	)
 	flag.Parse()
 
-	// dest resolves one output file: the deprecated per-file flag wins
-	// when set, otherwise the file lands in -json-dir.
-	dest := func(override *string, name string) string {
-		if *override != "" {
-			return *override
-		}
-		return filepath.Join(*jdir, name)
-	}
+	paths := resolveSuitePaths(*jdir, [len(suiteNames)]string{*jout, *tout, *cout, *fout, *gout, *wout})
+	dest := func(i int) string { return paths[i] }
 
 	if *jsonl {
 		if err := os.MkdirAll(*jdir, 0o755); err != nil {
@@ -75,25 +95,25 @@ func main() {
 		if *items > 0 {
 			p.Items = *items
 		}
-		out := dest(jout, "BENCH_kernel.json")
+		out := dest(0)
 		if err := experiments.WriteBenchJSON(out, *jn, p.Items); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (n=%d, items=%d)\n", out, *jn, p.Items)
-		out = dest(tout, "BENCH_transput.json")
+		out = dest(1)
 		if err := experiments.WriteParallelBenchJSON(out, p.Items); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (items=%d)\n", out, p.Items)
-		out = dest(cout, "BENCH_codec.json")
+		out = dest(2)
 		if err := experiments.WriteCodecBenchJSON(out, *jn, p.Items); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (n=%d, items=%d)\n", out, *jn, p.Items)
-		out = dest(fout, "BENCH_fusion.json")
+		out = dest(3)
 		if err := experiments.WriteFusionBenchJSON(out, p.Items); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
@@ -103,7 +123,7 @@ func main() {
 		if *quick {
 			pairs, hot, gi = 2_000, 16, 200
 		}
-		out = dest(gout, "BENCH_gateway.json")
+		out = dest(4)
 		if err := experiments.WriteGatewayBenchJSON(out, pairs, hot, gi); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)
@@ -113,7 +133,7 @@ func main() {
 		if *quick {
 			rounds = 300
 		}
-		out = dest(wout, "BENCH_transport.json")
+		out = dest(5)
 		if err := experiments.WriteTransportBenchJSON(out, rounds, ti); err != nil {
 			fmt.Fprintln(os.Stderr, "transput-bench:", err)
 			os.Exit(1)

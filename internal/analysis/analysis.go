@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named check.  Run inspects the whole program and
@@ -63,6 +64,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Run executes the analyzers over prog and returns their diagnostics
 // sorted by position.  Analyzer errors (not findings) abort the run.
+// Findings acknowledged in the source with a `//vet:ok <analyzer>`
+// annotation (same line or the line above) are suppressed: the comment
+// is the reviewed, in-tree justification for a deliberate deviation —
+// a lock-free fast path the analyzer's conservative rule cannot see.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pass := &Pass{Prog: prog}
 	for _, a := range analyzers {
@@ -71,6 +76,7 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("analysis %s: %w", a.Name, err)
 		}
 	}
+	pass.diags = filterAnnotated(prog, pass.diags)
 	sort.Slice(pass.diags, func(i, j int) bool {
 		a, b := pass.diags[i], pass.diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -87,6 +93,60 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return pass.diags, nil
 }
 
+// filterAnnotated drops diagnostics covered by a `//vet:ok <analyzer>`
+// annotation.  The annotation names one or more analyzers (comma or
+// space separated); anything after ` -- ` is free-text justification.
+// It covers findings on its own line and on the line directly below,
+// so both trailing and standalone comment placements work.
+func filterAnnotated(prog *Program, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	ok := make(map[key]map[string]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, found := strings.CutPrefix(text, "vet:ok")
+					if !found {
+						continue
+					}
+					if i := strings.Index(rest, "--"); i >= 0 {
+						rest = rest[:i]
+					}
+					names := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+					if len(names) == 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := key{file: pos.Filename, line: line}
+						if ok[k] == nil {
+							ok[k] = make(map[string]bool)
+						}
+						for _, n := range names {
+							ok[k][n] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(ok) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ok[key{file: d.Pos.Filename, line: d.Pos.Line}][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
 // All returns the full transput-vet suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -96,5 +156,9 @@ func All() []*Analyzer {
 		PoolHygiene,
 		MetricsTable,
 		LockOrder,
+		EpochGuard,
+		AtomicMix,
+		ConnLife,
+		SendOwn,
 	}
 }

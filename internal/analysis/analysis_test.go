@@ -51,6 +51,30 @@ func TestLockOrderFixture(t *testing.T) {
 	mustFind(t, diags, "lock order inversion")
 }
 
+func TestEpochGuardFixture(t *testing.T) {
+	diags := runFixture(t, EpochGuard, "epochfix")
+	mustFind(t, diags, "used before revalidating")
+	mustFind(t, diags, "compared outside")
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	diags := runFixture(t, AtomicMix, "atomicfix")
+	mustFind(t, diags, "plain access to hits")
+	mustFind(t, diags, "atomic value flags")
+}
+
+func TestConnLifeFixture(t *testing.T) {
+	diags := runFixture(t, ConnLife, "connfix")
+	mustFind(t, diags, "may escape without Close")
+}
+
+func TestSendOwnFixture(t *testing.T) {
+	diags := runFixture(t, SendOwn, "sendfix")
+	mustFind(t, diags, "touched after it was handed")
+	mustFind(t, diags, "may drop its frames")
+	mustFind(t, diags, "no drain loop in this package")
+}
+
 // TestModuleIsClean runs the full suite over the real module — the
 // same gate `make vet-custom` enforces in CI.
 func TestModuleIsClean(t *testing.T) {
@@ -128,7 +152,10 @@ func TestAnalyzerRegistry(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"slabown", "discipline", "fusable", "poolhygiene", "metricstable", "lockorder"} {
+	for _, want := range []string{
+		"slabown", "discipline", "fusable", "poolhygiene", "metricstable", "lockorder",
+		"epochguard", "atomicmix", "connlife", "sendown",
+	} {
 		if !names[want] {
 			t.Errorf("missing analyzer %s", want)
 		}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces the all-or-nothing rule of the Go memory model
+// for this module's hot counters: once any goroutine accesses a word
+// through sync/atomic, every access to that word must be atomic.  The
+// table layer leans hard on single-word atomics (chanCore.gen,
+// seqGate cursors, capability-cache slots), and the most tempting bug
+// during a refactor is a "harmless" plain read of one of them in a
+// slow path.  Two rules:
+//
+//   - mixed access: a struct field whose address is ever passed to a
+//     sync/atomic package function (atomic.AddUint64(&s.n, 1)) is an
+//     atomic word program-wide; any other plain selector use of the
+//     same field — read, write, or aliasing through a non-atomic
+//     callee — is reported against the atomic site it races with;
+//
+//   - typed atomics: a value of one of the sync/atomic wrapper types
+//     (atomic.Uint64, atomic.Bool, atomic.Value, ...) may be used
+//     only as a method-call base or behind &; copying one (assignment,
+//     argument, range) silently forks the counter and, for types with
+//     a noCopy sentinel, trips vet only after the damage is designed
+//     in.
+//
+// Both rules match by type identity (package path sync/atomic), never
+// by name, so the module's own named counters (metrics.Counter, which
+// wraps its word privately) do not trip them.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: collect every field used through a sync/atomic package
+	// function, program-wide, with one exemplar position for the report.
+	atomicFields := make(map[*types.Var]token.Position)
+	for _, pkg := range pass.Prog.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicPkgCall(info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if fv := addrOfField(info, arg); fv != nil {
+						if _, seen := atomicFields[fv]; !seen {
+							atomicFields[fv] = pass.Prog.Fset.Position(arg.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Pass 2: report plain uses of those fields, and non-method uses of
+	// the typed atomic wrappers.
+	for _, pkg := range pass.Prog.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			allowed := make(map[ast.Node]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isAtomicPkgCall(info, n) {
+						// The &s.f arguments are the sanctioned accesses.
+						for _, arg := range n.Args {
+							if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+								allowed[ast.Unparen(u.X)] = true
+							}
+						}
+					}
+					// x.f.Load(): the method selector's base is a legal
+					// use of a typed atomic.
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if _, ok := info.Uses[sel.Sel].(*types.Func); ok {
+							allowed[ast.Unparen(sel.X)] = true
+						}
+					}
+				case *ast.UnaryExpr:
+					// &x.f on a typed atomic (passing a pointer on) is
+					// legal; for plain atomic words rule 1 already
+					// requires the address to feed a sync/atomic call,
+					// so only typed wrappers get this blanket pass.
+					if n.Op == token.AND && isTypedAtomic(exprType(info, n.X)) {
+						allowed[ast.Unparen(n.X)] = true
+					}
+				case *ast.SelectorExpr:
+					if allowed[n] {
+						return true
+					}
+					fv, ok := info.Uses[n.Sel].(*types.Var)
+					if !ok || !fv.IsField() {
+						return true
+					}
+					if site, mixed := atomicFields[fv]; mixed {
+						pass.Reportf(n.Pos(),
+							"plain access to %s races with its atomic use at %s:%d; every access to an atomic word must go through sync/atomic",
+							n.Sel.Name, shortFile(site.Filename), site.Line)
+						return true
+					}
+					if tv, ok := info.Types[n]; ok && tv.IsValue() && isTypedAtomic(tv.Type) {
+						pass.Reportf(n.Pos(),
+							"atomic value %s copied or read without its methods; use Load/Store/Add or pass a pointer",
+							n.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isAtomicPkgCall reports whether call invokes a package-level
+// function of sync/atomic (AddUint64, LoadPointer, ...), as opposed to
+// a method on one of its wrapper types.
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addrOfField matches &x.f and returns the field's object.
+func addrOfField(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's wrapper
+// types (Uint64, Int32, Bool, Value, Pointer[T], ...).
+func isTypedAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// exprType returns the value type of e, or nil.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// shortFile trims a position's filename to its last two path elements
+// for compact diagnostics.
+func shortFile(name string) string {
+	slash := 0
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			slash++
+			if slash == 2 {
+				return name[i+1:]
+			}
+		}
+	}
+	return name
+}

@@ -23,6 +23,7 @@ const (
 	nkPanic                  // call to panic: path ends, not a normal exit
 	nkEnd                    // synthetic fall-off-the-end exit
 	nkJoin                   // synthetic empty node (loop heads, select heads)
+	nkAssume                 // branch polarity: cond holds (or its negation)
 )
 
 type cfgNode struct {
@@ -32,6 +33,12 @@ type cfgNode struct {
 	succs []*cfgNode
 	preds []*cfgNode
 	idx   int
+	// Assume nodes record which way the enclosing If branched: cond is
+	// the condition expression and negate is true on the else edge.
+	// n stays nil so clients that Inspect node.N never re-visit the
+	// condition.
+	cond   ast.Expr
+	negate bool
 }
 
 type funcCFG struct {
@@ -140,10 +147,20 @@ func (b *cfgBuilder) buildStmt(s ast.Stmt, frontier []*cfgNode) []*cfgNode {
 		}
 		var cond *cfgNode
 		frontier, cond = b.seq(frontier, nkExpr, s.Cond)
-		thenOut := b.buildStmts(s.Body.List, []*cfgNode{cond})
-		elseOut := []*cfgNode{cond}
+		// Branch polarity flows through assume nodes: the then edge
+		// knows cond held, the else edge knows it did not.  Dataflow
+		// clients (the lifetime engine's err-pairing, nil-pruning) read
+		// them; everyone else treats them like joins.
+		assumeT := b.newNode(nkAssume, nil)
+		assumeT.cond, assumeT.negate = s.Cond, false
+		b.link([]*cfgNode{cond}, assumeT)
+		assumeF := b.newNode(nkAssume, nil)
+		assumeF.cond, assumeF.negate = s.Cond, true
+		b.link([]*cfgNode{cond}, assumeF)
+		thenOut := b.buildStmts(s.Body.List, []*cfgNode{assumeT})
+		elseOut := []*cfgNode{assumeF}
 		if s.Else != nil {
-			elseOut = b.buildStmt(s.Else, []*cfgNode{cond})
+			elseOut = b.buildStmt(s.Else, []*cfgNode{assumeF})
 		}
 		return append(thenOut, elseOut...)
 

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ConnLife is slabown for the transport layer's OS resources: every
+// net.Conn, net.Listener, netsim.Link and wire.FrameReader acquired in
+// internal/transport must reach Close on every path out of the
+// acquiring function — including error, abort and bridge-teardown
+// paths.  It runs the shared lifetime engine in obligation mode with
+// two extensions the socket code needs and slab views did not:
+//
+//   - multi-result acquisition with error pairing: `conn, err :=
+//     ln.Accept()` obligates conn, and the `if err != nil` branch
+//     clears it (a failed dial returns nothing to close);
+//   - branch polarity: `if c != nil { c.Close() }` discharges on both
+//     edges, because the assume node on the implicit else knows c is
+//     nil.
+//
+// Handoff stays generous, exactly as for slab views: passing a
+// connection to a callee or goroutine (`go serveConn(conn, k)`),
+// storing it in a struct or slice, or returning it transfers the Close
+// obligation to the new owner.  The analyzer therefore catches the
+// shallow leaks — a conn plainly dropped on an early error return —
+// and leaves deep lifecycle bugs to the soak tests.
+var ConnLife = &Analyzer{
+	Name: "connlife",
+	Doc:  "report transport connections/readers that can escape without Close",
+	Run:  runConnLife,
+}
+
+func runConnLife(pass *Pass) error {
+	for _, pkg := range pass.Prog.Pkgs {
+		if !connLifeScope(pkg.Path) {
+			continue
+		}
+		spec := connSpec(pkg)
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				reportConnLeaks(pass, spec, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						reportConnLeaks(pass, spec, lit.Body)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// connLifeScope limits the analyzer to the transport layer (and its
+// fixtures): that is where OS-backed connections are acquired; other
+// packages only borrow them through netsim.Link.
+func connLifeScope(path string) bool {
+	return strings.Contains(path, "internal/transport") || strings.HasPrefix(path, "fixture/")
+}
+
+func reportConnLeaks(pass *Pass, spec lifetimeSpec, body *ast.BlockStmt) {
+	lt := runLifetime(spec, body, false)
+	for _, l := range lt.leaks() {
+		exit := pass.Prog.Fset.Position(l.exitPos)
+		pass.Reportf(l.allocPos,
+			"connection %s may escape without Close on the path returning at line %d",
+			l.v.Name(), exit.Line)
+	}
+}
+
+// connLike reports whether t is one of the tracked resource types.
+func connLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isNamedType(t, "net", "Conn") || isNamedType(t, "net", "Listener") {
+		return true
+	}
+	if n := namedOrPtr(t); n != nil {
+		obj := n.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			path := obj.Pkg().Path()
+			if strings.HasSuffix(path, "/internal/netsim") && obj.Name() == "Link" {
+				return true
+			}
+			if isWirePackage(path) && obj.Name() == "FrameReader" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// connLikeResult reports whether the call produces at least one
+// tracked resource (directly or inside a result tuple).
+func connLikeResult(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if connLike(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return connLike(tv.Type)
+}
+
+func connSpec(pkg *Package) lifetimeSpec {
+	info := pkg.Info
+	return lifetimeSpec{
+		pkg: pkg,
+		isAlloc: func(call *ast.CallExpr) bool {
+			return connLikeResult(info, call)
+		},
+		releaseArgs: func(call *ast.CallExpr) []ast.Expr {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+				return nil
+			}
+			if tv, ok := info.Types[sel.X]; ok && connLike(tv.Type) {
+				return []ast.Expr{sel.X}
+			}
+			return nil
+		},
+		trackable: func(v *types.Var) bool {
+			return !v.IsField() && v.Pkg() != nil && connLike(v.Type())
+		},
+	}
+}

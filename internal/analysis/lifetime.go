@@ -28,15 +28,28 @@ import (
 
 type lifetimeSpec struct {
 	pkg *Package
-	// isAlloc reports whether the call's single result carries an
-	// obligation (slab.Alloc, pooled-record acquire).
+	// isAlloc reports whether the call's results carry an obligation
+	// (slab.Alloc, pooled-record acquire, net.Dial).  Multi-result
+	// allocations (`conn, err := dial()`) obligate every trackable
+	// left-hand variable, and an error-typed co-result is remembered as
+	// the pairing: on a branch that assumes the error is non-nil, the
+	// paired obligations clear (the allocation failed, there is nothing
+	// to release).
 	isAlloc func(*ast.CallExpr) bool
+	// isAllocExpr reports whether a non-call RHS expression acquires an
+	// obligation (a coalescer queue swapped out of its field).  May be
+	// nil.
+	isAllocExpr func(ast.Expr) bool
 	// retainArgs returns ident arguments this call adds an obligation
 	// to (wire.Retain).  May be nil.
 	retainArgs func(*ast.CallExpr) []ast.Expr
 	// releaseArgs returns ident arguments this call releases
 	// (wire.Release, pool put helpers).  May be nil.
 	releaseArgs func(*ast.CallExpr) []ast.Expr
+	// rangeReleases reports whether ranging over a tracked variable
+	// discharges it (a drain loop that hands every element back).  May
+	// be nil.
+	rangeReleases func(*ast.RangeStmt) bool
 	// trackable filters the variable types the engine follows.
 	trackable func(*types.Var) bool
 }
@@ -91,6 +104,9 @@ type lifetime struct {
 	in       map[*cfgNode]varState
 	allocPos map[*types.Var]token.Pos
 	relPos   map[*types.Var]token.Pos
+	// pairErr maps a tracked variable to the error variable allocated
+	// alongside it (`conn, err := dial()`), consumed by assume nodes.
+	pairErr map[*types.Var]*types.Var
 
 	// report is set only during staleUses' re-walk pass.
 	report func(*types.Var, token.Pos)
@@ -106,6 +122,7 @@ func runLifetime(spec lifetimeSpec, body *ast.BlockStmt, stale bool) *lifetime {
 		in:       make(map[*cfgNode]varState),
 		allocPos: make(map[*types.Var]token.Pos),
 		relPos:   make(map[*types.Var]token.Pos),
+		pairErr:  make(map[*types.Var]*types.Var),
 	}
 	if g.unsupported {
 		return lt
@@ -200,11 +217,24 @@ func (lt *lifetime) transfer(n *cfgNode, st varState) {
 	switch n.kind {
 	case nkJoin, nkEnd:
 		return
+	case nkAssume:
+		if !lt.stale {
+			lt.applyAssume(n.cond, n.negate, st)
+		}
+		return
 	case nkRange:
 		// for k, v := range x — ranging does not consume; the loop
-		// variables become fresh definitions.
+		// variables become fresh definitions.  A spec may declare the
+		// range a discharge (a drain loop over swapped-out frames).
 		lt.clearDef(n.rng.Key, st)
 		lt.clearDef(n.rng.Value, st)
+		if !lt.stale && lt.spec.rangeReleases != nil && lt.spec.rangeReleases(n.rng) {
+			if id, ok := ast.Unparen(n.rng.X).(*ast.Ident); ok {
+				if v := lt.varOf(id); v != nil {
+					st[v] = vDone
+				}
+			}
+		}
 		return
 	}
 	if n.n == nil {
@@ -304,6 +334,38 @@ func (lt *lifetime) applyNode(n ast.Node, st varState) {
 
 // applyAssign handles RHS uses then LHS definitions.
 func (lt *lifetime) applyAssign(a *ast.AssignStmt, st varState) {
+	// Multi-result allocation (`conn, err := dial()`): every trackable
+	// LHS variable owes, and an error-typed co-result becomes its
+	// paired error for assume-node pruning.
+	if len(a.Lhs) > 1 && len(a.Rhs) == 1 {
+		if call := lt.allocCall(a.Rhs[0]); call != nil && !lt.stale {
+			var errVar *types.Var
+			var owed []*types.Var
+			for _, l := range a.Lhs {
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if v := lt.varOf(id); v != nil {
+					st[v] = vOwes
+					if _, ok := lt.allocPos[v]; !ok {
+						lt.allocPos[v] = call.Pos()
+					}
+					owed = append(owed, v)
+					continue
+				}
+				if v := lt.anyVarOf(id); v != nil && isErrorType(v.Type()) {
+					errVar = v
+				}
+			}
+			for _, v := range owed {
+				if errVar != nil {
+					lt.pairErr[v] = errVar
+				}
+			}
+			return
+		}
+	}
 	// 1:1 assignment whose RHS is an alloc: handled as a definition.
 	simpleAlloc := len(a.Lhs) == 1 && len(a.Rhs) == 1 && lt.allocCall(a.Rhs[0]) != nil
 	if !simpleAlloc {
@@ -327,6 +389,67 @@ func (lt *lifetime) applyAssign(a *ast.AssignStmt, st varState) {
 	}
 }
 
+// applyAssume prunes obligations using branch polarity.  On a branch
+// where a tracked value is known nil there is nothing to release; on a
+// branch where an allocation's paired error is known non-nil the
+// allocation failed and its obligations clear.
+func (lt *lifetime) applyAssume(cond ast.Expr, negate bool, st varState) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	op := be.Op.String()
+	if op != "==" && op != "!=" {
+		return
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	var other ast.Expr
+	switch {
+	case isNil(be.X):
+		other = be.Y
+	case isNil(be.Y):
+		other = be.X
+	default:
+		return
+	}
+	id, ok := ast.Unparen(other).(*ast.Ident)
+	if !ok {
+		return
+	}
+	// eqHolds: on this edge, `other == nil` is what we know.
+	eqHolds := (op == "==") != negate
+	if v := lt.varOf(id); v != nil {
+		if eqHolds {
+			delete(st, v) // the value is nil: no obligation to discharge
+		}
+		return
+	}
+	if v := lt.anyVarOf(id); v != nil && isErrorType(v.Type()) && !eqHolds {
+		// err != nil holds: allocations paired with err never happened.
+		for tracked, e := range lt.pairErr {
+			if e == v && st[tracked] == vOwes {
+				delete(st, tracked)
+			}
+		}
+	}
+}
+
+// anyVarOf resolves an identifier to its variable without the
+// trackable filter (used for error co-results).
+func (lt *lifetime) anyVarOf(id *ast.Ident) *types.Var {
+	info := lt.spec.pkg.Info
+	if obj, ok := info.Uses[id].(*types.Var); ok {
+		return obj
+	}
+	if obj, ok := info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}
+
 // applyDef processes `name := rhs` / `name = rhs` for a single pair.
 func (lt *lifetime) applyDef(name *ast.Ident, rhs ast.Expr, st varState) {
 	if name.Name == "_" {
@@ -340,6 +463,13 @@ func (lt *lifetime) applyDef(name *ast.Ident, rhs ast.Expr, st varState) {
 		st[v] = vOwes
 		if _, ok := lt.allocPos[v]; !ok {
 			lt.allocPos[v] = call.Pos()
+		}
+		return
+	}
+	if lt.spec.isAllocExpr != nil && !lt.stale && lt.spec.isAllocExpr(ast.Unparen(rhs)) {
+		st[v] = vOwes
+		if _, ok := lt.allocPos[v]; !ok {
+			lt.allocPos[v] = rhs.Pos()
 		}
 		return
 	}

@@ -95,6 +95,11 @@ func isMethodOn(info *types.Info, call *ast.CallExpr, pathOK func(string) bool, 
 	return obj.Pkg() != nil && pathOK(obj.Pkg().Path()) && obj.Name() == typeName
 }
 
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
 // isByteSlice reports whether t is []byte.
 func isByteSlice(t types.Type) bool {
 	s, ok := t.Underlying().(*types.Slice)

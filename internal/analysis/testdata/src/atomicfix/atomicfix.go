@@ -1,0 +1,45 @@
+// Package atomicfix exercises the atomicmix analyzer: once a word is
+// accessed through sync/atomic, every access must be; typed atomic
+// wrappers may only be used through their methods or behind &.
+package atomicfix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	flags atomic.Uint32
+	name  string
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func readAtomic(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func readPlain(c *counters) uint64 {
+	return c.hits // want "plain access to hits races"
+}
+
+func writePlain(c *counters) {
+	c.hits = 0 // want "plain access to hits races"
+}
+
+func methodOK(c *counters) uint32 {
+	return c.flags.Load()
+}
+
+func ptrOK(c *counters) *atomic.Uint32 {
+	return &c.flags
+}
+
+func copyBad(c *counters) {
+	f := c.flags // want "atomic value flags copied"
+	_ = f
+}
+
+func nameOK(c *counters) string {
+	return c.name
+}

@@ -1,0 +1,72 @@
+// Package connfix exercises the connlife analyzer: connections
+// acquired in the transport layer must reach Close (or a handoff) on
+// every path out of the acquiring function.
+package connfix
+
+import "net"
+
+// leak drops the connection on the success path.
+func leak(addr string) error {
+	conn, err := net.Dial("tcp", addr) // want "may escape without Close"
+	if err != nil {
+		return err
+	}
+	_, _ = conn.Write([]byte("hi"))
+	return nil
+}
+
+// closed releases on every path: the error branch clears the
+// obligation (a failed dial returns nothing to close), the deferred
+// Close covers the rest.
+func closed(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, _ = conn.Write([]byte("hi"))
+	return nil
+}
+
+// guarded discharges on both edges of the nil check: Close on one,
+// known-nil on the other.
+func guarded(ln net.Listener) {
+	c, _ := ln.Accept()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// handoff transfers ownership through a channel; the receiver closes.
+func handoff(addr string, sink chan net.Conn) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sink <- conn
+	return nil
+}
+
+// returned transfers ownership to the caller.
+func returned(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// listenerLeak forgets the listener on the accept-error path... and
+// every other path.
+func listenerLeak(addr string) error {
+	ln, err := net.Listen("tcp", addr) // want "may escape without Close"
+	if err != nil {
+		return err
+	}
+	c, aerr := ln.Accept()
+	if aerr != nil {
+		return aerr
+	}
+	c.Close()
+	return nil
+}

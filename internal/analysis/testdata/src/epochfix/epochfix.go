@@ -1,0 +1,123 @@
+// Package epochfix exercises the epochguard analyzer: generation
+// captures must be revalidated under the record's mutex (or delegated
+// together with the captured generation) before the record is used.
+package epochfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type status int
+
+type chanRec struct {
+	mu  sync.Mutex
+	gen atomic.Uint64
+	val int
+}
+
+func (c *chanRec) generation() uint64 { return c.gen.Load() }
+
+func (c *chanRec) touch() { c.val++ }
+
+// abort revalidates internally: receiving the captured generation is
+// what makes delegation to it legal.
+func (c *chanRec) abort(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.generation() != gen {
+		return
+	}
+	c.val = -1
+}
+
+type table struct {
+	mu   sync.Mutex
+	recs map[int]*chanRec
+}
+
+func (t *table) lookup(n int) (*chanRec, uint64, status) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ch, ok := t.recs[n]
+	if !ok {
+		return nil, 0, 1
+	}
+	return ch, ch.generation(), 0
+}
+
+// checked is the canonical consumer: lock, revalidate, use.
+func checked(t *table) {
+	ch, gen, st := t.lookup(1)
+	if st != 0 {
+		return
+	}
+	ch.mu.Lock()
+	if ch.generation() != gen {
+		ch.mu.Unlock()
+		return
+	}
+	ch.val++
+	ch.mu.Unlock()
+}
+
+// checkedDefer revalidates under a deferred unlock.
+func checkedDefer(t *table) int {
+	ch, gen, st := t.lookup(2)
+	if st != 0 {
+		return 0
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.generation() != gen {
+		return 0
+	}
+	return ch.val
+}
+
+// delegated hands the record and its captured generation to a callee
+// that revalidates; the obligation moves there.
+func delegated(t *table) {
+	ch, gen, st := t.lookup(3)
+	if st != 0 {
+		return
+	}
+	ch.abort(gen)
+}
+
+// useBeforeCheck touches the record with the capture still unchecked.
+func useBeforeCheck(t *table) {
+	ch, gen, st := t.lookup(4)
+	if st != 0 {
+		return
+	}
+	_ = gen
+	ch.touch() // want "used before revalidating"
+}
+
+// uncheckedCompare revalidates, but outside the record's mutex — the
+// retire race is narrowed, not closed.
+func uncheckedCompare(t *table) {
+	ch, gen, st := t.lookup(5)
+	if st != 0 {
+		return
+	}
+	if ch.generation() != gen { // want "compared outside"
+		return
+	}
+	ch.val++
+}
+
+// suppressed is the reviewed lock-free fast path: the annotation is
+// the in-tree justification, so no diagnostic survives.
+func suppressed(t *table) int {
+	ch, gen, st := t.lookup(6)
+	if st != 0 {
+		return 0
+	}
+	//vet:ok epochguard -- lock-free precheck; caller revalidates under ch.mu
+	if ch.generation() != gen {
+		return 0
+	}
+	return ch.val
+}

@@ -1,0 +1,23 @@
+// Package nodrain exercises sendown's structural rule: a package that
+// enqueues frames into a coalescer queue but contains no drain loop
+// leaks them by construction.
+package nodrain
+
+import (
+	"sync"
+
+	"asymstream/internal/wire"
+)
+
+type sink struct {
+	mu     sync.Mutex
+	owners []*[]byte
+}
+
+func (s *sink) push(payload []byte) {
+	buf := wire.GetBuf()
+	*buf = append((*buf)[:0], payload...)
+	s.mu.Lock()
+	s.owners = append(s.owners, buf) // want "no drain loop in this package"
+	s.mu.Unlock()
+}

@@ -200,6 +200,7 @@ func (c *coalescer) writeOut() {
 	for {
 		c.mu.Lock()
 		bufs := c.pending
+		//vet:ok sendown -- empty-queue exit: len(bufs)==0 under c.mu implies owners is empty too
 		owners := c.owners
 		c.pending, c.owners = nil, nil
 		if len(bufs) == 0 {
@@ -249,6 +250,10 @@ func serveConn(conn net.Conn, k *kernel.Kernel) {
 	defer out.close()
 	fr := wire.NewFrameReader(conn, nil, 0)
 	defer fr.Close()
+	srcs := newConnSources(k)
+	// Registered before the WaitGroup's defer so it runs after Wait:
+	// the disconnect sweep must not race in-flight pulls.
+	defer srcs.closeAll()
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -269,10 +274,13 @@ func serveConn(conn net.Conn, k *kernel.Kernel) {
 				rep.ErrMsg = err.Error()
 			} else if res, err := k.Invoke(uid.Nil, req.Target, req.Op, payload); err != nil {
 				rep.ErrMsg = err.Error()
-			} else if enc, err := wire.Append(nil, res); err != nil {
-				rep.ErrMsg = err.Error()
 			} else {
-				rep.Payload = enc
+				srcs.note(req.Target, req.Op, res)
+				if enc, err := wire.Append(nil, res); err != nil {
+					rep.ErrMsg = err.Error()
+				} else {
+					rep.Payload = enc
+				}
 			}
 			_ = out.enqueue(rep)
 		}(req)

@@ -85,11 +85,12 @@ func RegisterControl(k *kernel.Kernel, open OpenFunc) error {
 // Remote.Close protocol.  The mutex serializes batch pulls — remote
 // reads of one stream are inherently ordered anyway.
 type remoteSourceEject struct {
-	k   *kernel.Kernel
-	id  uid.UID
-	mu  sync.Mutex
-	src ItemSource
-	eof bool
+	k      *kernel.Kernel
+	id     uid.UID
+	mu     sync.Mutex
+	src    ItemSource
+	eof    bool
+	closed bool
 }
 
 // EdenType implements kernel.Eject.
@@ -123,19 +124,85 @@ func (e *remoteSourceEject) Serve(inv *kernel.Invocation) {
 		// codec's [][]byte fast path.
 		inv.Reply(items)
 	case "Remote.Close":
+		// Idempotent: the owning connection's disconnect sweep and an
+		// explicit client Close may both arrive; only the first touches
+		// the source.
 		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			inv.Reply("closed")
+			return
+		}
+		e.closed = true
+		e.eof = true
 		err := e.src.Close()
 		e.mu.Unlock()
+		// The transient source disappears (§7) whether or not the
+		// underlying Close erred.  Destroyed off the serving goroutine
+		// so teardown never waits on itself.
+		go func() { _ = e.k.Destroy(e.id) }()
 		if err != nil {
 			inv.Fail(err)
 			return
 		}
 		inv.Reply("closed")
-		// The transient source disappears (§7).  Destroyed off the
-		// serving goroutine so teardown never waits on itself.
-		go func() { _ = e.k.Destroy(e.id) }()
 	default:
 		inv.Fail(fmt.Errorf("transport: source: unknown op %q", inv.Op))
+	}
+}
+
+// connSources tracks the source Ejects one bridge connection has
+// opened through the control Eject, so a client that drops without
+// Remote.Close (crash, network partition) does not strand ItemSources
+// — possibly open files — in the serving kernel.  Close-on-disconnect
+// mirrors the cleanup the paper's kernel performs for a dying
+// process's transient Ejects (§7).
+type connSources struct {
+	k   *kernel.Kernel
+	mu  sync.Mutex
+	ids map[uid.UID]struct{}
+}
+
+func newConnSources(k *kernel.Kernel) *connSources {
+	return &connSources{k: k, ids: make(map[uid.UID]struct{})}
+}
+
+// note observes one successful invocation from the connection: a
+// Remote.Open through the control UID adopts the returned source UID;
+// a Remote.Close releases the target.
+func (s *connSources) note(target uid.UID, op string, res any) {
+	switch {
+	case target == ControlUID && op == "Remote.Open":
+		raw, ok := res.([]byte)
+		if !ok || len(raw) != 16 {
+			return
+		}
+		var b [16]byte
+		copy(b[:], raw)
+		s.mu.Lock()
+		s.ids[uid.FromBytes(b)] = struct{}{}
+		s.mu.Unlock()
+	case op == "Remote.Close":
+		s.mu.Lock()
+		delete(s.ids, target)
+		s.mu.Unlock()
+	}
+}
+
+// closeAll tears down every source the connection left open.  Called
+// after the connection's request WaitGroup drains, so no in-flight
+// pull can race the close; errors are ignored — the peer is gone and
+// Remote.Close is idempotent.
+func (s *connSources) closeAll() {
+	s.mu.Lock()
+	ids := make([]uid.UID, 0, len(s.ids))
+	for id := range s.ids {
+		ids = append(ids, id)
+	}
+	s.ids = nil
+	s.mu.Unlock()
+	for _, id := range ids {
+		_, _ = s.k.Invoke(uid.Nil, id, "Remote.Close", "")
 	}
 }
 

@@ -124,6 +124,7 @@ func (d *dir) writeOut() {
 	for {
 		d.mu.Lock()
 		bufs := d.pending
+		//vet:ok sendown -- empty-queue exit: len(bufs)==0 under d.mu implies owners is empty too
 		owners := d.owners
 		d.pending, d.owners = nil, nil
 		if len(bufs) == 0 {

@@ -198,12 +198,14 @@ func (t *chanTable[C]) lookup(id ChannelID) (C, uint64, Status) {
 			return zero, 0, StatusNotPermitted
 		}
 		slot := &t.cache.slots[id.Cap.Hash()&(capCacheSlots-1)]
+		//vet:ok epochguard -- lock-free cache precheck; callers re-verify gen under ch.mu before acting
 		if e := slot.Load(); e != nil && e.cap == id.Cap && e.ch.generation() == e.gen {
 			t.met.CapabilityCacheHits.Inc()
 			return e.ch, e.gen, StatusOK
 		}
 		t.met.CapabilityCacheMisses.Inc()
 		ent, ok := t.byCap.Load(id.Cap)
+		//vet:ok epochguard -- lock-free liveness filter; authoritative check runs in callers under ch.mu
 		if !ok || ent.ch.generation() != ent.gen {
 			return zero, 0, StatusNotPermitted
 		}
@@ -211,6 +213,7 @@ func (t *chanTable[C]) lookup(id ChannelID) (C, uint64, Status) {
 		return ent.ch, ent.gen, StatusOK
 	}
 	ent, ok := t.byNum.Load(id.Num)
+	//vet:ok epochguard -- lock-free liveness filter; authoritative check runs in callers under ch.mu
 	if !ok || ent.ch.generation() != ent.gen {
 		return zero, 0, StatusNoSuchChannel
 	}
