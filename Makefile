@@ -26,9 +26,14 @@ staticcheck:
 ## purity (readonly files never reach the push side and vice versa),
 ## fusion purity (fusable-tagged plumbing never reaches a port or a
 ## kernel invocation), pool hygiene (no use-after-Put, no missing Put),
-## metrics-table completeness, and lock-order consistency.  Zero
-## findings is a merge requirement.
+## metrics-table completeness, lock-order consistency, goroutine
+## termination, cond-wait discipline, and — via the protomodel
+## analyzer — credit-protocol liveness by exhaustive model checking.
+## The self-test first proves the model checker catches its own seeded
+## mutants, so the zero-finding run that follows actually means
+## something.  Zero findings is a merge requirement.
 vet-custom:
+	$(GO) run ./cmd/transput-vet -protomodel-selftest -protomodel-window 3
 	$(GO) run ./cmd/transput-vet
 
 ## cover-floor: statement-coverage floor for the packages whose

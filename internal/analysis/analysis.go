@@ -68,6 +68,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // annotation (same line or the line above) are suppressed: the comment
 // is the reviewed, in-tree justification for a deliberate deviation —
 // a lock-free fast path the analyzer's conservative rule cannot see.
+//
+// Suppressions are themselves checked: a vet:ok naming an analyzer
+// that ran but no longer fires at that site is reported as stale
+// (analyzer name "vetok").  An annotation outlives the code shape it
+// excused more often than it gets cleaned up; a stale one silently
+// masks the next real finding on that line.  Annotations naming
+// analyzers outside the selected set are left alone — a partial -run
+// cannot judge them.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pass := &Pass{Prog: prog}
 	for _, a := range analyzers {
@@ -76,7 +84,11 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("analysis %s: %w", a.Name, err)
 		}
 	}
-	pass.diags = filterAnnotated(prog, pass.diags)
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	pass.diags = filterAnnotated(prog, pass.diags, ran)
 	sort.Slice(pass.diags, func(i, j int) bool {
 		a, b := pass.diags[i], pass.diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -98,12 +110,24 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 // space separated); anything after ` -- ` is free-text justification.
 // It covers findings on its own line and on the line directly below,
 // so both trailing and standalone comment placements work.
-func filterAnnotated(prog *Program, diags []Diagnostic) []Diagnostic {
+//
+// ran is the set of analyzer names that executed this run.  Each
+// (annotation, name) pair whose analyzer ran but suppressed nothing is
+// reported back as a stale suppression.
+func filterAnnotated(prog *Program, diags []Diagnostic, ran map[string]bool) []Diagnostic {
 	type key struct {
 		file string
 		line int
 	}
-	ok := make(map[key]map[string]bool)
+	// ann is one named suppression; the same ann is registered for its
+	// own line and the line below, so a hit on either keeps it live.
+	type ann struct {
+		pos  token.Position
+		name string
+		hit  bool
+	}
+	ok := make(map[key]map[string]*ann)
+	var anns []*ann
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -121,28 +145,42 @@ func filterAnnotated(prog *Program, diags []Diagnostic) []Diagnostic {
 						continue
 					}
 					pos := prog.Fset.Position(c.Pos())
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						k := key{file: pos.Filename, line: line}
-						if ok[k] == nil {
-							ok[k] = make(map[string]bool)
-						}
-						for _, n := range names {
-							ok[k][n] = true
+					for _, n := range names {
+						a := &ann{pos: pos, name: n}
+						anns = append(anns, a)
+						for _, line := range []int{pos.Line, pos.Line + 1} {
+							k := key{file: pos.Filename, line: line}
+							if ok[k] == nil {
+								ok[k] = make(map[string]*ann)
+							}
+							ok[k][n] = a
 						}
 					}
 				}
 			}
 		}
 	}
-	if len(ok) == 0 {
-		return diags
-	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if ok[key{file: d.Pos.Filename, line: d.Pos.Line}][d.Analyzer] {
-			continue
+	kept := diags
+	if len(ok) > 0 {
+		kept = diags[:0]
+		for _, d := range diags {
+			if a := ok[key{file: d.Pos.Filename, line: d.Pos.Line}][d.Analyzer]; a != nil {
+				a.hit = true
+				continue
+			}
+			kept = append(kept, d)
 		}
-		kept = append(kept, d)
+	}
+	for _, a := range anns {
+		if !a.hit && ran[a.name] {
+			kept = append(kept, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: "vetok",
+				Message: fmt.Sprintf(
+					"stale suppression: //vet:ok %s no longer matches any %s finding here — remove it or it will mask the next real one",
+					a.name, a.name),
+			})
+		}
 	}
 	return kept
 }
@@ -160,5 +198,8 @@ func All() []*Analyzer {
 		AtomicMix,
 		ConnLife,
 		SendOwn,
+		Goroleak,
+		WaitCycle,
+		ProtoModel,
 	}
 }

@@ -155,6 +155,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 	for _, want := range []string{
 		"slabown", "discipline", "fusable", "poolhygiene", "metricstable", "lockorder",
 		"epochguard", "atomicmix", "connlife", "sendown",
+		"goroleak", "waitcycle", "protomodel",
 	} {
 		if !names[want] {
 			t.Errorf("missing analyzer %s", want)

@@ -92,6 +92,11 @@ func BuildCallGraph(prog *Program) *CallGraph {
 			continue
 		}
 		pkg := node.Pkg
+		// The defer/go cases record their n.Call with the right kind;
+		// the generic CallExpr case must then skip that same node or
+		// every `go f()` would also grow a synchronous edgeCall — which
+		// would leak the callee's divergence into the spawner.
+		claimed := make(map[*ast.CallExpr]bool)
 		ast.Inspect(body, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncLit:
@@ -102,15 +107,19 @@ func BuildCallGraph(prog *Program) *CallGraph {
 					return false // literal bodies are separate nodes
 				}
 			case *ast.CallExpr:
-				kind := edgeCall
+				if claimed[n] {
+					return true
+				}
 				if callee := resolveCallee(pkg, g, litNodes, n); callee != nil {
-					node.Edges = append(node.Edges, CallEdge{Callee: callee, Pos: n.Pos(), Kind: kind})
+					node.Edges = append(node.Edges, CallEdge{Callee: callee, Pos: n.Pos(), Kind: edgeCall})
 				}
 			case *ast.DeferStmt:
+				claimed[n.Call] = true
 				if callee := resolveCallee(pkg, g, litNodes, n.Call); callee != nil {
 					node.Edges = append(node.Edges, CallEdge{Callee: callee, Pos: n.Call.Pos(), Kind: edgeDefer})
 				}
 			case *ast.GoStmt:
+				claimed[n.Call] = true
 				if callee := resolveCallee(pkg, g, litNodes, n.Call); callee != nil {
 					node.Edges = append(node.Edges, CallEdge{Callee: callee, Pos: n.Call.Pos(), Kind: edgeGo})
 				}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Goroleak proves that every `go` statement in internal/* spawns a
+// goroutine that can terminate.  Three ways a spawn passes:
+//
+//   - the spawned function's CFG reaches an exit from everywhere
+//     reachable — its loops are bounded, select on a shutdown signal,
+//     or return on error (bottom-up summaries propagate divergence
+//     through plain calls, so a wrapper spawning a divergent worker is
+//     caught at the spawn);
+//   - a `for range ch` loop at the top level of the spawned function
+//     ranges over a channel that some function in the program closes
+//     (the channel is identified by its field/variable object, so
+//     promoted fields and captured locals unify);
+//   - a dynamically-dispatched spawn (`go fn()` through a function
+//     value) is accepted only under WaitGroup accounting: an Add on a
+//     WaitGroup lexically before the spawn whose Wait exists in the
+//     program — the module's evidence that someone joins it.
+//
+// Everything else is a naked spawn and is reported.  The check is
+// deliberately structural: it proves "this goroutine has an exit
+// path", not "the exit path is taken" — the latter is the protomodel
+// analyzer's job for the credit protocol, and the soak tests' job for
+// everything else.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every spawned goroutine must have a provable termination path",
+	Run:  runGoroleak,
+}
+
+// liveScope limits the liveness analyzers (goroleak, waitcycle,
+// protomodel) to the module's internal packages and to fixtures.
+func liveScope(path string) bool {
+	return strings.HasPrefix(path, "fixture/") || strings.Contains(path, "/internal/")
+}
+
+func runGoroleak(pass *Pass) error {
+	graph := BuildCallGraph(pass.Prog)
+	sums := buildLiveSummaries(graph)
+
+	// Program-wide close registry: every channel storage object passed
+	// to the close builtin, anywhere (closers are often not the ranger).
+	closed := make(map[*types.Var]bool)
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+					if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+						if v := storageVar(pkg.Info, call.Args[0]); v != nil {
+							closed[v] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	reportedRange := make(map[token.Pos]bool)
+	for _, node := range graph.Nodes {
+		if !liveScope(node.Pkg.Path) {
+			continue
+		}
+		body := node.Body()
+		if body == nil {
+			continue
+		}
+		// Collect the resolved spawn edges, keyed by call position.
+		goEdges := make(map[token.Pos]*FuncNode)
+		for _, e := range node.Edges {
+			if e.Kind == edgeGo {
+				goEdges[e.Pos] = e.Callee
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && node.Lit != lit {
+				return false // literal bodies are their own nodes
+			}
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			callee, resolved := goEdges[gs.Call.Pos()]
+			if !resolved {
+				checkDynamicSpawn(pass, node, gs)
+				return true
+			}
+			sum := sums.byNode[callee]
+			if sum.divergent {
+				via := ""
+				if sum.divergeVia != "" {
+					via = " via " + sum.divergeVia
+				}
+				pass.Reportf(gs.Pos(),
+					"goroutine never terminates: %s contains an inescapable loop%s (no return, break, or shutdown select)",
+					callee.Name, via)
+			}
+			checkSpawnedRanges(pass, callee, closed, reportedRange)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpawnedRanges flags `for range ch` loops at the top level of a
+// spawned function when no close site for ch's storage object exists.
+// The check stays at the spawned function itself (not its callees):
+// deeper ranges over channel parameters would need alias analysis, and
+// the module's long-lived goroutine loops are all top-level in the
+// function handed to `go`.
+func checkSpawnedRanges(pass *Pass, callee *FuncNode, closed map[*types.Var]bool, reported map[token.Pos]bool) {
+	body := callee.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && callee.Lit != lit {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := callee.Pkg.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		v := storageVar(callee.Pkg.Info, rs.X)
+		if v == nil {
+			// A ranged channel expression too complex to name (a call
+			// result, an index) cannot be matched to a close site; stay
+			// quiet rather than guess.
+			return true
+		}
+		if !closed[v] && !reported[rs.Pos()] {
+			reported[rs.Pos()] = true
+			pass.Reportf(rs.Pos(),
+				"goroutine %s ranges over channel %s which is never closed",
+				callee.Name, varDisplay(pass.Prog, v))
+		}
+		return true
+	})
+}
+
+// checkDynamicSpawn handles `go fn()` through a function value: the
+// body is invisible, so the only acceptable proof of termination is
+// WaitGroup accounting — an Add lexically before the spawn in the same
+// function, on a WaitGroup whose Wait exists somewhere in the program.
+func checkDynamicSpawn(pass *Pass, node *FuncNode, gs *ast.GoStmt) {
+	// A direct call to a function outside the program (stdlib) is
+	// assumed to terminate; the module cannot make it leak.
+	if f := calleeFunc(node.Pkg.Info, gs.Call); f != nil {
+		return
+	}
+	if wgAccounted(pass, node, gs) {
+		return
+	}
+	pass.Reportf(gs.Pos(),
+		"cannot prove termination of dynamically-dispatched goroutine (no WaitGroup Add/Wait accounting)")
+}
+
+// wgAccounted reports whether a sync.WaitGroup Add precedes gs in
+// node's body and that WaitGroup is waited somewhere in the program.
+func wgAccounted(pass *Pass, node *FuncNode, gs *ast.GoStmt) bool {
+	var added []*types.Var
+	ast.Inspect(node.Body(), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= gs.Pos() {
+			return true
+		}
+		if isWaitGroupMethod(node.Pkg.Info, call, "Add") {
+			if v := waitGroupVar(node.Pkg.Info, call); v != nil {
+				added = append(added, v)
+			}
+		}
+		return true
+	})
+	if len(added) == 0 {
+		return false
+	}
+	waited := false
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isWaitGroupMethod(pkg.Info, call, "Wait") {
+					if v := waitGroupVar(pkg.Info, call); v != nil {
+						for _, a := range added {
+							if a == v {
+								waited = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return waited
+}
+
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedType(sig.Recv().Type(), "sync", "WaitGroup")
+}
+
+func waitGroupVar(info *types.Info, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return storageVar(info, sel.X)
+}

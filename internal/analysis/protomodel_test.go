@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestProtoExtractionRealTree proves the shape extraction actually
+// reads the protocol out of the real transput package.  Without this,
+// a matcher regression could silently extract nothing and the model
+// would "prove" the default configuration instead of the tree.
+func TestProtoExtractionRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	pkg := loadRealTransput(t)
+	sh := extractProtoShapes(pkg)
+
+	if sh.gatePos == 0 {
+		t.Fatal("window gate (for active >= limit wait loop) not extracted")
+	}
+	if !sh.gateStrict {
+		t.Error("gate extracted as non-strict; wooutport.go waits while active >= limit")
+	}
+	if sh.limitPos == 0 {
+		t.Fatal("credit-limit update not extracted")
+	}
+	if !sh.floorOne {
+		t.Error("1+credits/batch floor not extracted")
+	}
+	if !sh.clampWin {
+		t.Error("window clamp not extracted")
+	}
+	if len(sh.waitLoops) < 6 {
+		t.Errorf("extracted %d chanCore-family wait loops, want >= 6 (writeonly.go and outport.go)", len(sh.waitLoops))
+	}
+	for i, wl := range sh.waitLoops {
+		if !wl.abortAware {
+			t.Errorf("wait loop #%d extracted as not abort-aware; every real channel wait re-checks abortErr", i)
+		}
+	}
+	if len(sh.aborters) < 5 {
+		t.Errorf("extracted %d abort writers, want >= 5 (3 in writeonly.go, 2 in outport.go)", len(sh.aborters))
+	}
+	for _, ab := range sh.aborters {
+		if !ab.drains || !ab.broadcasts {
+			t.Errorf("abort writer extracted as drains=%v broadcasts=%v; all real aborters drain and broadcast", ab.drains, ab.broadcasts)
+		}
+	}
+}
+
+func loadRealTransput(t *testing.T) *Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.Load("asymstream/internal/transput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := prog.Package("asymstream/internal/transput")
+	if pkg == nil {
+		t.Fatal("transput package not loaded")
+	}
+	return pkg
+}
+
+// TestProtoModelSelfTest is the seeded-mutant gate at the PR bound.
+func TestProtoModelSelfTest(t *testing.T) {
+	if err := ProtoModelSelfTest(3, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+}

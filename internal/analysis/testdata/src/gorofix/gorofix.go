@@ -1,0 +1,114 @@
+// Package gorofix exercises the goroleak analyzer: every `go`
+// statement must spawn a goroutine with a provable termination path.
+package gorofix
+
+import "sync"
+
+// ---------------------------------------------------------------------
+// Fail: inescapable loop, spawned directly and through a wrapper.
+
+func spin() {
+	for {
+		step()
+	}
+}
+
+func step() {}
+
+func wrapper() {
+	spin()
+}
+
+func SpawnSpin() {
+	go spin() // want "never terminates"
+}
+
+func SpawnWrapper() {
+	go wrapper() // want "never terminates"
+}
+
+// ---------------------------------------------------------------------
+// Pass: the loop has a shutdown path.
+
+func worker(quit chan struct{}, work chan int) {
+	for {
+		select {
+		case <-quit:
+			return
+		case v := <-work:
+			_ = v
+		}
+	}
+}
+
+func SpawnWorker(quit chan struct{}, work chan int) {
+	go worker(quit, work)
+}
+
+// Pass: bounded loop.
+
+func batch(items []int) {
+	for range items {
+		step()
+	}
+}
+
+func SpawnBatch(items []int) {
+	go batch(items)
+}
+
+// ---------------------------------------------------------------------
+// Range over a channel: pass when some function closes it, fail when
+// nothing in the program ever does.
+
+type feed struct{ ch chan int }
+
+func (f *feed) consume() {
+	for range f.ch { // want "never closed"
+		step()
+	}
+}
+
+func (f *feed) Start() {
+	go f.consume()
+}
+
+type closedFeed struct{ ch chan int }
+
+func (f *closedFeed) consume() {
+	for range f.ch {
+		step()
+	}
+}
+
+func (f *closedFeed) Start() {
+	go f.consume()
+}
+
+func (f *closedFeed) Finish() {
+	close(f.ch)
+}
+
+// Captured parameter, same rule.
+func SpawnRangeLit(ch chan int) {
+	go func() {
+		for range ch { // want "never closed"
+			step()
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------
+// Dynamic dispatch: the body is invisible, so only WaitGroup
+// accounting proves someone joins the goroutine.
+
+func SpawnDyn(fn func()) {
+	go fn() // want "cannot prove termination"
+}
+
+func SpawnDynWG(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go fn()
+	wg.Wait()
+}
